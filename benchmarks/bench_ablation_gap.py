@@ -1,0 +1,68 @@
+"""Ablation: the generation-gap cut-off.
+
+Section 2 fixes the cut-off on |height(u) - height(v)| at 1 as "a
+heuristic choice that works well for phylogeny ... there could be no
+cutoff or the cutoff could be much greater".  This ablation sweeps the
+cut-off (0 = same-generation only, 1 = the paper, 2-3 = twice/thrice
+removed admitted) and reports both cost and yield, quantifying what
+the heuristic buys.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import wall_time
+from repro.core.single_tree import mine_tree
+from repro.generate.random_trees import fixed_fanout_tree
+
+GAPS = [0, 1, 2, 3]
+
+
+@pytest.fixture(scope="module")
+def forest():
+    rng = random.Random(123)
+    return [fixed_fanout_tree(200, 3, 100, rng) for _ in range(10)]
+
+
+@pytest.mark.parametrize("gap", GAPS)
+def test_ablation_gap_cost(benchmark, gap, forest):
+    def run():
+        return sum(
+            len(mine_tree(tree, maxdist=2.5, max_generation_gap=gap))
+            for tree in forest
+        )
+
+    items = benchmark(run)
+    assert items >= 0
+
+
+def test_ablation_gap_yield(benchmark, forest, print_rows):
+    def sweep():
+        series = {}
+        for gap in GAPS:
+            def run():
+                return sum(
+                    sum(
+                        item.occurrences
+                        for item in mine_tree(
+                            tree, maxdist=2.5, max_generation_gap=gap
+                        )
+                    )
+                    for tree in forest
+                )
+
+            pairs, seconds = wall_time(run)
+            series[gap] = (pairs, seconds)
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_rows(
+        "Ablation — generation-gap cut-off (maxdist 2.5)",
+        [f"gap {gap}: {pairs:>7} pairs in {seconds:.3f}s"
+         for gap, (pairs, seconds) in series.items()],
+    )
+    # Yield grows monotonically with the admitted gap.
+    yields = [series[gap][0] for gap in GAPS]
+    assert yields == sorted(yields)
+    assert yields[-1] > yields[0]

@@ -1,0 +1,75 @@
+"""Ablation: inverted index vs. repeated batch mining.
+
+The paper's setting is a tree *database* (TreeBASE) queried for many
+patterns.  ``Multiple_Tree_Mining`` re-scans the forest per question;
+:class:`repro.core.index.CousinPairIndex` mines once and answers
+support/posting/top-k queries from the inverted form.  This ablation
+quantifies the trade: one-time build cost vs. per-query cost, with the
+batch miner as the baseline.
+"""
+
+import random
+
+import pytest
+
+from repro.core.index import CousinPairIndex
+from repro.core.multi_tree import mine_forest, support
+from repro.generate.treebase import synthetic_treebase_corpus
+
+
+@pytest.fixture(scope="module")
+def forest():
+    studies = synthetic_treebase_corpus(
+        num_trees=100, trees_per_study=4, rng=random.Random(31)
+    )
+    return [tree for study in studies for tree in study.trees]
+
+
+@pytest.fixture(scope="module")
+def queries(forest):
+    index = CousinPairIndex.build(forest)
+    return [
+        (pattern.label_a, pattern.label_b, pattern.distance)
+        for pattern in index.top_k(25)
+    ]
+
+
+def test_ablation_index_build(benchmark, forest):
+    index = benchmark.pedantic(
+        CousinPairIndex.build, args=(forest,), rounds=1, iterations=1
+    )
+    assert index.tree_count == len(forest)
+
+
+def test_ablation_index_queries(benchmark, forest, queries):
+    index = CousinPairIndex.build(forest)
+
+    def run():
+        return [
+            index.support(label_a, label_b, distance)
+            for label_a, label_b, distance in queries
+        ]
+
+    supports = benchmark(run)
+    assert all(value >= 2 for value in supports)
+
+
+def test_ablation_batch_queries(benchmark, forest, queries):
+    """Baseline: each support question re-mines the whole forest."""
+
+    def run():
+        # One representative query; 25x this is the honest comparison.
+        label_a, label_b, distance = queries[0]
+        return support(forest, label_a, label_b, distance)
+
+    value = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert value >= 2
+
+
+def test_ablation_index_consistency(benchmark, forest):
+    index = CousinPairIndex.build(forest)
+
+    def run():
+        return index.frequent(2) == mine_forest(forest, minsup=2)
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)

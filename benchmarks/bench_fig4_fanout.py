@@ -1,0 +1,66 @@
+"""Figure 4: effect of fanout on Single_Tree_Mining.
+
+Paper: 1,000 synthetic trees (treesize 200, alphabet 200, Table 2
+mining defaults); the running time *rises* as fanout grows — bushy
+trees generate more qualified cousin pairs, so the aggregation stage
+dominates.  The paper found this surprising (one might expect fewer
+children sets to mean less work).
+
+Scaled down to 25 trees per fanout point; the shape assertion compares
+the bushiest against the narrowest setting.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import wall_time
+from repro.core.single_tree import mine_tree
+from repro.generate.random_trees import fixed_fanout_tree
+
+FANOUTS = [2, 5, 10, 20, 40, 60]
+TREES_PER_POINT = 25
+TREESIZE = 200
+ALPHABET = 200
+
+
+def make_forest(fanout: int) -> list:
+    rng = random.Random(1000 + fanout)
+    return [
+        fixed_fanout_tree(TREESIZE, fanout, ALPHABET, rng)
+        for _ in range(TREES_PER_POINT)
+    ]
+
+
+def mine_forest_once(forest) -> int:
+    total = 0
+    for tree in forest:
+        total += len(mine_tree(tree, maxdist=1.5, minoccur=1))
+    return total
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_fig4_single_tree_mining(benchmark, fanout):
+    forest = make_forest(fanout)
+    items = benchmark(mine_forest_once, forest)
+    assert items > 0
+
+
+def test_fig4_shape(benchmark, print_rows):
+    """Paper's finding: time increases with fanout."""
+    forests = {fanout: make_forest(fanout) for fanout in FANOUTS}
+
+    def sweep():
+        series = {}
+        for fanout in FANOUTS:
+            _result, seconds = wall_time(mine_forest_once, forests[fanout])
+            series[fanout] = seconds
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_rows(
+        "Figure 4 — time vs fanout (paper: increasing)",
+        [f"fanout {fanout:>2}: {seconds:.3f}s"
+         for fanout, seconds in series.items()],
+    )
+    assert series[FANOUTS[-1]] > series[FANOUTS[0]]

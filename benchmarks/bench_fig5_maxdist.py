@@ -1,0 +1,71 @@
+"""Figure 5: effect of maxdist and tree size on Single_Tree_Mining.
+
+Paper: four curves (maxdist 0.5, 1, 1.5, 2) over tree sizes up to
+1,250 nodes; the running time grows with the tree size and, at any
+size, with maxdist (more distance rounds in the inner loop and more
+pairs to aggregate).
+
+Scaled down to 10 trees per point; the shape assertions check both
+monotonicities at the extremes.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import wall_time
+from repro.core.single_tree import mine_tree
+from repro.generate.random_trees import fixed_fanout_tree
+
+MAXDISTS = [0.5, 1.0, 1.5, 2.0]
+SIZES = [50, 250, 500, 750, 1000, 1250]
+TREES_PER_POINT = 10
+FANOUT = 5
+ALPHABET = 200
+
+
+def make_forest(size: int) -> list:
+    rng = random.Random(2000 + size)
+    return [
+        fixed_fanout_tree(size, FANOUT, ALPHABET, rng)
+        for _ in range(TREES_PER_POINT)
+    ]
+
+
+def mine_forest_once(forest, maxdist: float) -> int:
+    return sum(len(mine_tree(tree, maxdist=maxdist)) for tree in forest)
+
+
+@pytest.mark.parametrize("maxdist", MAXDISTS)
+def test_fig5_at_largest_size(benchmark, maxdist):
+    forest = make_forest(SIZES[-1])
+    items = benchmark(mine_forest_once, forest, maxdist)
+    assert items > 0
+
+
+def test_fig5_shape(benchmark, print_rows):
+    forests = {size: make_forest(size) for size in SIZES}
+
+    def sweep():
+        series = {}
+        for maxdist in MAXDISTS:
+            row = {}
+            for size in SIZES:
+                _result, seconds = wall_time(
+                    mine_forest_once, forests[size], maxdist
+                )
+                row[size] = seconds
+            series[maxdist] = row
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for maxdist, row in series.items():
+        cells = " ".join(f"{row[size]:.3f}" for size in SIZES)
+        rows.append(f"maxdist {maxdist:<4} sizes {SIZES}: {cells} s")
+    print_rows("Figure 5 — time vs tree size per maxdist", rows)
+    # Time grows with tree size (each curve) ...
+    for maxdist in MAXDISTS:
+        assert series[maxdist][SIZES[-1]] > series[maxdist][SIZES[0]]
+    # ... and with maxdist (at the largest size).
+    assert series[MAXDISTS[-1]][SIZES[-1]] > series[MAXDISTS[0]][SIZES[-1]]

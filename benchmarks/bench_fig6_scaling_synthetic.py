@@ -1,0 +1,59 @@
+"""Figure 6: Multiple_Tree_Mining scaling on synthetic trees.
+
+Paper: mined up to 1,000,000 synthetic trees (Table 3 defaults) and
+observed running time *linear* in the number of trees.  Scaled down to
+a 250..2,000 tree sweep; the shape assertion checks near-linearity
+(doubling the corpus at most ~triples the time, well below the
+quadratic alternative).
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import wall_time
+from repro.core.multi_tree import mine_forest
+from repro.generate.random_trees import SyntheticTreeParams, synthetic_forest
+
+COUNTS = [250, 500, 1000, 2000]
+TREESIZE = 50  # scaled down from Table 3's 200 to keep the sweep quick
+
+
+def make_corpus(count: int) -> list:
+    params = SyntheticTreeParams(
+        treesize=TREESIZE, databasesize=count, fanout=5, alphabetsize=200
+    )
+    return synthetic_forest(params, random.Random(3000 + count))
+
+
+@pytest.mark.parametrize("count", COUNTS[:2])
+def test_fig6_multiple_tree_mining(benchmark, count):
+    corpus = make_corpus(count)
+    frequent = benchmark.pedantic(
+        mine_forest, args=(corpus,), rounds=1, iterations=1
+    )
+    assert frequent  # alphabet 200 over 50-node trees => shared pairs
+
+
+def test_fig6_linearity(benchmark, print_rows):
+    corpora = {count: make_corpus(count) for count in COUNTS}
+
+    def sweep():
+        series = {}
+        for count in COUNTS:
+            _result, seconds = wall_time(mine_forest, corpora[count])
+            series[count] = seconds
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_rows(
+        "Figure 6 — Multiple_Tree_Mining vs corpus size (paper: linear)",
+        [f"{count:>5} trees: {seconds:.3f}s" for count, seconds in series.items()],
+    )
+    # Near-linear: 8x more trees must cost clearly less than
+    # quadratically more time (64x); allow generous constant factors.
+    ratio = series[COUNTS[-1]] / max(series[COUNTS[0]], 1e-9)
+    scale = COUNTS[-1] / COUNTS[0]
+    assert ratio < scale * 3.0, (
+        f"time ratio {ratio:.1f} vs corpus ratio {scale}: not linear-ish"
+    )

@@ -1,0 +1,58 @@
+"""Figure 7: Multiple_Tree_Mining on the 1,500-phylogeny corpus.
+
+Paper: all frequent cousin pair items of 1,500 TreeBASE phylogenies
+(50-200 nodes each, 2-9 children per internal node, 18,870-name
+alphabet) found in under 150 seconds on a 2004 workstation, with time
+growing linearly in the number of trees.
+
+This benchmark mines the full synthetic corpus with the same
+statistics and checks the sub-150s envelope (comfortably met on any
+modern machine) plus the linear growth across prefixes.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import wall_time
+from repro.core.multi_tree import mine_forest
+from repro.generate.treebase import synthetic_treebase_corpus
+
+PREFIXES = [250, 500, 1000, 1500]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    studies = synthetic_treebase_corpus(num_trees=1500, rng=random.Random(7))
+    return [tree for study in studies for tree in study.trees]
+
+
+def test_fig7_full_corpus(benchmark, corpus, print_rows):
+    frequent, seconds = benchmark.pedantic(
+        wall_time, args=(mine_forest, corpus), rounds=1, iterations=1
+    )
+    print_rows(
+        "Figure 7 — 1,500 phylogenies",
+        [f"mined in {seconds:.2f}s (paper: < 150s on a 2004 Ultra 60)",
+         f"frequent pairs found: {len(frequent)}"],
+    )
+    assert seconds < 150.0
+    assert frequent  # studies share taxon pools, so patterns recur
+
+
+def test_fig7_growth_with_tree_count(benchmark, corpus, print_rows):
+    def sweep():
+        series = {}
+        for prefix in PREFIXES:
+            _result, seconds = wall_time(mine_forest, corpus[:prefix])
+            series[prefix] = seconds
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_rows(
+        "Figure 7 — time vs number of phylogenies (paper: linear)",
+        [f"{count:>5} trees: {seconds:.2f}s" for count, seconds in series.items()],
+    )
+    ratio = series[PREFIXES[-1]] / max(series[PREFIXES[0]], 1e-9)
+    scale = PREFIXES[-1] / PREFIXES[0]
+    assert ratio < scale * 3.0

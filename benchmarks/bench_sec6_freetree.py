@@ -1,0 +1,62 @@
+"""Section 6: free-tree (undirected acyclic graph) mining.
+
+The paper gives no figure for the extension but states the algorithm
+runs in O(|G|^2).  This benchmark times both formulations (direct
+bounded-BFS and the paper's artificial-root construction) over a size
+sweep and checks the growth stays comfortably inside the quadratic
+envelope; it also confirms the two formulations agree on every input.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import wall_time
+from repro.core.freetree import FreeTree, mine_free_tree, mine_free_tree_rooted
+from repro.generate.random_trees import uniform_free_tree
+
+SIZES = [100, 200, 400, 800]
+
+
+def make_graph(size: int) -> FreeTree:
+    tree = uniform_free_tree(size, 50, random.Random(6000 + size))
+    return FreeTree.from_rooted(tree)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sec6_bfs_miner(benchmark, size):
+    graph = make_graph(size)
+    items = benchmark(mine_free_tree, graph, 1.5)
+    assert items
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_sec6_rooted_miner(benchmark, size):
+    graph = make_graph(size)
+    items = benchmark(mine_free_tree_rooted, graph, 1.5)
+    assert items
+
+
+def test_sec6_agreement_and_growth(benchmark, print_rows):
+    graphs = {size: make_graph(size) for size in SIZES}
+
+    def sweep():
+        series = {}
+        for size in SIZES:
+            bfs_items, bfs_seconds = wall_time(mine_free_tree, graphs[size], 2.5)
+            rooted_items, rooted_seconds = wall_time(
+                mine_free_tree_rooted, graphs[size], 2.5
+            )
+            assert bfs_items == rooted_items
+            series[size] = (bfs_seconds, rooted_seconds)
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_rows(
+        "Section 6 — free-tree mining time (bfs / rooted)",
+        [f"|G| = {size:>4}: {bfs:.3f}s / {rooted:.3f}s"
+         for size, (bfs, rooted) in series.items()],
+    )
+    # O(|G|^2): 8x nodes may cost at most ~64x time; require < 128x.
+    ratio = series[SIZES[-1]][0] / max(series[SIZES[0]][0], 1e-9)
+    assert ratio < (SIZES[-1] / SIZES[0]) ** 2 * 2

@@ -1,0 +1,42 @@
+"""Table 1: the cousin pair items of tree T3 of Figure 1.
+
+Paper: ten items over distances {0, 0.5, 1}, including the
+double-occurrence aunt-niece item (a, e, 0.5, 2).  This benchmark
+regenerates the table, asserts it exactly, and times the miner on the
+worked example.
+"""
+
+from repro.core.single_tree import mine_tree
+from repro.datasets.figure1 import figure1_trees, table1_items
+
+
+def test_table1_items(benchmark, print_rows):
+    _, _, t3 = figure1_trees()
+    items = benchmark(mine_tree, t3)
+    assert items == table1_items()
+    print_rows(
+        "Table 1 — cousin pair items of T3",
+        [item.describe() for item in items],
+    )
+
+
+def test_table1_support_example(benchmark, print_rows):
+    """Section 2's support arithmetic on the Figure 1 database."""
+    from repro.core.multi_tree import support
+
+    trees = list(figure1_trees())
+
+    def run():
+        return (
+            support(trees, "b", "e", 1.0),
+            support(trees, "b", "e", None),
+        )
+
+    at_one, any_distance = benchmark(run)
+    assert at_one == 2       # paper: T1 and T3
+    assert any_distance == 3  # paper: all three trees
+    print_rows(
+        "Support of (b, e)",
+        [f"at distance 1: {at_one} (paper: 2)",
+         f"any distance : {any_distance} (paper: 3)"],
+    )

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the
+paper (see the experiment index in ``DESIGN.md``).  Benchmarks print
+the same rows/series the paper reports; absolute seconds differ from
+the 2004 SUN Ultra 60, but each file asserts the *shape* the paper
+claims (who wins, what grows, where the lines sit relative to each
+other).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+
+def wall_time(function, *args, **kwargs):
+    """One timed call; returns (result, seconds)."""
+    started = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+@pytest.fixture
+def print_rows(capsys):
+    """Print a labelled series through pytest's capture (shown with -s
+    or on failure), and always also attach it to the test's output."""
+
+    def _print(title: str, rows):
+        with capsys.disabled():
+            print(f"\n[{title}]")
+            for row in rows:
+                print(f"  {row}")
+
+    return _print

@@ -1,0 +1,51 @@
+"""The full PHYLIP-triple substitute: seqboot + dnapars + consense.
+
+Run with::
+
+    python examples/bootstrap_support.py
+
+Evolves a synthetic alignment down a known phylogeny, runs bootstrap
+resampling with per-replicate parsimony searches, annotates the
+reference tree with clade support percentages, and closes the loop
+with the paper's own machinery: a majority-rule consensus of the
+replicates, scored by the Section 5.2 cousin-pair similarity.
+"""
+
+import random
+
+from repro.consensus import majority_consensus
+from repro.core.similarity import average_similarity
+from repro.generate.phylo import yule_tree
+from repro.generate.sequences import assign_branch_lengths, evolve_alignment
+from repro.parsimony.bootstrap import annotate_support, bootstrap_trees
+from repro.trees.drawing import render_tree
+from repro.trees.rooting import outgroup_root
+
+
+def main() -> None:
+    rng = random.Random(2004)
+    taxa = ["Outgroup", "Fungi_A", "Fungi_B", "Plant_A", "Plant_B", "Animal_A"]
+    reference = yule_tree(taxa, rng)
+    assign_branch_lengths(reference, mean=0.09, rng=rng)
+    alignment = evolve_alignment(reference, n_sites=300, rng=rng)
+    print(f"Alignment: {alignment.n_taxa} taxa x {alignment.n_sites} sites")
+
+    print("\nRunning 10 bootstrap replicates (seqboot + dnapars substitute)...")
+    replicates = bootstrap_trees(
+        alignment, replicates=10, rng=rng, n_starts=2, outgroup="Outgroup"
+    )
+
+    rooted_reference = outgroup_root(reference, "Outgroup")
+    annotated = annotate_support(rooted_reference, replicates)
+    print("\nReference topology with bootstrap support (%):")
+    print(render_tree(annotated))
+
+    consensus = majority_consensus(replicates)
+    score = average_similarity(consensus, replicates)
+    print("\nMajority-rule consensus of the replicates (consense substitute):")
+    print(render_tree(consensus))
+    print(f"\nCousin-pair quality of that consensus (Eq. 5): {score:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""repro — cousin-pair mining in rooted unordered labeled trees.
+
+A production-grade reproduction of:
+
+    Dennis Shasha, Jason T. L. Wang, Sen Zhang.
+    *Unordered Tree Mining with Applications to Phylogeny.*
+    ICDE 2004.
+
+The package mines *cousin pairs* — pairs of labeled nodes sharing a
+parent, grandparent, great-grandparent, ... — from single trees,
+forests, and free trees, and applies them to phylogenetics: pattern
+co-occurrence across studies, consensus-tree quality evaluation, and
+cross-taxon tree distances with kernel-tree selection.
+
+Quickstart
+----------
+>>> import repro
+>>> tree = repro.parse_newick("((a,b),(c,(a,d)));")
+>>> items = repro.mine_tree(tree, maxdist=1.5)
+>>> items[0].describe()
+'(a, a) at distance 1.5 (first cousins once removed) x1'
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
+the reproduction of every table and figure of the paper.
+"""
+
+from repro.errors import (
+    ReproError,
+    TreeError,
+    NewickError,
+    MiningParameterError,
+    ConsensusError,
+    ParsimonyError,
+    AlignmentError,
+    FreeTreeError,
+    DatasetError,
+)
+from repro.trees import (
+    Node,
+    Tree,
+    TreeIndex,
+    parse_newick,
+    parse_forest,
+    write_newick,
+    robinson_foulds,
+)
+from repro.core import (
+    ANY,
+    MiningParams,
+    DEFAULT_PARAMS,
+    CousinPair,
+    CousinPairItem,
+    cousin_distance,
+    valid_distances,
+    mine_tree,
+    enumerate_cousin_pairs,
+    FrequentCousinPair,
+    mine_forest,
+    support,
+    CousinPairSet,
+    similarity_score,
+    average_similarity,
+    tree_distance,
+    DistanceMode,
+    KernelResult,
+    find_kernel_trees,
+    FreeTree,
+    mine_free_tree,
+    mine_graph_forest,
+    updown_distance,
+    treerank_score,
+    rank_trees,
+    mine_tree_weighted,
+    CousinPairIndex,
+)
+from repro.consensus import consensus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "TreeError",
+    "NewickError",
+    "MiningParameterError",
+    "ConsensusError",
+    "ParsimonyError",
+    "AlignmentError",
+    "FreeTreeError",
+    "DatasetError",
+    # trees
+    "Node",
+    "Tree",
+    "TreeIndex",
+    "parse_newick",
+    "parse_forest",
+    "write_newick",
+    "robinson_foulds",
+    # core
+    "ANY",
+    "MiningParams",
+    "DEFAULT_PARAMS",
+    "CousinPair",
+    "CousinPairItem",
+    "cousin_distance",
+    "valid_distances",
+    "mine_tree",
+    "enumerate_cousin_pairs",
+    "FrequentCousinPair",
+    "mine_forest",
+    "support",
+    "CousinPairSet",
+    "similarity_score",
+    "average_similarity",
+    "tree_distance",
+    "DistanceMode",
+    "KernelResult",
+    "find_kernel_trees",
+    "FreeTree",
+    "mine_free_tree",
+    "mine_graph_forest",
+    "updown_distance",
+    "treerank_score",
+    "rank_trees",
+    "mine_tree_weighted",
+    "CousinPairIndex",
+    # consensus
+    "consensus",
+]

@@ -1,0 +1,122 @@
+"""Consensus-quality comparison (Section 5.2, Figure 9).
+
+The experiment: take ``k`` equally parsimonious trees, build a
+consensus with each of the five methods, and score each consensus by
+its average cousin-pair similarity (Equation 5) against the ``k``
+originals.  The paper sweeps ``k`` from 5 to 35 and finds the
+majority-rule method consistently best.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.consensus.base import CONSENSUS_METHODS, consensus
+from repro.core.similarity import average_similarity
+from repro.parsimony.alignment import Alignment
+from repro.parsimony.search import equally_parsimonious_trees
+from repro.trees.tree import Tree
+
+__all__ = [
+    "ConsensusQualityRow",
+    "consensus_quality_table",
+    "score_methods",
+    "score_methods_rf",
+]
+
+
+@dataclass(frozen=True)
+class ConsensusQualityRow:
+    """One Figure 9 data point: scores of all methods at one set size."""
+
+    num_trees: int
+    scores: dict[str, float]
+
+    def best_method(self) -> str:
+        """The method with the highest average similarity score."""
+        return max(self.scores, key=lambda name: self.scores[name])
+
+
+def score_methods(
+    trees: Sequence[Tree],
+    methods: Sequence[str] | None = None,
+    maxdist: float = 1.5,
+    minoccur: int = 1,
+    max_generation_gap: int = 1,
+) -> dict[str, float]:
+    """Average similarity score of each consensus method on one profile."""
+    chosen = list(methods) if methods is not None else sorted(CONSENSUS_METHODS)
+    scores: dict[str, float] = {}
+    for name in chosen:
+        tree = consensus(trees, method=name)
+        scores[name] = average_similarity(
+            tree,
+            trees,
+            maxdist=maxdist,
+            minoccur=minoccur,
+            max_generation_gap=max_generation_gap,
+        )
+    return scores
+
+
+def score_methods_rf(
+    trees: Sequence[Tree],
+    methods: Sequence[str] | None = None,
+) -> dict[str, float]:
+    """Alternative quality measure: average Robinson-Foulds *proximity*.
+
+    Section 7 of the paper plans to compare its cousin-based score
+    "with these other methods", i.e. classical phylogenetic distances.
+    This scorer implements that comparison point: for each method's
+    consensus ``C``, report ``1 - mean normalised RF(C, T)`` over the
+    originals, so higher is better — directly comparable in *ranking*
+    to :func:`score_methods` (the magnitudes differ by construction).
+    """
+    from repro.trees.bipartition import robinson_foulds
+
+    chosen = list(methods) if methods is not None else sorted(CONSENSUS_METHODS)
+    scores: dict[str, float] = {}
+    for name in chosen:
+        tree = consensus(trees, method=name)
+        total = sum(
+            robinson_foulds(tree, original, normalized=True)
+            for original in trees
+        )
+        scores[name] = 1.0 - total / len(trees)
+    return scores
+
+
+def consensus_quality_table(
+    alignment: Alignment,
+    tree_counts: Sequence[int] = (5, 10, 15, 20, 25, 30, 35),
+    methods: Sequence[str] | None = None,
+    rng: random.Random | int | None = None,
+    n_starts: int = 6,
+) -> list[ConsensusQualityRow]:
+    """Reproduce the Figure 9 sweep for one alignment.
+
+    For each requested set size ``k``, collects ``k``
+    (near-)equally-parsimonious trees from one shared search (so larger
+    sets extend smaller ones, as when ``dnapars`` reports its tie list)
+    and scores every method.
+
+    Returns one row per set size, in input order.
+    """
+    generator = (
+        rng if isinstance(rng, random.Random) else random.Random(rng)
+    )
+    largest = max(tree_counts)
+    all_trees = equally_parsimonious_trees(
+        alignment, largest, rng=generator, n_starts=n_starts
+    )
+    rows: list[ConsensusQualityRow] = []
+    for count in tree_counts:
+        subset = all_trees[:count]
+        rows.append(
+            ConsensusQualityRow(
+                num_trees=count, scores=score_methods(subset, methods=methods)
+            )
+        )
+    return rows

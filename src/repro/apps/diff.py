@@ -1,0 +1,142 @@
+"""Diffing mining results between two database snapshots.
+
+TreeBASE grows: studies are added, trees revised.  When the paper's
+mining is rerun on a new snapshot, the interesting output is rarely
+the full pattern list — it is what *changed*: patterns that newly
+crossed the support threshold, patterns that fell below it, and
+patterns whose support moved.  This module computes that delta from
+two frequent-pattern lists (or directly from two forests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.multi_tree import FrequentCousinPair, mine_forest
+from repro.trees.tree import Tree
+
+__all__ = ["PatternDiff", "diff_patterns", "diff_forests"]
+
+_Key = tuple[str, str, float | None]
+
+
+def _keyed(patterns: Sequence[FrequentCousinPair]) -> dict[_Key, FrequentCousinPair]:
+    return {
+        (pattern.label_a, pattern.label_b, pattern.distance): pattern
+        for pattern in patterns
+    }
+
+
+@dataclass(frozen=True)
+class PatternDiff:
+    """The delta between two frequent-pattern snapshots.
+
+    Attributes
+    ----------
+    gained:
+        Patterns frequent in the new snapshot only.
+    lost:
+        Patterns frequent in the old snapshot only.
+    changed:
+        ``(old, new)`` pairs for patterns frequent in both but with a
+        different support or total occurrence count.
+    unchanged:
+        Patterns identical in both snapshots (support and totals).
+    """
+
+    gained: tuple[FrequentCousinPair, ...]
+    lost: tuple[FrequentCousinPair, ...]
+    changed: tuple[tuple[FrequentCousinPair, FrequentCousinPair], ...]
+    unchanged: tuple[FrequentCousinPair, ...] = field(repr=False)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the two snapshots agree completely."""
+        return not (self.gained or self.lost or self.changed)
+
+    def describe(self) -> str:
+        """A readable multi-line summary of the delta."""
+        lines = [
+            f"{len(self.gained)} gained, {len(self.lost)} lost, "
+            f"{len(self.changed)} changed, {len(self.unchanged)} unchanged"
+        ]
+        for pattern in self.gained:
+            lines.append(f"  + {pattern.describe()}")
+        for pattern in self.lost:
+            lines.append(f"  - {pattern.describe()}")
+        for old, new in self.changed:
+            lines.append(
+                f"  ~ ({old.label_a}, {old.label_b}) "
+                f"support {old.support} -> {new.support}, "
+                f"occurrences {old.total_occurrences} -> "
+                f"{new.total_occurrences}"
+            )
+        return "\n".join(lines)
+
+
+def diff_patterns(
+    old: Sequence[FrequentCousinPair],
+    new: Sequence[FrequentCousinPair],
+) -> PatternDiff:
+    """Compare two frequent-pattern lists by (labels, distance) key.
+
+    Tree indexes are positional and snapshot-local, so only support
+    and total occurrences participate in the change test.
+    """
+    old_by_key = _keyed(old)
+    new_by_key = _keyed(new)
+    gained = [new_by_key[key] for key in new_by_key.keys() - old_by_key.keys()]
+    lost = [old_by_key[key] for key in old_by_key.keys() - new_by_key.keys()]
+    changed: list[tuple[FrequentCousinPair, FrequentCousinPair]] = []
+    unchanged: list[FrequentCousinPair] = []
+    for key in old_by_key.keys() & new_by_key.keys():
+        before, after = old_by_key[key], new_by_key[key]
+        if (
+            before.support != after.support
+            or before.total_occurrences != after.total_occurrences
+        ):
+            changed.append((before, after))
+        else:
+            unchanged.append(after)
+
+    def sort_key(pattern: FrequentCousinPair):
+        return (
+            -pattern.support,
+            pattern.label_a,
+            pattern.label_b,
+            pattern.distance if pattern.distance is not None else -1.0,
+        )
+
+    return PatternDiff(
+        gained=tuple(sorted(gained, key=sort_key)),
+        lost=tuple(sorted(lost, key=sort_key)),
+        changed=tuple(sorted(changed, key=lambda pair: sort_key(pair[1]))),
+        unchanged=tuple(sorted(unchanged, key=sort_key)),
+    )
+
+
+def diff_forests(
+    old_trees: Sequence[Tree],
+    new_trees: Sequence[Tree],
+    maxdist: float = 1.5,
+    minoccur: int = 1,
+    minsup: int = 2,
+    max_generation_gap: int = 1,
+) -> PatternDiff:
+    """Mine both snapshots with identical parameters and diff them."""
+    old = mine_forest(
+        old_trees,
+        maxdist=maxdist,
+        minoccur=minoccur,
+        minsup=minsup,
+        max_generation_gap=max_generation_gap,
+    )
+    new = mine_forest(
+        new_trees,
+        maxdist=maxdist,
+        minoccur=minoccur,
+        minsup=minsup,
+        max_generation_gap=max_generation_gap,
+    )
+    return diff_patterns(old, new)

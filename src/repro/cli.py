@@ -1,0 +1,407 @@
+"""Command-line interface.
+
+Mirrors the workflows a user of the original K-language tool would run,
+plus the extension workflows::
+
+    repro-mine mine trees.nwk --maxdist 1.5 --minoccur 1 [--free]
+    repro-mine frequent trees.nwk --minsup 2
+    repro-mine support trees.nwk --pair Gnetum Welwitschia --distance 0
+    repro-mine consensus trees.nwk --method majority --score
+    repro-mine distance a.nwk b.nwk --mode dist_occur
+    repro-mine kernel g1.nwk g2.nwk g3.nwk
+    repro-mine treerank query.nwk database.nwk
+    repro-mine cluster trees.nwk -k 3
+    repro-mine supertree study1.nex study2.nex
+    repro-mine report trees.nwk --patterns 2
+    repro-mine diff old.nwk new.nwk
+
+Input files may be Newick or NEXUS (sniffed by the ``#NEXUS`` header);
+subcommands print plain text to stdout (``--format json|csv`` where
+supported).  Also runnable as ``python -m repro``.  See docs/cli.md
+for the full manual.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.consensus.base import CONSENSUS_METHODS, consensus
+from repro.core.distance import DistanceMode, tree_distance
+from repro.core.kernel import find_kernel_trees
+from repro.core.multi_tree import mine_forest, support
+from repro.core.single_tree import mine_tree
+from repro.core.similarity import average_similarity
+from repro.core.treerank import rank_trees
+from repro.errors import ReproError
+from repro.trees.newick import read_newick_file, write_newick
+from repro.trees.nexus import read_nexus_file
+
+__all__ = ["main", "build_parser", "load_trees"]
+
+
+def load_trees(path: str):
+    """Read trees from a Newick or NEXUS file (sniffed by header)."""
+    with open(path, encoding="utf-8") as handle:
+        head = handle.read(64)
+    if head.lstrip().upper().startswith("#NEXUS"):
+        return read_nexus_file(path)
+    return read_newick_file(path)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mine",
+        description=(
+            "Cousin-pair mining in unordered trees "
+            "(Shasha, Wang & Zhang, ICDE 2004)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_mining_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--maxdist", type=float, default=1.5,
+                       help="maximum cousin distance (default 1.5)")
+        p.add_argument("--minoccur", type=int, default=1,
+                       help="minimum within-tree occurrences (default 1)")
+        p.add_argument("--gap", type=int, default=1,
+                       help="maximum generation gap (default 1)")
+        p.add_argument("--max-height", type=int, default=None,
+                       dest="max_height",
+                       help="optional horizontal limit: levels below "
+                            "the LCA for the shallower cousin")
+
+    p_mine = sub.add_parser("mine", help="mine cousin pair items of each tree")
+    p_mine.add_argument("file", help="Newick file (one or more trees)")
+    add_mining_args(p_mine)
+    p_mine.add_argument("--format", default="text",
+                        choices=["text", "json", "csv"],
+                        help="output format (default text)")
+    p_mine.add_argument("--free", action="store_true",
+                        help="treat trees as unrooted (Section 6 "
+                             "path-length cousin distance)")
+
+    p_freq = sub.add_parser("frequent", help="frequent pairs across a forest")
+    p_freq.add_argument("file", help="Newick file with the tree database")
+    add_mining_args(p_freq)
+    p_freq.add_argument("--minsup", type=int, default=2,
+                        help="minimum supporting trees (default 2)")
+    p_freq.add_argument("--ignore-distance", action="store_true",
+                        help="support counts any-distance occurrences")
+    p_freq.add_argument("--format", default="text",
+                        choices=["text", "json"],
+                        help="output format (default text)")
+
+    p_sup = sub.add_parser("support", help="support of one label pair")
+    p_sup.add_argument("file")
+    p_sup.add_argument("--pair", nargs=2, required=True, metavar=("A", "B"))
+    p_sup.add_argument("--distance", type=float, default=None,
+                       help="cousin distance (omit to ignore distances)")
+    add_mining_args(p_sup)
+
+    p_cons = sub.add_parser("consensus", help="consensus tree of a profile")
+    p_cons.add_argument("file")
+    p_cons.add_argument("--method", default="majority",
+                        choices=sorted(CONSENSUS_METHODS))
+    p_cons.add_argument("--score", action="store_true",
+                        help="also print the average similarity score")
+
+    p_dist = sub.add_parser("distance", help="cousin-based tree distance")
+    p_dist.add_argument("first")
+    p_dist.add_argument("second")
+    p_dist.add_argument("--mode", default="dist_occur",
+                        choices=[mode.value for mode in DistanceMode])
+    add_mining_args(p_dist)
+
+    p_kern = sub.add_parser("kernel", help="kernel trees across groups")
+    p_kern.add_argument("files", nargs="+",
+                        help="one Newick file per group (>= 2 files)")
+    p_kern.add_argument("--mode", default="dist_occur",
+                        choices=[mode.value for mode in DistanceMode])
+    add_mining_args(p_kern)
+
+    p_rank = sub.add_parser(
+        "treerank", help="rank database trees against a query (UpDown)"
+    )
+    p_rank.add_argument("query", help="file with exactly one query tree")
+    p_rank.add_argument("database", help="file with the candidate trees")
+    p_rank.add_argument("--top", type=int, default=10,
+                        help="show the best N matches (default 10)")
+
+    p_clust = sub.add_parser(
+        "cluster", help="cluster trees under the cousin-based distance"
+    )
+    p_clust.add_argument("file")
+    p_clust.add_argument("-k", type=int, required=True,
+                         help="number of clusters")
+    p_clust.add_argument("--linkage", default="average",
+                         choices=["single", "complete", "average"])
+    p_clust.add_argument("--mode", default="dist_occur",
+                         choices=[mode.value for mode in DistanceMode])
+
+    p_super = sub.add_parser(
+        "supertree", help="assemble a supertree from overlapping trees"
+    )
+    p_super.add_argument("files", nargs="+",
+                         help="tree files (taxa may differ)")
+
+    p_diff = sub.add_parser(
+        "diff", help="compare frequent patterns of two snapshots"
+    )
+    p_diff.add_argument("old", help="old snapshot (tree file)")
+    p_diff.add_argument("new", help="new snapshot (tree file)")
+    add_mining_args(p_diff)
+    p_diff.add_argument("--minsup", type=int, default=2)
+
+    p_report = sub.add_parser(
+        "report",
+        help="Figure 8 style report: trees with patterns highlighted",
+    )
+    p_report.add_argument("file")
+    add_mining_args(p_report)
+    p_report.add_argument("--minsup", type=int, default=2)
+    p_report.add_argument("--patterns", type=int, default=2,
+                          help="how many top patterns to mark (default 2)")
+
+    return parser
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    trees = load_trees(args.file)
+    if args.free:
+        from repro.core.freetree import FreeTree, mine_free_tree
+
+        per_tree = [
+            mine_free_tree(
+                FreeTree.from_rooted(tree, suppress_root=True),
+                maxdist=args.maxdist,
+                minoccur=args.minoccur,
+            )
+            for tree in trees
+        ]
+    else:
+        per_tree = [
+            mine_tree(
+                tree,
+                maxdist=args.maxdist,
+                minoccur=args.minoccur,
+                max_generation_gap=args.gap,
+                max_height=args.max_height,
+            )
+            for tree in trees
+        ]
+    if args.format == "json":
+        from repro.io import items_to_json
+
+        merged = [item for items in per_tree for item in items]
+        print(items_to_json(merged))
+        return 0
+    if args.format == "csv":
+        from repro.io import items_to_csv
+
+        merged = [item for items in per_tree for item in items]
+        print(items_to_csv(merged), end="")
+        return 0
+    for index, (tree, items) in enumerate(zip(trees, per_tree)):
+        name = tree.name or f"tree {index}"
+        print(f"# {name}: {len(items)} cousin pair item(s)")
+        for item in items:
+            print(f"  {item.describe()}")
+    return 0
+
+
+def _cmd_frequent(args: argparse.Namespace) -> int:
+    trees = load_trees(args.file)
+    patterns = mine_forest(
+        trees,
+        maxdist=args.maxdist,
+        minoccur=args.minoccur,
+        minsup=args.minsup,
+        ignore_distance=args.ignore_distance,
+        max_generation_gap=args.gap,
+        max_height=args.max_height,
+    )
+    if args.format == "json":
+        from repro.io import patterns_to_json
+
+        print(patterns_to_json(patterns))
+        return 0
+    print(f"# {len(patterns)} frequent pair(s) in {len(trees)} tree(s)")
+    for pattern in patterns:
+        print(f"  {pattern.describe()}")
+    return 0
+
+
+def _cmd_support(args: argparse.Namespace) -> int:
+    trees = load_trees(args.file)
+    value = support(
+        trees,
+        args.pair[0],
+        args.pair[1],
+        distance=args.distance,
+        maxdist=args.maxdist,
+        minoccur=args.minoccur,
+        max_generation_gap=args.gap,
+    )
+    where = f"distance {args.distance:g}" if args.distance is not None else "any distance"
+    print(f"support of ({args.pair[0]}, {args.pair[1]}) at {where}: {value}")
+    return 0
+
+
+def _cmd_consensus(args: argparse.Namespace) -> int:
+    trees = load_trees(args.file)
+    result = consensus(trees, method=args.method)
+    print(write_newick(result, include_lengths=False))
+    if args.score:
+        score = average_similarity(result, trees)
+        print(f"# average similarity score: {score:.3f}", file=sys.stderr)
+    return 0
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    first = load_trees(args.first)
+    second = load_trees(args.second)
+    if len(first) != 1 or len(second) != 1:
+        print("distance expects exactly one tree per file", file=sys.stderr)
+        return 2
+    value = tree_distance(
+        first[0],
+        second[0],
+        mode=args.mode,
+        maxdist=args.maxdist,
+        minoccur=args.minoccur,
+        max_generation_gap=args.gap,
+    )
+    print(f"{value:.6f}")
+    return 0
+
+
+def _cmd_kernel(args: argparse.Namespace) -> int:
+    if len(args.files) < 2:
+        print("kernel needs at least two group files", file=sys.stderr)
+        return 2
+    groups = [load_trees(path) for path in args.files]
+    result = find_kernel_trees(
+        groups,
+        mode=args.mode,
+        maxdist=args.maxdist,
+        minoccur=args.minoccur,
+        max_generation_gap=args.gap,
+    )
+    print(f"# average pairwise distance: {result.average_distance:.6f}")
+    for path, index, tree in zip(args.files, result.indexes, result.trees):
+        name = tree.name or f"tree {index}"
+        print(f"{path}: {name} (#{index})")
+    return 0
+
+
+def _cmd_treerank(args: argparse.Namespace) -> int:
+    queries = load_trees(args.query)
+    if len(queries) != 1:
+        print("treerank expects exactly one query tree", file=sys.stderr)
+        return 2
+    database = load_trees(args.database)
+    ranking = rank_trees(queries[0], database)
+    for position, score in ranking[: args.top]:
+        name = database[position].name or f"tree {position}"
+        print(f"{score:7.2f}  {name} (#{position})")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.apps.clustering import cluster_trees
+
+    trees = load_trees(args.file)
+    result = cluster_trees(
+        trees, args.k, mode=args.mode, linkage=args.linkage
+    )
+    for index, (cluster, medoid) in enumerate(
+        zip(result.clusters, result.medoids)
+    ):
+        names = ", ".join(
+            trees[member].name or f"tree {member}" for member in cluster
+        )
+        medoid_name = trees[medoid].name or f"tree {medoid}"
+        print(f"cluster {index}: {names}")
+        print(f"  medoid: {medoid_name} (#{medoid})")
+    return 0
+
+
+def _cmd_supertree(args: argparse.Namespace) -> int:
+    from repro.apps.supertree import build_supertree
+
+    trees = [tree for path in args.files for tree in load_trees(path)]
+    result = build_supertree(trees)
+    print(write_newick(result.tree, include_lengths=False))
+    if result.conflict_count:
+        print(
+            f"# {result.conflict_count} conflicting triple(s) dropped",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.apps.diff import diff_forests
+
+    delta = diff_forests(
+        load_trees(args.old),
+        load_trees(args.new),
+        maxdist=args.maxdist,
+        minoccur=args.minoccur,
+        minsup=args.minsup,
+        max_generation_gap=args.gap,
+    )
+    print(delta.describe())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.apps.cooccurrence import find_cooccurring_patterns
+    from repro.trees.drawing import render_pattern_report
+
+    trees = load_trees(args.file)
+    report = find_cooccurring_patterns(
+        trees,
+        maxdist=args.maxdist,
+        minoccur=args.minoccur,
+        minsup=args.minsup,
+        max_generation_gap=args.gap,
+    )
+    print(render_pattern_report(report, max_patterns=args.patterns))
+    return 0
+
+
+_COMMANDS = {
+    "mine": _cmd_mine,
+    "frequent": _cmd_frequent,
+    "support": _cmd_support,
+    "consensus": _cmd_consensus,
+    "distance": _cmd_distance,
+    "kernel": _cmd_kernel,
+    "treerank": _cmd_treerank,
+    "cluster": _cmd_cluster,
+    "supertree": _cmd_supertree,
+    "report": _cmd_report,
+    "diff": _cmd_diff,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Adams consensus [Adams 1972].
+
+The Adams consensus preserves *nesting* information rather than
+clusters: at each level, every input tree partitions the current taxon
+set by the subtrees of its (restricted) root; the children of the
+consensus node are the blocks of the **product** (common refinement) of
+those partitions, and the construction recurses into each block with
+the trees restricted accordingly.
+
+Unlike the other methods, the Adams tree can contain clusters found in
+*no* input tree; what it guarantees is that taxa separated at the root
+of every input stay separated.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.consensus.base import validate_profile
+from repro.errors import ConsensusError
+from repro.trees.ops import restrict_to_taxa
+from repro.trees.tree import Node, Tree
+
+__all__ = ["adams_consensus"]
+
+
+def _root_partition(tree: Tree) -> list[set[str]]:
+    """The taxon blocks under each child of the root."""
+    root = tree.root
+    if root is None:
+        raise ConsensusError("empty tree in Adams recursion")
+    if root.is_leaf:
+        return [{root.label}]
+    blocks: list[set[str]] = []
+    for child in root.children:
+        block: set[str] = set()
+        stack: list[Node] = [child]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                block.add(node.label)
+            else:
+                stack.extend(node.children)
+        blocks.append(block)
+    return blocks
+
+
+def _product_partition(partitions: list[list[set[str]]], taxa: set[str]) -> list[set[str]]:
+    """Common refinement: taxa are together iff together in every input."""
+    signature: dict[str, tuple[int, ...]] = {}
+    for taxon in taxa:
+        marks = []
+        for partition in partitions:
+            for index, block in enumerate(partition):
+                if taxon in block:
+                    marks.append(index)
+                    break
+            else:  # pragma: no cover - validated profiles prevent this
+                raise ConsensusError(f"taxon {taxon!r} missing from a partition")
+        signature[taxon] = tuple(marks)
+    groups: dict[tuple[int, ...], set[str]] = {}
+    for taxon, marks in signature.items():
+        groups.setdefault(marks, set()).add(taxon)
+    # Deterministic order: by sorted representative.
+    return sorted(groups.values(), key=lambda block: sorted(block))
+
+
+def adams_consensus(trees: Sequence[Tree]) -> Tree:
+    """The Adams consensus of a profile of same-taxa rooted trees."""
+    taxa = validate_profile(trees)
+    result = Tree(name="adams_consensus")
+    root = result.add_root()
+    # Work stack: (taxon block, restricted trees, consensus node).
+    stack: list[tuple[set[str], list[Tree], Node]] = [
+        (set(taxa), list(trees), root)
+    ]
+    while stack:
+        block, block_trees, node = stack.pop()
+        if len(block) == 1:
+            node.label = next(iter(block))
+            continue
+        partitions = [_root_partition(tree) for tree in block_trees]
+        blocks = _product_partition(partitions, block)
+        if len(blocks) == 1:
+            # Impossible for valid input: every restricted root has at
+            # least two children (restriction suppresses unary nodes),
+            # so each partition — and a fortiori their refinement —
+            # has at least two blocks.  Guarded to fail loudly rather
+            # than recurse forever on corrupted trees.
+            raise ConsensusError(
+                "degenerate Adams recursion: product partition did not split"
+            )
+        for sub_block in blocks:
+            child = result.add_child(node)
+            if len(sub_block) == 1:
+                child.label = next(iter(sub_block))
+                continue
+            sub_trees = [
+                restrict_to_taxa(tree, sub_block) for tree in block_trees
+            ]
+            stack.append((sub_block, sub_trees, child))
+    return result

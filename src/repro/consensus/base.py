@@ -1,0 +1,113 @@
+"""Profile validation and the consensus dispatcher."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ConsensusError
+from repro.trees.tree import Tree
+from repro.trees.validate import is_leaf_labeled
+
+__all__ = ["validate_profile", "consensus", "CONSENSUS_METHODS"]
+
+
+def validate_profile(trees: Sequence[Tree]) -> set[str]:
+    """Check a consensus input profile; return the common taxon set.
+
+    A valid profile is a non-empty sequence of trees whose leaves are
+    uniquely labeled and whose leaf-label sets all coincide.
+
+    Raises
+    ------
+    ConsensusError
+        Describing the first problem found.
+    """
+    if not trees:
+        raise ConsensusError("consensus requires at least one tree")
+    for position, tree in enumerate(trees):
+        if tree.root is None:
+            raise ConsensusError(f"tree {position} is empty")
+        if not is_leaf_labeled(tree):
+            raise ConsensusError(
+                f"tree {position} has unlabeled or duplicate-labeled leaves"
+            )
+    taxa = trees[0].leaf_labels()
+    for position, tree in enumerate(trees[1:], start=1):
+        other = tree.leaf_labels()
+        if other != taxa:
+            raise ConsensusError(
+                f"tree {position} has different taxa than tree 0: "
+                f"{sorted(other ^ taxa)} not shared"
+            )
+    return taxa
+
+
+def consensus(trees: Sequence[Tree], method: str = "majority", **kwargs) -> Tree:
+    """Compute a consensus tree by method name.
+
+    ``method`` is one of ``strict``, ``majority``, ``semistrict``,
+    ``adams``, ``nelson`` (see :data:`CONSENSUS_METHODS`); extra
+    keyword arguments are forwarded to the method (e.g. ``ratio`` for
+    majority rule).
+    """
+    try:
+        function = CONSENSUS_METHODS[method]
+    except KeyError:
+        raise ConsensusError(
+            f"unknown consensus method {method!r}; "
+            f"expected one of {sorted(CONSENSUS_METHODS)}"
+        ) from None
+    return function(trees, **kwargs)
+
+
+def _load_methods() -> dict[str, Callable[..., Tree]]:
+    # Imported late to avoid a circular import at package load.
+    from repro.consensus.adams import adams_consensus
+    from repro.consensus.majority import majority_consensus
+    from repro.consensus.nelson import nelson_consensus
+    from repro.consensus.semistrict import semistrict_consensus
+    from repro.consensus.strict import strict_consensus
+
+    return {
+        "strict": strict_consensus,
+        "majority": majority_consensus,
+        "semistrict": semistrict_consensus,
+        "adams": adams_consensus,
+        "nelson": nelson_consensus,
+    }
+
+
+class _MethodRegistry(dict):
+    """Lazily populated method table (avoids import cycles)."""
+
+    def _ensure(self) -> None:
+        if not super().__len__():
+            super().update(_load_methods())
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self) -> int:
+        self._ensure()
+        return super().__len__()
+
+    def __contains__(self, key) -> bool:
+        self._ensure()
+        return super().__contains__(key)
+
+    def keys(self):
+        self._ensure()
+        return super().keys()
+
+    def items(self):
+        self._ensure()
+        return super().items()
+
+
+CONSENSUS_METHODS: dict[str, Callable[..., Tree]] = _MethodRegistry()
+"""Name -> implementation for the five methods of the paper."""

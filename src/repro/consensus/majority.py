@@ -1,0 +1,61 @@
+"""Majority-rule consensus [Margush & McMorris 1981].
+
+The majority-rule tree contains the clusters present in more than half
+of the profile's trees.  Such clusters are automatically pairwise
+compatible (two incompatible clusters cannot both occur in more than
+half of the trees), so the tree always exists.  The paper's Figure 9
+finds this method to produce the highest-quality consensus under the
+cousin-pair similarity score.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.consensus.base import validate_profile
+from repro.errors import ConsensusError
+from repro.trees.bipartition import cluster_counts, tree_from_clusters
+from repro.trees.tree import Tree
+
+__all__ = ["majority_consensus"]
+
+
+def majority_consensus(trees: Sequence[Tree], ratio: float = 0.5) -> Tree:
+    """The majority-rule consensus of a profile.
+
+    Parameters
+    ----------
+    ratio:
+        Keep clusters occurring in *strictly more* than
+        ``ratio * len(trees)`` trees.  The default 0.5 is the classical
+        majority rule; 0 approaches (but, being strict, does not equal)
+        including anything that appears twice, and values toward 1
+        approach the strict consensus.  Must satisfy ``0 <= ratio < 1``
+        and ``ratio >= 0.5`` is required for the guaranteed
+        compatibility of the kept clusters; lower values fall back to
+        greedy insertion in replication order.
+    """
+    if not 0 <= ratio < 1:
+        raise ConsensusError(f"ratio must be in [0, 1), got {ratio!r}")
+    taxa = validate_profile(trees)
+    counts = cluster_counts(trees)
+    threshold = ratio * len(trees)
+    kept = [
+        cluster for cluster, count in counts.items() if count > threshold
+    ]
+    if ratio >= 0.5:
+        return tree_from_clusters(taxa, kept, name="majority_consensus")
+    # Sub-majority thresholds: clusters may conflict; insert greedily by
+    # descending replication (ties broken by cluster size then lexical
+    # order for determinism), skipping incompatible ones.
+    from repro.trees.bipartition import compatible
+
+    ordered = sorted(
+        kept,
+        key=lambda cluster: (-counts[cluster], len(cluster), sorted(cluster)),
+    )
+    accepted: list[frozenset[str]] = []
+    for cluster in ordered:
+        if all(compatible(cluster, other) for other in accepted):
+            accepted.append(cluster)
+    return tree_from_clusters(taxa, accepted, name="majority_consensus")

@@ -1,0 +1,39 @@
+"""Semi-strict (combinable component) consensus [Bremer 1990].
+
+The semi-strict consensus keeps every cluster that occurs in at least
+one input tree and *conflicts with none*: a cluster is kept when it is
+compatible with every cluster of every tree.  Clusters that merely fail
+to appear elsewhere (because another tree is unresolved there) survive,
+which is the method's advantage over the strict consensus on profiles
+containing polytomies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.consensus.base import validate_profile
+from repro.trees.bipartition import (
+    compatible,
+    nontrivial_clusters,
+    tree_from_clusters,
+)
+from repro.trees.tree import Tree
+
+__all__ = ["semistrict_consensus"]
+
+
+def semistrict_consensus(trees: Sequence[Tree]) -> Tree:
+    """The semi-strict consensus of a profile of same-taxa rooted trees."""
+    taxa = validate_profile(trees)
+    per_tree = [nontrivial_clusters(tree) for tree in trees]
+    candidates = set().union(*per_tree)
+    kept = [
+        cluster
+        for cluster in candidates
+        if all(
+            all(compatible(cluster, other) for other in clusters)
+            for clusters in per_tree
+        )
+    ]
+    return tree_from_clusters(taxa, kept, name="semistrict_consensus")

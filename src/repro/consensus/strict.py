@@ -1,0 +1,34 @@
+"""Strict consensus [Day 1985].
+
+The strict consensus tree contains exactly the clusters present in
+*every* tree of the profile.  It is the most conservative of the five
+methods: any disagreement collapses the corresponding region into a
+polytomy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.consensus.base import validate_profile
+from repro.trees.bipartition import nontrivial_clusters, tree_from_clusters
+from repro.trees.tree import Tree
+
+__all__ = ["strict_consensus"]
+
+
+def strict_consensus(trees: Sequence[Tree]) -> Tree:
+    """The strict consensus of a profile of same-taxa rooted trees.
+
+    Raises
+    ------
+    ConsensusError
+        If the profile is empty or the trees disagree on taxa.
+    """
+    taxa = validate_profile(trees)
+    shared = nontrivial_clusters(trees[0])
+    for tree in trees[1:]:
+        shared &= nontrivial_clusters(tree)
+        if not shared:
+            break
+    return tree_from_clusters(taxa, shared, name="strict_consensus")

@@ -1,0 +1,82 @@
+"""The paper's primary contribution: cousin-pair mining.
+
+Modules
+-------
+- :mod:`repro.core.params` — the algorithm parameters of Table 2;
+- :mod:`repro.core.cousins` — the cousin-distance definition (Figure 2)
+  and the cousin-pair-item record (Table 1);
+- :mod:`repro.core.single_tree` — ``Single_Tree_Mining`` (Figure 3);
+- :mod:`repro.core.updown` — the paper's literal up-*i*/down-*j*
+  formulation, kept for differential testing and ablation;
+- :mod:`repro.core.reference` — a naive all-pairs reference miner;
+- :mod:`repro.core.multi_tree` — ``Multiple_Tree_Mining`` and support;
+- :mod:`repro.core.pairset` — multiset algebra over cousin pair items
+  (footnote 2 of the paper);
+- :mod:`repro.core.similarity` — the consensus-quality score of
+  Section 5.2 (Equations 4-5);
+- :mod:`repro.core.distance` — the four cousin-based tree distances of
+  Section 5.3 (Equation 6);
+- :mod:`repro.core.kernel` — kernel-tree selection across groups of
+  phylogenies (Section 5.3);
+- :mod:`repro.core.freetree` — the free-tree / undirected-acyclic-graph
+  extension of Section 6;
+- :mod:`repro.core.treerank` — the UpDown distance / TreeRank ranking
+  (the paper's reference [39], covering ancestor-descendant pairs);
+- :mod:`repro.core.weighted` — cousin mining on trees with weighted
+  edges (the paper's future work i);
+- :mod:`repro.core.index` — a queryable inverted index over a mined
+  forest (the database deployment);
+- :mod:`repro.core.expectations` — closed-form pair counts on
+  complete k-ary trees (the arithmetic behind Figure 4).
+"""
+
+from repro.core.params import MiningParams, DEFAULT_PARAMS
+from repro.core.cousins import (
+    ANY,
+    CousinPair,
+    CousinPairItem,
+    cousin_distance,
+    valid_distances,
+)
+from repro.core.single_tree import mine_tree, enumerate_cousin_pairs
+from repro.core.multi_tree import FrequentCousinPair, mine_forest, support
+from repro.core.pairset import CousinPairSet
+from repro.core.similarity import similarity_score, average_similarity
+from repro.core.distance import tree_distance, DistanceMode
+from repro.core.kernel import KernelResult, find_kernel_trees
+from repro.core.freetree import FreeTree, mine_free_tree, mine_graph_forest
+from repro.core.treerank import updown_matrix, updown_distance, treerank_score, rank_trees
+from repro.core.weighted import WeightedPairItem, mine_tree_weighted
+from repro.core.index import CousinPairIndex
+
+__all__ = [
+    "ANY",
+    "MiningParams",
+    "DEFAULT_PARAMS",
+    "CousinPair",
+    "CousinPairItem",
+    "cousin_distance",
+    "valid_distances",
+    "mine_tree",
+    "enumerate_cousin_pairs",
+    "FrequentCousinPair",
+    "mine_forest",
+    "support",
+    "CousinPairSet",
+    "similarity_score",
+    "average_similarity",
+    "tree_distance",
+    "DistanceMode",
+    "KernelResult",
+    "find_kernel_trees",
+    "FreeTree",
+    "mine_free_tree",
+    "mine_graph_forest",
+    "updown_matrix",
+    "updown_distance",
+    "treerank_score",
+    "rank_trees",
+    "WeightedPairItem",
+    "mine_tree_weighted",
+    "CousinPairIndex",
+]

@@ -1,0 +1,258 @@
+"""The cousin-distance definition and cousin-pair records.
+
+Section 2 / Figure 2 of the paper define, for two labeled nodes ``u``
+and ``v`` of a tree where neither is an ancestor of the other, with
+least common ancestor ``a`` and heights ``h1 = height(u, a)``,
+``h2 = height(v, a)``::
+
+    cdist(u, v) = h1 - 1                 if h1 == h2
+    cdist(u, v) = min(h1, h2) - 0.5      if |h1 - h2| == 1
+    cdist(u, v) = undefined              if |h1 - h2| > 1
+
+so siblings are at distance 0, aunt-niece pairs at 0.5, first cousins
+at 1, first-cousins-once-removed at 1.5, second cousins at 2, and so
+on, mirroring genealogical usage.  The distance is also undefined when
+either node is unlabeled (internal phylogeny nodes typically are), and
+for ancestor-descendant pairs (parent-child relationships are "not
+treated at all").
+
+This module generalises the gap cut-off of 1 to a parameter
+``max_generation_gap`` via the closed form
+``cdist = min(h1, h2) - 1 + gap / 2``, which coincides with the paper's
+two cases at gaps 0 and 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.trees.tree import Node, Tree
+from repro.trees.traversal import TreeIndex
+
+__all__ = [
+    "ANY",
+    "CousinPair",
+    "CousinPairItem",
+    "cousin_distance",
+    "distance_from_heights",
+    "valid_distances",
+    "kinship_name",
+]
+
+
+class _Any:
+    """Singleton wildcard for the paper's ``*`` slot in pair items.
+
+    The paper writes ``(a, e, *, 2)`` for "the pair (a, e) with any
+    distance occurs twice" and ``(a, e, 0.5, *)`` for "(a, e) occurs at
+    distance 0.5 some number of times".  ``ANY`` plays that role in
+    queries and projections.
+    """
+
+    _instance: "_Any | None" = None
+
+    def __new__(cls) -> "_Any":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+    def __reduce__(self):
+        return (_Any, ())
+
+
+ANY = _Any()
+
+Distance = Union[float, _Any]
+
+
+def distance_from_heights(height_u: int, height_v: int, max_generation_gap: int = 1) -> float | None:
+    """Cousin distance from the two heights below the LCA (Figure 2).
+
+    Returns ``None`` when the distance is undefined: either height is 0
+    (ancestor-descendant pair) or the generation gap exceeds
+    ``max_generation_gap``.
+    """
+    if height_u < 1 or height_v < 1:
+        return None
+    gap = abs(height_u - height_v)
+    if gap > max_generation_gap:
+        return None
+    return min(height_u, height_v) - 1 + gap / 2.0
+
+
+def cousin_distance(
+    tree: Tree,
+    first: Node,
+    second: Node,
+    max_generation_gap: int = 1,
+    index: TreeIndex | None = None,
+) -> float | None:
+    """The cousin distance of two nodes, or ``None`` when undefined.
+
+    Undefined cases (per the paper): identical nodes, either node
+    unlabeled, ancestor-descendant pairs, or a generation gap larger
+    than ``max_generation_gap``.
+
+    Parameters
+    ----------
+    index:
+        An optional prebuilt :class:`~repro.trees.traversal.TreeIndex`
+        to reuse across many queries.
+    """
+    if first is second:
+        return None
+    if first.label is None or second.label is None:
+        return None
+    if index is None:
+        index = TreeIndex(tree)
+    ancestor = index.lca(first, second)
+    height_u = index.depth(first) - index.depth(ancestor)
+    height_v = index.depth(second) - index.depth(ancestor)
+    return distance_from_heights(height_u, height_v, max_generation_gap)
+
+
+def valid_distances(maxdist: float, max_generation_gap: int = 1) -> list[float]:
+    """All achievable distance values up to ``maxdist``, ascending.
+
+    With the paper's gap of 1 these are ``0, 0.5, 1, 1.5, ...``; with
+    gap 0 only the integers; with larger gaps still multiples of 0.5
+    (higher gaps change which height pairs realise a value, not the
+    value grid).
+    """
+    values: set[float] = set()
+    for gap in range(max_generation_gap + 1):
+        height = 1
+        while True:
+            distance = height - 1 + gap / 2.0
+            if distance > maxdist:
+                break
+            values.add(distance)
+            height += 1
+    return sorted(values)
+
+
+def kinship_name(distance: float) -> str:
+    """Human-readable genealogy name for a cousin distance.
+
+    >>> kinship_name(0)
+    'siblings'
+    >>> kinship_name(0.5)
+    'aunt-niece'
+    >>> kinship_name(1)
+    'first cousins'
+    >>> kinship_name(1.5)
+    'first cousins once removed'
+    >>> kinship_name(2.5)
+    'second cousins once removed'
+    """
+    if distance < 0:
+        raise ValueError("cousin distances are non-negative")
+    if distance == 0:
+        return "siblings"
+    if distance == 0.5:
+        return "aunt-niece"
+    order = int(distance)
+    ordinal = _ORDINALS.get(order, f"{order}th")
+    if distance == order:
+        return f"{ordinal} cousins"
+    return f"{ordinal} cousins once removed"
+
+
+_ORDINALS = {1: "first", 2: "second", 3: "third", 4: "fourth", 5: "fifth"}
+
+
+@dataclass(frozen=True)
+class CousinPair:
+    """One concrete occurrence of a cousin relationship.
+
+    Records the two node identification numbers (ordered so that
+    ``id_a < id_b``), their labels, and the cousin distance.  Emitted by
+    :func:`repro.core.single_tree.enumerate_cousin_pairs`.
+    """
+
+    id_a: int
+    id_b: int
+    label_a: str
+    label_b: str
+    distance: float
+
+    def __post_init__(self) -> None:
+        if self.id_a >= self.id_b:
+            raise ValueError("CousinPair requires id_a < id_b")
+
+    @property
+    def label_key(self) -> tuple[str, str]:
+        """The unordered (sorted) label pair."""
+        if self.label_a <= self.label_b:
+            return (self.label_a, self.label_b)
+        return (self.label_b, self.label_a)
+
+
+@dataclass(frozen=True, order=True)
+class CousinPairItem:
+    """An aggregated cousin pair item (Section 2, Table 1).
+
+    The paper's quadruple ``(L(u), L(v), cdist(u, v), occur(u, v))``:
+    an unordered label pair, a cousin distance, and the number of node
+    pairs in the tree realising exactly that label pair and distance.
+
+    Labels are stored sorted (``label_a <= label_b``) so that the item
+    is a canonical key for the unordered pair.
+    """
+
+    label_a: str
+    label_b: str
+    distance: float
+    occurrences: int
+
+    def __post_init__(self) -> None:
+        if self.label_a > self.label_b:
+            raise ValueError(
+                "CousinPairItem labels must be sorted; "
+                f"got {self.label_a!r} > {self.label_b!r}"
+            )
+        if self.occurrences < 1:
+            raise ValueError("occurrences must be >= 1")
+        if self.distance < 0:
+            raise ValueError("distance must be >= 0")
+
+    @classmethod
+    def make(
+        cls, label_a: str, label_b: str, distance: float, occurrences: int
+    ) -> "CousinPairItem":
+        """Build an item, sorting the labels into canonical order."""
+        if label_a > label_b:
+            label_a, label_b = label_b, label_a
+        return cls(label_a, label_b, distance, occurrences)
+
+    @property
+    def key(self) -> tuple[str, str, float]:
+        """The (label_a, label_b, distance) identity of the item."""
+        return (self.label_a, self.label_b, self.distance)
+
+    @property
+    def label_key(self) -> tuple[str, str]:
+        """The unordered label pair."""
+        return (self.label_a, self.label_b)
+
+    def describe(self) -> str:
+        """A readable one-line rendering, e.g. for reports.
+
+        >>> CousinPairItem.make("e", "a", 0.5, 2).describe()
+        '(a, e) at distance 0.5 (aunt-niece) x2'
+        """
+        return (
+            f"({self.label_a}, {self.label_b}) at distance "
+            f"{self.distance:g} ({kinship_name(self.distance)}) "
+            f"x{self.occurrences}"
+        )
+
+
+def iter_label_pairs(items: Iterator[CousinPairItem]) -> Iterator[tuple[str, str]]:
+    """Project items onto their unordered label pairs (with repeats)."""
+    for item in items:
+        yield item.label_key

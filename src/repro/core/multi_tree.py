@@ -1,0 +1,223 @@
+"""``Multiple_Tree_Mining``: frequent cousin pairs across a forest.
+
+Section 2 of the paper defines the *support* of a cousin pair
+``(u, v)`` with respect to a distance value ``d`` as the number of
+trees in the database containing at least one occurrence of the pair at
+that distance; a pair is *frequent* when its support reaches the
+user-specified ``minsup``.  Section 3 describes the procedure: mine
+every tree individually, then count the trees in which each qualifying
+item occurs — ``O(k * n^2)`` for ``k`` trees of at most ``n`` nodes.
+
+Distances can be ignored ("``*``" in the paper's notation) so that
+support counts trees containing the label pair at *any* distance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.cousins import CousinPairItem
+from repro.core.params import MiningParams
+from repro.core.single_tree import mine_tree
+from repro.trees.tree import Tree
+
+__all__ = ["FrequentCousinPair", "mine_forest", "support", "forest_pair_items"]
+
+
+@dataclass(frozen=True)
+class FrequentCousinPair:
+    """A frequent cousin pair found across a tree database.
+
+    Attributes
+    ----------
+    label_a, label_b:
+        The unordered label pair (sorted, ``label_a <= label_b``).
+    distance:
+        The cousin distance this support count refers to, or ``None``
+        when distances were ignored (the paper's ``*``).
+    support:
+        Number of trees containing the pair (at the distance, when one
+        is specified) with at least ``minoccur`` occurrences.
+    tree_indexes:
+        Positions (into the input sequence) of the supporting trees —
+        the information needed to highlight the pattern in the source
+        phylogenies as in Figure 8 of the paper.
+    total_occurrences:
+        Sum of the pair's occurrence counts over the supporting trees.
+    """
+
+    label_a: str
+    label_b: str
+    distance: float | None
+    support: int
+    tree_indexes: tuple[int, ...] = field(compare=False)
+    total_occurrences: int = field(compare=False, default=0)
+
+    def describe(self) -> str:
+        """One-line rendering used by reports and the CLI."""
+        where = (
+            f"distance {self.distance:g}" if self.distance is not None else "any distance"
+        )
+        return (
+            f"({self.label_a}, {self.label_b}) at {where}: "
+            f"support {self.support} "
+            f"(trees {', '.join(str(i) for i in self.tree_indexes)})"
+        )
+
+
+def forest_pair_items(
+    trees: Sequence[Tree],
+    maxdist: float = 1.5,
+    minoccur: int = 1,
+    max_generation_gap: int = 1,
+    max_height: int | None = None,
+) -> list[list[CousinPairItem]]:
+    """Per-tree qualifying cousin pair items (the first mining phase)."""
+    return [
+        mine_tree(
+            tree,
+            maxdist=maxdist,
+            minoccur=minoccur,
+            max_generation_gap=max_generation_gap,
+            max_height=max_height,
+        )
+        for tree in trees
+    ]
+
+
+def mine_forest(
+    trees: Sequence[Tree],
+    maxdist: float = 1.5,
+    minoccur: int = 1,
+    minsup: int = 2,
+    ignore_distance: bool = False,
+    max_generation_gap: int = 1,
+    max_height: int | None = None,
+) -> list[FrequentCousinPair]:
+    """Find all frequent cousin pairs in a database of trees.
+
+    Parameters
+    ----------
+    trees:
+        The tree database (the paper's set ``S``).
+    maxdist, minoccur, minsup:
+        The Table 2 parameters; see :class:`repro.core.params.MiningParams`.
+    ignore_distance:
+        When true, a tree supports a label pair if the pair occurs as
+        cousins at *any* distance up to ``maxdist`` (occurrences summed
+        across distances for the ``minoccur`` test), and results carry
+        ``distance=None``.
+    max_generation_gap:
+        Generation-gap cut-off forwarded to the single-tree miner.
+    max_height:
+        Optional horizontal limit forwarded to the single-tree miner
+        (see :class:`repro.core.params.MiningParams`).
+
+    Returns
+    -------
+    list[FrequentCousinPair]
+        Sorted by descending support, then labels, then distance.
+    """
+    params = MiningParams(
+        maxdist=maxdist,
+        minoccur=minoccur,
+        minsup=minsup,
+        max_generation_gap=max_generation_gap,
+        max_height=max_height,
+    )
+    # Phase 1: qualifying items per tree (minoccur applied per tree when
+    # distances are kept; when ignoring distances, occurrences are first
+    # summed across distances, so mine with minoccur=1 and filter after).
+    per_tree = forest_pair_items(
+        trees,
+        maxdist=params.maxdist,
+        minoccur=1 if ignore_distance else params.minoccur,
+        max_generation_gap=params.max_generation_gap,
+        max_height=params.max_height,
+    )
+
+    supporters: dict[tuple, list[int]] = defaultdict(list)
+    occurrence_totals: Counter[tuple] = Counter()
+    for position, items in enumerate(per_tree):
+        if ignore_distance:
+            collapsed: Counter[tuple[str, str]] = Counter()
+            for item in items:
+                collapsed[item.label_key] += item.occurrences
+            for label_key, occurrences in collapsed.items():
+                if occurrences >= params.minoccur:
+                    key = (label_key[0], label_key[1], None)
+                    supporters[key].append(position)
+                    occurrence_totals[key] += occurrences
+        else:
+            for item in items:
+                key = item.key
+                supporters[key].append(position)
+                occurrence_totals[key] += item.occurrences
+
+    results = [
+        FrequentCousinPair(
+            label_a=key[0],
+            label_b=key[1],
+            distance=key[2],
+            support=len(positions),
+            tree_indexes=tuple(positions),
+            total_occurrences=occurrence_totals[key],
+        )
+        for key, positions in supporters.items()
+        if len(positions) >= params.minsup
+    ]
+    results.sort(
+        key=lambda pair: (
+            -pair.support,
+            pair.label_a,
+            pair.label_b,
+            pair.distance if pair.distance is not None else -1.0,
+        )
+    )
+    return results
+
+
+def support(
+    trees: Sequence[Tree],
+    label_a: str,
+    label_b: str,
+    distance: float | None = None,
+    maxdist: float = 1.5,
+    minoccur: int = 1,
+    max_generation_gap: int = 1,
+    max_height: int | None = None,
+) -> int:
+    """The support of one label pair, per the paper's definition.
+
+    ``distance=None`` ignores distances (the paper's example: the
+    support of (b, e) is 3 when distances are ignored but 2 with
+    respect to distance 1).
+    """
+    if label_a > label_b:
+        label_a, label_b = label_b, label_a
+    count = 0
+    for tree in trees:
+        items = mine_tree(
+            tree,
+            maxdist=maxdist,
+            minoccur=1,
+            max_generation_gap=max_generation_gap,
+            max_height=max_height,
+        )
+        if distance is None:
+            occurrences = sum(
+                item.occurrences
+                for item in items
+                if item.label_key == (label_a, label_b)
+            )
+        else:
+            occurrences = sum(
+                item.occurrences
+                for item in items
+                if item.key == (label_a, label_b, distance)
+            )
+        if occurrences >= minoccur:
+            count += 1
+    return count

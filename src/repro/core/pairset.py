@@ -1,0 +1,174 @@
+"""Multiset algebra over cousin pair items (footnote 2 of the paper).
+
+Section 5.3 builds four tree-distance variants out of set operations on
+cousin pair item collections.  The paper's footnote fixes the multiset
+semantics: when occurrence numbers are taken into account, intersection
+takes the *minimum* and union the *maximum* of the two occurrence
+counts, e.g.::
+
+    cpi(T2) = {(a, b, 0.5, n1), ...}
+    cpi(T3) = {(a, b, 0.5, n2), ...}
+    cpi(T2) ∩ cpi(T3) ∋ (a, b, 0.5, min(n1, n2))
+    cpi(T2) ∪ cpi(T3) ∋ (a, b, 0.5, max(n1, n2))
+
+:class:`CousinPairSet` stores the items of one tree keyed by
+``(label_a, label_b, distance)`` with their occurrence counts and
+implements the four projections the distance variants need:
+
+====================== ======================= =====================
+variant                item identity           cardinality
+====================== ======================= =====================
+plain                  (labels)                number of label pairs
+dist                   (labels, distance)      number of items
+occur                  (labels) with count     sum of counts
+dist_occur             (labels, distance)      sum of counts
+                       with count
+====================== ======================= =====================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.core.cousins import CousinPairItem
+from repro.core.single_tree import mine_tree
+from repro.trees.tree import Tree
+
+__all__ = ["CousinPairSet"]
+
+
+class CousinPairSet:
+    """The cousin pair items of one tree, as an algebraic object.
+
+    Construct with :meth:`from_tree` (runs the miner) or
+    :meth:`from_items` (wraps existing items).  Instances are immutable
+    from the caller's point of view; the algebra methods return plain
+    counters / sets so distance computation stays transparent.
+    """
+
+    def __init__(self, counts: Counter[tuple[str, str, float]]) -> None:
+        self._counts = counts
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(
+        cls,
+        tree: Tree,
+        maxdist: float = 1.5,
+        minoccur: int = 1,
+        max_generation_gap: int = 1,
+    ) -> "CousinPairSet":
+        """Mine ``tree`` and wrap the resulting items."""
+        items = mine_tree(
+            tree,
+            maxdist=maxdist,
+            minoccur=minoccur,
+            max_generation_gap=max_generation_gap,
+        )
+        return cls.from_items(items)
+
+    @classmethod
+    def from_items(cls, items: Iterable[CousinPairItem]) -> "CousinPairSet":
+        """Wrap existing items (occurrences of equal keys are summed)."""
+        counts: Counter[tuple[str, str, float]] = Counter()
+        for item in items:
+            counts[item.key] += item.occurrences
+        return cls(counts)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def items(self) -> list[CousinPairItem]:
+        """The items, sorted by (label_a, label_b, distance)."""
+        return sorted(
+            CousinPairItem(label_a, label_b, distance, occurrences)
+            for (label_a, label_b, distance), occurrences in self._counts.items()
+        )
+
+    def __iter__(self) -> Iterator[CousinPairItem]:
+        return iter(self.items())
+
+    def __len__(self) -> int:
+        """Number of distinct (labels, distance) items."""
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CousinPairSet):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CousinPairSet({len(self._counts)} items)"
+
+    def occurrences(
+        self, label_a: str, label_b: str, distance: float
+    ) -> int:
+        """Occurrence count for one (labels, distance) key (0 if absent)."""
+        if label_a > label_b:
+            label_a, label_b = label_b, label_a
+        return self._counts.get((label_a, label_b, distance), 0)
+
+    # ------------------------------------------------------------------
+    # Projections used by the four distance variants
+    # ------------------------------------------------------------------
+    def with_distance_and_occurrence(self) -> Counter[tuple[str, str, float]]:
+        """Multiset keyed by (labels, distance) — the full items."""
+        return Counter(self._counts)
+
+    def with_distance(self) -> set[tuple[str, str, float]]:
+        """Plain set of (labels, distance), occurrence numbers dropped."""
+        return set(self._counts)
+
+    def with_occurrence(self) -> Counter[tuple[str, str]]:
+        """Multiset keyed by labels: occurrences summed over distances."""
+        collapsed: Counter[tuple[str, str]] = Counter()
+        for (label_a, label_b, _distance), occurrences in self._counts.items():
+            collapsed[(label_a, label_b)] += occurrences
+        return collapsed
+
+    def label_pairs(self) -> set[tuple[str, str]]:
+        """Plain set of unordered label pairs (both slots wildcarded)."""
+        return {
+            (label_a, label_b) for (label_a, label_b, _distance) in self._counts
+        }
+
+    def distances_of(self, label_a: str, label_b: str) -> list[float]:
+        """All distances at which the label pair occurs, ascending."""
+        if label_a > label_b:
+            label_a, label_b = label_b, label_a
+        return sorted(
+            distance
+            for (a, b, distance) in self._counts
+            if (a, b) == (label_a, label_b)
+        )
+
+    # ------------------------------------------------------------------
+    # Multiset algebra (footnote 2)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def multiset_intersection_size(
+        left: Counter, right: Counter
+    ) -> int:
+        """``sum(min(count_left, count_right))`` over shared keys."""
+        if len(right) < len(left):
+            left, right = right, left
+        return sum(
+            min(count, right[key]) for key, count in left.items() if key in right
+        )
+
+    @staticmethod
+    def multiset_union_size(left: Counter, right: Counter) -> int:
+        """``sum(max(count_left, count_right))`` over all keys."""
+        total = 0
+        for key, count in left.items():
+            total += max(count, right.get(key, 0))
+        for key, count in right.items():
+            if key not in left:
+                total += count
+        return total

@@ -1,0 +1,125 @@
+"""UpDown distance and TreeRank similarity (the paper's reference [39]).
+
+Section 2 of the paper excludes parent-child (and general
+ancestor-descendant) relationships from cousin mining and notes that
+the authors "proposed one such generalization using the UpDown
+distance" — the measure behind TreeRank (Wang, Shan, Shasha & Piel,
+SSDBM 2003), which ranks phylogenies in a database by similarity to a
+query tree.
+
+For an ordered pair of distinct labeled nodes ``(u, v)`` with least
+common ancestor ``a``, the *UpDown* entry is
+
+    UpDown(u, v) = (up, down) = (edges from u up to a,
+                                 edges from a down to v)
+
+so ancestor-descendant pairs are first-class (one of the components is
+zero) rather than excluded.  The **UpDown matrix** collects the entries
+for all ordered label pairs; two phylogenies are compared by the
+normalised L1 difference of their matrices over shared label pairs:
+
+    updown_distance(T1, T2) =
+        sum |up1 - up2| + |down1 - down2|   over shared ordered pairs
+        ------------------------------------------------------------
+        sum (up1 + down1 + up2 + down2)     over shared ordered pairs
+
+(0 when the shared structure agrees exactly; 1 is approached as the
+matrices diverge; pairs present in only one tree are ignored, which is
+what lets the measure span unequal taxon sets).  The TreeRank score
+rescales to the familiar 0-100:
+
+    treerank_score = 100 * (1 - updown_distance)
+
+Duplicate labels make the matrix ill-defined, so trees must carry
+unique labels on their labeled nodes (phylogenies do).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import TreeError
+from repro.trees.traversal import TreeIndex
+from repro.trees.tree import Tree
+
+__all__ = ["updown_matrix", "updown_distance", "treerank_score", "rank_trees"]
+
+
+def updown_matrix(tree: Tree) -> dict[tuple[str, str], tuple[int, int]]:
+    """The UpDown matrix of a uniquely-labeled tree.
+
+    Returns ``{(label_u, label_v): (up, down)}`` for every ordered pair
+    of distinct labeled nodes.
+
+    Raises
+    ------
+    TreeError
+        If the tree is empty, has no labeled nodes, or two nodes share
+        a label.
+    """
+    if tree.root is None:
+        raise TreeError("empty tree has no UpDown matrix")
+    labeled = [node for node in tree.preorder() if node.label is not None]
+    if not labeled:
+        raise TreeError("tree has no labeled nodes")
+    labels = [node.label for node in labeled]
+    if len(set(labels)) != len(labels):
+        raise TreeError("UpDown matrix requires unique labels")
+    index = TreeIndex(tree)
+    matrix: dict[tuple[str, str], tuple[int, int]] = {}
+    for first in labeled:
+        depth_first = index.depth(first)
+        for second in labeled:
+            if first is second:
+                continue
+            ancestor = index.lca(first, second)
+            up = depth_first - index.depth(ancestor)
+            down = index.depth(second) - index.depth(ancestor)
+            matrix[(first.label, second.label)] = (up, down)
+    return matrix
+
+
+def updown_distance(first: Tree, second: Tree) -> float:
+    """Normalised L1 difference of the two UpDown matrices.
+
+    Only ordered label pairs present in both trees participate, so the
+    trees may have different (but overlapping) label sets.  Returns 0.0
+    when no pairs are shared (nothing contradicts), matching the
+    convention of :func:`repro.core.distance.pairset_distance` for
+    empty evidence.
+    """
+    matrix_a = updown_matrix(first)
+    matrix_b = updown_matrix(second)
+    if len(matrix_b) < len(matrix_a):
+        matrix_a, matrix_b = matrix_b, matrix_a
+    difference = 0
+    scale = 0
+    for pair, (up_a, down_a) in matrix_a.items():
+        entry = matrix_b.get(pair)
+        if entry is None:
+            continue
+        up_b, down_b = entry
+        difference += abs(up_a - up_b) + abs(down_a - down_b)
+        scale += up_a + down_a + up_b + down_b
+    if scale == 0:
+        return 0.0
+    return difference / scale
+
+
+def treerank_score(query: Tree, candidate: Tree) -> float:
+    """TreeRank-style similarity score in [0, 100]."""
+    return 100.0 * (1.0 - updown_distance(query, candidate))
+
+
+def rank_trees(query: Tree, candidates: Sequence[Tree]) -> list[tuple[int, float]]:
+    """Rank database trees by TreeRank score against a query.
+
+    Returns ``(position, score)`` pairs sorted best-first (stable for
+    ties), the nearest-neighbour primitive of the TreeRank system.
+    """
+    scored = [
+        (position, treerank_score(query, candidate))
+        for position, candidate in enumerate(candidates)
+    ]
+    scored.sort(key=lambda item: -item[1])
+    return scored

@@ -1,0 +1,145 @@
+"""The paper's literal up/down formulation of ``Single_Tree_Mining``.
+
+Figure 3 of the paper drives the enumeration from each node ``v`` in a
+children set: for every valid distance value ``d <= maxdist`` it
+computes
+
+    my_level(d)        = ceil(d) + 1                      (Eq. 1)
+    my_cousin_level(d) = my_level(d) - delta              (Eq. 2)
+    delta              = 2 * (ceil(d) - d)                (Eq. 3)
+
+walks ``my_level(d)`` edges *up* from ``v`` to an ancestor ``a``, then
+``my_cousin_level(d)`` edges *down* from ``a`` to candidate cousins
+``u``, and discards any pair already found at a smaller distance
+(Step 9) so that only pairs whose exact distance is ``d`` survive.
+
+This module reproduces that control flow faithfully, including the
+"seen" set that implements Step 9.  It exists for two reasons:
+
+1. differential testing — it must produce byte-identical items to the
+   optimised :func:`repro.core.single_tree.mine_tree`;
+2. the ablation benchmark comparing the two formulations
+   (``benchmarks/bench_ablation_formulations.py``).
+
+Note on half-integer distances: at ``d = k + 0.5`` the paper's walk
+starts at the *deeper* node (up ``k + 2``, down ``k + 1``); pairs where
+``v`` is the shallower node are found when the loop reaches the deeper
+node, so each unordered pair is still discovered.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.cousins import CousinPairItem, valid_distances
+from repro.core.params import MiningParams
+from repro.trees.tree import Tree
+from repro.trees.traversal import TreeIndex
+
+__all__ = ["mine_tree_updown", "my_level", "my_cousin_level"]
+
+
+def my_level(distance: float) -> int:
+    """Equation (1): how many edges to walk up from the start node."""
+    return int(math.ceil(distance)) + 1
+
+
+def my_cousin_level(distance: float) -> int:
+    """Equations (2)-(3): how many edges to walk back down."""
+    delta = int(round(2 * (math.ceil(distance) - distance)))
+    return my_level(distance) - delta
+
+
+def mine_tree_updown(
+    tree: Tree,
+    maxdist: float = 1.5,
+    minoccur: int = 1,
+    max_generation_gap: int = 1,
+    max_height: int | None = None,
+) -> list[CousinPairItem]:
+    """Find all qualifying cousin pair items via the Figure 3 loop.
+
+    Same contract and output as :func:`repro.core.single_tree.mine_tree`
+    (items sorted by labels then distance); only the enumeration order
+    differs internally.
+
+    ``max_generation_gap`` values other than 1 are supported by
+    extending the set of ``(up, down)`` level pairs per distance, in
+    the spirit of the generalisation the paper sketches in Section 2.
+    """
+    params = MiningParams(
+        maxdist=maxdist,
+        minoccur=minoccur,
+        minsup=1,
+        max_generation_gap=max_generation_gap,
+        max_height=max_height,
+    )
+    counts: dict[tuple[str, str, float], int] = {}
+    if tree.root is None:
+        return []
+    index = TreeIndex(tree)
+    seen: set[tuple[int, int]] = set()
+
+    for distance in valid_distances(params.maxdist, params.max_generation_gap):
+        for up, down in _level_pairs(distance, params.max_generation_gap):
+            if not params.admits_heights(up, down):
+                continue
+            for start in index.preorder():
+                if start.label is None:
+                    continue
+                ancestor = index.ancestor_at(start, up)
+                if ancestor is None:
+                    continue
+                for cousin in index.descendants_at_depth(ancestor, down):
+                    if cousin is start or cousin.label is None:
+                        continue
+                    if index.is_ancestor(start, cousin) or index.is_ancestor(
+                        cousin, start
+                    ):
+                        continue
+                    low, high = (
+                        (start.node_id, cousin.node_id)
+                        if start.node_id < cousin.node_id
+                        else (cousin.node_id, start.node_id)
+                    )
+                    if (low, high) in seen:
+                        # Step 9: found previously (at this or a smaller
+                        # distance) -- don't double-count.
+                        continue
+                    seen.add((low, high))
+                    key = _label_key(start.label, cousin.label, distance)
+                    counts[key] = counts.get(key, 0) + 1
+
+    items = [
+        CousinPairItem(label_a, label_b, distance, occurrences)
+        for (label_a, label_b, distance), occurrences in counts.items()
+        if occurrences >= params.minoccur
+    ]
+    items.sort()
+    return items
+
+
+def _label_key(
+    label_a: str, label_b: str, distance: float
+) -> tuple[str, str, float]:
+    if label_a <= label_b:
+        return (label_a, label_b, distance)
+    return (label_b, label_a, distance)
+
+
+def _level_pairs(distance: float, max_generation_gap: int) -> list[tuple[int, int]]:
+    """The ``(up, down)`` walk lengths realising ``distance``.
+
+    With the paper's gap of 1 this is the single pair from Eqs. (1)-(2);
+    for larger gaps every height pair ``(h_deep, h_shallow)`` with
+    ``min - 1 + gap/2 == distance`` and ``gap <= max_generation_gap``
+    is walked from its deeper node.
+    """
+    pairs: list[tuple[int, int]] = []
+    for gap in range(max_generation_gap + 1):
+        shallow = distance + 1 - gap / 2.0
+        if shallow < 1 or not float(shallow).is_integer():
+            continue
+        deep = int(shallow) + gap
+        pairs.append((deep, int(shallow)))
+    return pairs

@@ -1,0 +1,35 @@
+"""Bundled datasets backing the paper's worked examples and experiments.
+
+- :mod:`repro.datasets.figure1` — reconstructions of the three example
+  trees of Figure 1 / Table 1;
+- :mod:`repro.datasets.seed_plants` — the eight seed-plant taxa and
+  four phylogenies behind the Figure 8 co-occurrence example
+  (Doyle & Donoghue's study as archived in TreeBASE);
+- :mod:`repro.datasets.mus` — the 16 Mus species of the Figure 9
+  consensus experiment, with a reference topology and an alignment
+  factory;
+- :mod:`repro.datasets.ascomycetes` — the 32 ascomycete taxa of the
+  Figure 10 kernel-tree experiment, split into overlapping groups.
+"""
+
+from repro.datasets.figure1 import figure1_trees, table1_items
+from repro.datasets.seed_plants import SEED_PLANT_TAXA, seed_plant_trees
+from repro.datasets.mus import MUS_TAXA, mus_reference_tree, mus_alignment
+from repro.datasets.ascomycetes import (
+    ASCOMYCETE_TAXA,
+    ascomycete_groups,
+    ascomycete_group_taxa,
+)
+
+__all__ = [
+    "figure1_trees",
+    "table1_items",
+    "SEED_PLANT_TAXA",
+    "seed_plant_trees",
+    "MUS_TAXA",
+    "mus_reference_tree",
+    "mus_alignment",
+    "ASCOMYCETE_TAXA",
+    "ascomycete_groups",
+    "ascomycete_group_taxa",
+]

@@ -1,0 +1,112 @@
+"""Reconstructions of the example trees of Figure 1 / Table 1.
+
+The archival PDF's rendering of Figure 1 is not fully recoverable, so
+these trees are *reconstructions* built to satisfy every property the
+paper's prose states about them:
+
+- ``T1`` contains the cousin pair item ``(b, e, 1, 1)`` and, at larger
+  ``maxdist``, exhibits the whole ladder of relationships the Section 2
+  walkthrough names: siblings (0), aunt-niece (0.5), first cousins (1),
+  first cousins once removed (1.5), second cousins (2) and second
+  cousins once removed (2.5).  It also contains an unlabeled non-root
+  node, as the paper's ``T1`` does.
+- ``T2`` contains ``(b, e, 0.5, 1)`` and has two nodes sharing a label.
+- ``T3`` contains ``(b, e)`` at distances 0 **and** 1 and the item
+  ``(a, e, 0.5, 2)`` — the double-occurrence aunt-niece example of
+  Table 1 — realised by two distinct node pairs.
+
+With these, the paper's support arithmetic holds verbatim: the support
+of ``(b, e)`` with respect to distance 1 is 2 (``T1`` and ``T3``), and
+3 when distances are ignored.
+
+:func:`table1_items` returns the full hand-computed cousin pair item
+table of our ``T3`` (the analogue of Table 1), which the test suite
+verifies against all three miner implementations.
+"""
+
+from __future__ import annotations
+
+from repro.core.cousins import CousinPairItem
+from repro.trees.tree import Tree
+
+__all__ = ["figure1_trees", "table1_items"]
+
+
+def _build_t1() -> Tree:
+    """T1: 10 nodes, one unlabeled internal node, (b, e) at distance 1."""
+    tree = Tree(name="T1")
+    root = tree.add_root(label="a", node_id=1)
+    left = tree.add_child(root, label="x", node_id=2)
+    right = tree.add_child(root, label="y", node_id=3)
+    node_b = tree.add_child(left, label="b", node_id=4)
+    tree.add_child(left, label="c", node_id=5)
+    unlabeled = tree.add_child(right, node_id=6)  # unlabeled, like the paper's #6
+    tree.add_child(right, label="e", node_id=7)
+    node_d = tree.add_child(node_b, label="d", node_id=8)
+    node_f = tree.add_child(unlabeled, label="f", node_id=9)
+    tree.add_child(node_f, label="g", node_id=10)
+    _ = node_d
+    return tree
+
+
+def _build_t2() -> Tree:
+    """T2: (b, e) at distance 0.5; two nodes share the label x."""
+    tree = Tree(name="T2")
+    root = tree.add_root(node_id=1)
+    left = tree.add_child(root, label="x", node_id=2)
+    tree.add_child(root, label="b", node_id=3)
+    tree.add_child(left, label="e", node_id=4)
+    tree.add_child(left, label="x", node_id=5)
+    return tree
+
+
+def _build_t3() -> Tree:
+    """T3: the Table 1 tree — (a, e, 0.5, 2), (b, e) at 0 and 1."""
+    tree = Tree(name="T3")
+    root = tree.add_root(node_id=1)
+    left = tree.add_child(root, label="a", node_id=2)
+    right = tree.add_child(root, label="e", node_id=3)
+    tree.add_child(left, label="b", node_id=4)
+    tree.add_child(left, label="a", node_id=5)
+    tree.add_child(right, label="e", node_id=6)
+    tree.add_child(right, label="b", node_id=7)
+    return tree
+
+
+def figure1_trees() -> tuple[Tree, Tree, Tree]:
+    """Fresh copies of the reconstructed ``(T1, T2, T3)``."""
+    return (_build_t1(), _build_t2(), _build_t3())
+
+
+def table1_items() -> list[CousinPairItem]:
+    """The hand-computed cousin pair items of ``T3``.
+
+    Computed with Table 2 defaults (``maxdist`` 1.5, ``minoccur`` 1):
+
+    ========== ======================================================
+    distance   items
+    ========== ======================================================
+    0          (a, e), (a, b), (b, e)                — the 3 sibling
+               pairs (2,3), (4,5), (6,7)
+    0.5        (a, e) x2  — pairs (2,6) and (3,5);
+               (a, b), (b, e)                        — (2,7), (3,4)
+    1          (a, e), (a, b), (b, b), (b, e)        — (5,6), (5,7),
+               (4,7), (4,6)
+    ========== ======================================================
+    """
+    rows = [
+        ("a", "b", 0.0, 1),
+        ("a", "e", 0.0, 1),
+        ("b", "e", 0.0, 1),
+        ("a", "b", 0.5, 1),
+        ("a", "e", 0.5, 2),
+        ("b", "e", 0.5, 1),
+        ("a", "b", 1.0, 1),
+        ("a", "e", 1.0, 1),
+        ("b", "b", 1.0, 1),
+        ("b", "e", 1.0, 1),
+    ]
+    return sorted(
+        CousinPairItem.make(label_a, label_b, distance, occurrences)
+        for label_a, label_b, distance, occurrences in rows
+    )

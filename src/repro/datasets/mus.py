@@ -1,0 +1,82 @@
+"""The 16-species Mus dataset behind the Figure 9 consensus experiment.
+
+The paper generated its equally parsimonious trees with PHYLIP "using
+the first 500 nucleotides extracted from six genes representing
+paternally, maternally, and biparentally inherited regions of the
+genome among 16 species of Mus" (Lundrigan, Jansa & Tucker 2002).  The
+sequence data is not redistributable offline, so this module provides:
+
+- the 16 taxon names,
+- a literature-shaped reference topology (house-mouse clade, Asian
+  clade, Pyromys/Coelomys subgenera, following the 2002 study's
+  broad structure), and
+- :func:`mus_alignment`, which evolves a synthetic 500-site alignment
+  down the reference topology under Jukes-Cantor with enough rate
+  heterogeneity to create the multiple equally parsimonious trees the
+  experiment consumes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.generate.sequences import assign_branch_lengths, evolve_alignment
+from repro.parsimony.alignment import Alignment
+from repro.trees.newick import parse_newick
+from repro.trees.tree import Tree
+
+__all__ = ["MUS_TAXA", "mus_reference_tree", "mus_alignment"]
+
+MUS_TAXA: tuple[str, ...] = (
+    "Mus_musculus",
+    "Mus_domesticus",
+    "Mus_castaneus",
+    "Mus_molossinus",
+    "Mus_spretus",
+    "Mus_spicilegus",
+    "Mus_macedonicus",
+    "Mus_caroli",
+    "Mus_cervicolor",
+    "Mus_cookii",
+    "Mus_famulus",
+    "Mus_terricolor",
+    "Mus_pahari",
+    "Mus_crociduroides",
+    "Mus_platythrix",
+    "Mus_saxicola",
+)
+"""The 16 Mus species of Lundrigan et al. (2002)."""
+
+_REFERENCE_NEWICK = (
+    "((((((Mus_musculus,Mus_molossinus),(Mus_domesticus,Mus_castaneus)),"
+    "(Mus_spretus,(Mus_spicilegus,Mus_macedonicus))),"
+    "((Mus_caroli,(Mus_cervicolor,Mus_cookii)),"
+    "(Mus_famulus,Mus_terricolor))),"
+    "(Mus_pahari,Mus_crociduroides)),"
+    "(Mus_platythrix,Mus_saxicola));"
+)
+
+
+def mus_reference_tree() -> Tree:
+    """A literature-shaped reference topology over the 16 Mus species."""
+    return parse_newick(_REFERENCE_NEWICK, name="mus_reference")
+
+
+def mus_alignment(
+    n_sites: int = 500,
+    rng: random.Random | int | None = None,
+    mean_branch_length: float = 0.08,
+) -> Alignment:
+    """A synthetic 500-site alignment evolved down the reference tree.
+
+    ``mean_branch_length`` tunes homoplasy: shorter branches give
+    cleaner signal (fewer ties in the parsimony landscape), longer
+    branches more.  The default produces plateaus of the size the
+    consensus experiment needs.
+    """
+    generator = (
+        rng if isinstance(rng, random.Random) else random.Random(rng)
+    )
+    reference = mus_reference_tree()
+    assign_branch_lengths(reference, mean=mean_branch_length, rng=generator)
+    return evolve_alignment(reference, n_sites=n_sites, rng=generator)

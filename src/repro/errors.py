@@ -1,0 +1,75 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish the specific
+failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class TreeError(ReproError):
+    """A structural operation on a tree was invalid.
+
+    Raised for example when adding a child to a node from a different
+    tree, re-parenting the root, or requesting a node id that does not
+    exist.
+    """
+
+
+class NewickError(ReproError):
+    """A Newick string could not be parsed.
+
+    Attributes
+    ----------
+    position:
+        Zero-based character offset in the input at which the error was
+        detected, or ``None`` when no single position is responsible.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at character {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class MiningParameterError(ReproError):
+    """A mining parameter (maxdist, minoccur, minsup, ...) was invalid."""
+
+
+class ConsensusError(ReproError):
+    """A consensus method was applied to an invalid input profile.
+
+    Raised for example when the input trees do not all share the same
+    leaf (taxon) set, or when the profile is empty.
+    """
+
+
+class ParsimonyError(ReproError):
+    """A parsimony computation received inconsistent input.
+
+    Raised for example when a tree's leaves do not match the alignment's
+    taxa, or when an alignment has ragged rows.
+    """
+
+
+class AlignmentError(ParsimonyError):
+    """A sequence alignment was malformed or could not be parsed."""
+
+
+class FreeTreeError(ReproError):
+    """A free-tree (undirected acyclic graph) operation was invalid.
+
+    Raised for example when the input graph is not connected or contains
+    a cycle.
+    """
+
+
+class DatasetError(ReproError):
+    """A bundled dataset could not be constructed or validated."""

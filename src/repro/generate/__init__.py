@@ -1,0 +1,62 @@
+"""Synthetic data generators.
+
+These modules replace the data sources of the paper's evaluation that
+are unavailable offline:
+
+- :mod:`repro.generate.random_trees` — the synthetic trees of Table 3
+  (a C++ generator after Holmes & Diaconis in the paper);
+- :mod:`repro.generate.phylo` — random binary phylogenies (Yule and
+  coalescent shapes) and tree rearrangement moves;
+- :mod:`repro.generate.treebase` — a TreeBASE-like corpus: 1,500
+  phylogenies of 50-200 nodes, 2-9 children per internal node, and an
+  18,870-name label alphabet, organised into studies;
+- :mod:`repro.generate.sequences` — Jukes-Cantor sequence evolution,
+  feeding the parsimony substrate (the paper used PHYLIP on real
+  nucleotide data).
+
+All generators take an explicit :class:`random.Random` (or seed) so
+experiments are reproducible.
+"""
+
+from repro.generate.random_trees import (
+    SyntheticTreeParams,
+    fixed_fanout_tree,
+    random_attachment_tree,
+    uniform_free_tree,
+    synthetic_forest,
+)
+from repro.generate.phylo import (
+    yule_tree,
+    coalescent_tree,
+    random_binary_phylogeny,
+    nni_neighbors,
+    random_nni,
+    random_spr,
+    spr_neighbors,
+)
+from repro.generate.treebase import (
+    SyntheticStudy,
+    synthetic_treebase_corpus,
+    synthetic_study,
+)
+from repro.generate.sequences import evolve_alignment, assign_branch_lengths
+
+__all__ = [
+    "SyntheticTreeParams",
+    "fixed_fanout_tree",
+    "random_attachment_tree",
+    "uniform_free_tree",
+    "synthetic_forest",
+    "yule_tree",
+    "coalescent_tree",
+    "random_binary_phylogeny",
+    "nni_neighbors",
+    "random_nni",
+    "random_spr",
+    "spr_neighbors",
+    "SyntheticStudy",
+    "synthetic_treebase_corpus",
+    "synthetic_study",
+    "evolve_alignment",
+    "assign_branch_lengths",
+]

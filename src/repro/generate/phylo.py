@@ -1,0 +1,300 @@
+"""Random binary phylogenies and tree rearrangement moves.
+
+The phylogenetic applications of the paper (Section 5) operate on
+leaf-labeled, mostly-binary rooted trees.  This module supplies:
+
+- :func:`yule_tree` — a pure-birth (Yule) random topology, the standard
+  null model for species trees;
+- :func:`coalescent_tree` — a Kingman-coalescent topology, a deeper,
+  more unbalanced null model;
+- :func:`nni_neighbors`, :func:`random_nni`, :func:`random_spr` —
+  nearest-neighbour-interchange and subtree-prune-regraft moves, the
+  rearrangements driving the parsimony search substrate and useful for
+  making controlled "noisy copies" of a reference phylogeny in tests
+  and experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.errors import TreeError
+from repro.trees.tree import Node, Tree
+from repro.trees.ops import copy_tree
+
+__all__ = [
+    "yule_tree",
+    "coalescent_tree",
+    "random_binary_phylogeny",
+    "nni_neighbors",
+    "random_nni",
+    "random_spr",
+    "spr_neighbors",
+]
+
+
+def _rng(seed_or_rng: random.Random | int | None) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def _default_taxa(count: int) -> list[str]:
+    width = max(2, len(str(count)))
+    return [f"T{i:0{width}d}" for i in range(count)]
+
+
+def yule_tree(
+    taxa: Sequence[str] | int,
+    rng: random.Random | int | None = None,
+) -> Tree:
+    """A Yule (pure-birth) random binary phylogeny.
+
+    Starting from a single lineage, a uniformly random extant lineage
+    splits at each step until every taxon has a leaf.  Taxa may be
+    given explicitly or as a count (auto-named ``T00``, ``T01``, ...).
+    """
+    names = _default_taxa(taxa) if isinstance(taxa, int) else list(taxa)
+    if not names:
+        raise ValueError("need at least one taxon")
+    if len(set(names)) != len(names):
+        raise ValueError("taxa must be unique")
+    generator = _rng(rng)
+    tree = Tree()
+    root = tree.add_root()
+    tips = [root]
+    while len(tips) < len(names):
+        tip = tips.pop(generator.randrange(len(tips)))
+        tips.append(tree.add_child(tip))
+        tips.append(tree.add_child(tip))
+    generator.shuffle(tips)
+    for tip, name in zip(tips, names):
+        tip.label = name
+    if len(names) == 1:
+        root.label = names[0]
+    return tree
+
+
+def coalescent_tree(
+    taxa: Sequence[str] | int,
+    rng: random.Random | int | None = None,
+) -> Tree:
+    """A Kingman-coalescent random binary phylogeny.
+
+    Built backwards in time: repeatedly merge two uniformly random
+    lineages until one remains.
+    """
+    names = _default_taxa(taxa) if isinstance(taxa, int) else list(taxa)
+    if not names:
+        raise ValueError("need at least one taxon")
+    if len(set(names)) != len(names):
+        raise ValueError("taxa must be unique")
+    generator = _rng(rng)
+    # Build as parent-assignments over forest fragments, then emit.
+    tree = Tree()
+    if len(names) == 1:
+        tree.add_root(label=names[0])
+        return tree
+    # Fragments are (root-of-fragment) nodes of a scratch tree rooted later.
+    # We assemble bottom-up using a temporary list of subtree builders.
+    fragments: list[tuple] = [("leaf", name) for name in names]
+    while len(fragments) > 1:
+        i = generator.randrange(len(fragments))
+        first = fragments.pop(i)
+        j = generator.randrange(len(fragments))
+        second = fragments.pop(j)
+        fragments.append(("join", first, second))
+    root = tree.add_root()
+    # The single remaining fragment describes the whole topology.
+    stack = [(fragments[0], root)]
+    while stack:
+        spec, node = stack.pop()
+        if spec[0] == "leaf":
+            node.label = spec[1]
+        else:
+            stack.append((spec[1], tree.add_child(node)))
+            stack.append((spec[2], tree.add_child(node)))
+    return tree
+
+
+def random_binary_phylogeny(
+    taxa: Sequence[str] | int,
+    rng: random.Random | int | None = None,
+    model: str = "yule",
+) -> Tree:
+    """Dispatch between :func:`yule_tree` and :func:`coalescent_tree`."""
+    if model == "yule":
+        return yule_tree(taxa, rng)
+    if model == "coalescent":
+        return coalescent_tree(taxa, rng)
+    raise ValueError(f"unknown model {model!r}; expected 'yule' or 'coalescent'")
+
+
+def _internal_edges(tree: Tree) -> list[Node]:
+    """Internal non-root nodes with an internal parent: the NNI pivots."""
+    return [
+        node
+        for node in tree.preorder()
+        if not node.is_root and not node.is_leaf and node.degree >= 2
+    ]
+
+
+def nni_neighbors(tree: Tree) -> list[Tree]:
+    """All nearest-neighbour-interchange neighbours of a rooted tree.
+
+    For every internal non-root node ``v`` (with parent ``u``), each
+    exchange of one child of ``v`` with one sibling of ``v`` yields a
+    neighbour.  For binary trees this is the classical 2-neighbours-
+    per-internal-edge NNI; multifurcations get the natural
+    generalisation.
+    """
+    neighbours: list[Tree] = []
+    for pivot in _internal_edges(tree):
+        parent = pivot.parent
+        siblings = [child for child in parent.children if child is not pivot]
+        for sibling in siblings:
+            for child in pivot.children:
+                neighbour = copy_tree(tree)
+                _swap(neighbour, child.node_id, sibling.node_id)
+                neighbours.append(neighbour)
+    return neighbours
+
+
+def _swap(tree: Tree, first_id: int, second_id: int) -> None:
+    """Exchange the subtrees rooted at the two (non-nested) nodes."""
+    first = tree.node(first_id)
+    second = tree.node(second_id)
+    parent_first = first.parent
+    parent_second = second.parent
+    if parent_first is None or parent_second is None:
+        raise TreeError("cannot swap the root")
+    # Direct list surgery through the private fields: Node exposes no
+    # public re-parenting because miners never mutate, but rearrangement
+    # moves are exactly the sanctioned exception.
+    index_first = parent_first._children.index(first)
+    index_second = parent_second._children.index(second)
+    parent_first._children[index_first] = second
+    parent_second._children[index_second] = first
+    first._parent = parent_second
+    second._parent = parent_first
+    tree._version += 1
+
+
+def random_nni(
+    tree: Tree, rng: random.Random | int | None = None
+) -> Tree:
+    """One uniformly random NNI move applied to a copy of ``tree``.
+
+    Returns the tree unchanged (as a copy) when no NNI move exists
+    (fewer than two internal levels).
+    """
+    generator = _rng(rng)
+    pivots = _internal_edges(tree)
+    if not pivots:
+        return copy_tree(tree)
+    pivot = generator.choice(pivots)
+    parent = pivot.parent
+    siblings = [child for child in parent.children if child is not pivot]
+    sibling = generator.choice(siblings)
+    child = generator.choice(list(pivot.children))
+    neighbour = copy_tree(tree)
+    _swap(neighbour, child.node_id, sibling.node_id)
+    return neighbour
+
+
+def _spr_apply(tree: Tree, prune_id: int, target_id: int) -> Tree | None:
+    """Prune the subtree at ``prune_id`` and regraft above ``target_id``.
+
+    Operates on a copy; returns ``None`` when the move is ill-formed
+    (target inside the pruned subtree, target is the root, or the prune
+    point has nowhere to go).
+    """
+    working = copy_tree(tree)
+    prune = working.node(prune_id)
+    if prune.is_root:
+        return None
+    pruned_ids = set()
+    stack = [prune]
+    while stack:
+        node = stack.pop()
+        pruned_ids.add(node.node_id)
+        stack.extend(node.children)
+    if target_id in pruned_ids:
+        return None
+    target = working.node(target_id)
+    if target.is_root:
+        return None
+    old_parent = prune.parent
+    if target is prune:
+        return None
+    # Detach the subtree.
+    old_parent._children.remove(prune)
+    prune._parent = None
+    working._version += 1
+    # Suppress the old attachment point if it became unary.
+    if old_parent.degree == 1 and old_parent.parent is not None:
+        if old_parent is target:
+            # The regraft edge vanished with the suppression; the move
+            # would just undo itself.  Re-route onto the surviving child.
+            target = old_parent.children[0]
+        working.splice_out(old_parent)
+    elif old_parent.degree == 0:
+        # Pruning emptied the parent entirely (unary chain): degenerate.
+        return None
+    # Insert a junction on the edge above ``target`` and graft there.
+    graft_parent = target.parent
+    junction = working.add_child(graft_parent)
+    graft_parent._children.remove(target)
+    junction._children.append(target)
+    target._parent = junction
+    junction._children.append(prune)
+    prune._parent = junction
+    working._version += 1
+    # A root left unary by the prune stays unary after the graft;
+    # collapse it so binary trees stay binary.
+    if working.root is not None and working.root.degree == 1:
+        from repro.trees.ops import collapse_unary
+
+        collapse_unary(working)
+    return working
+
+
+def spr_neighbors(tree: Tree) -> Iterator[Tree]:
+    """All subtree-prune-regraft neighbours of a rooted tree.
+
+    This is the "global rearrangement" neighbourhood PHYLIP's
+    ``dnapars`` uses to escape the local optima of nearest-neighbour
+    interchange; the parsimony search evaluates it when NNI stalls.
+    Yields O(n^2) trees.
+    """
+    node_ids = [node.node_id for node in tree.preorder() if not node.is_root]
+    for prune_id in node_ids:
+        for target_id in node_ids:
+            if prune_id == target_id:
+                continue
+            moved = _spr_apply(tree, prune_id, target_id)
+            if moved is not None:
+                yield moved
+
+
+def random_spr(
+    tree: Tree, rng: random.Random | int | None = None
+) -> Tree:
+    """One random subtree-prune-regraft move applied to a copy.
+
+    Returns an unchanged copy when the tree is too small to move.
+    """
+    generator = _rng(rng)
+    node_ids = [node.node_id for node in tree.preorder() if not node.is_root]
+    if len(node_ids) < 2:
+        return copy_tree(tree)
+    for _ in range(30):
+        prune_id = generator.choice(node_ids)
+        target_id = generator.choice(node_ids)
+        if prune_id == target_id:
+            continue
+        moved = _spr_apply(tree, prune_id, target_id)
+        if moved is not None:
+            return moved
+    return copy_tree(tree)

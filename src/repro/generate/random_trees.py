@@ -1,0 +1,223 @@
+"""Synthetic random trees (Table 3 of the paper).
+
+The paper's synthetic experiments draw trees from four knobs:
+
+=============== ============================================ =======
+name            meaning                                      default
+=============== ============================================ =======
+treesize        number of nodes in a tree                    200
+databasesize    number of trees in the database              1,000
+fanout          number of children of each node              5
+alphabetsize    size of the node label alphabet              200
+=============== ============================================ =======
+
+Three shape families are provided:
+
+- :func:`fixed_fanout_tree` — every internal node has exactly
+  ``fanout`` children (the Table 3 model, used in Figures 4-6);
+- :func:`random_attachment_tree` — each new node picks a uniformly
+  random existing parent (a random recursive tree: skewed, deep);
+- :func:`uniform_free_tree` — a uniformly random labeled tree over the
+  whole tree space via Prüfer sequences, rooted at a random node (the
+  role of the paper's Holmes & Diaconis random-walk generator).
+
+Labels are drawn uniformly from an alphabet ``L0 .. L{alphabet-1}``, so
+label collisions (and thus interesting aggregated pair items) appear at
+the paper's rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.trees.tree import Tree
+
+__all__ = [
+    "SyntheticTreeParams",
+    "fixed_fanout_tree",
+    "random_attachment_tree",
+    "uniform_free_tree",
+    "synthetic_forest",
+]
+
+
+@dataclass(frozen=True)
+class SyntheticTreeParams:
+    """The Table 3 parameter bundle with the paper's defaults."""
+
+    treesize: int = 200
+    databasesize: int = 1000
+    fanout: int = 5
+    alphabetsize: int = 200
+
+    def __post_init__(self) -> None:
+        if self.treesize < 1:
+            raise ValueError("treesize must be >= 1")
+        if self.databasesize < 1:
+            raise ValueError("databasesize must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.alphabetsize < 1:
+            raise ValueError("alphabetsize must be >= 1")
+
+
+def _rng(seed_or_rng: random.Random | int | None) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def _label(rng: random.Random, alphabetsize: int) -> str:
+    return f"L{rng.randrange(alphabetsize)}"
+
+
+def fixed_fanout_tree(
+    treesize: int = 200,
+    fanout: int = 5,
+    alphabetsize: int = 200,
+    rng: random.Random | int | None = None,
+) -> Tree:
+    """A tree where every internal node has exactly ``fanout`` children.
+
+    Nodes are expanded breadth-first until ``treesize`` nodes exist (the
+    last expansion may be partial), every node gets a random label, so
+    increasing ``fanout`` produces the bushier and bushier trees of the
+    Figure 4 experiment.
+    """
+    params = SyntheticTreeParams(
+        treesize=treesize, fanout=fanout, alphabetsize=alphabetsize
+    )
+    generator = _rng(rng)
+    tree = Tree()
+    root = tree.add_root(label=_label(generator, params.alphabetsize))
+    frontier = [root]
+    head = 0
+    while len(tree) < params.treesize and head < len(frontier):
+        parent = frontier[head]
+        head += 1
+        for _ in range(params.fanout):
+            if len(tree) >= params.treesize:
+                break
+            child = tree.add_child(
+                parent, label=_label(generator, params.alphabetsize)
+            )
+            frontier.append(child)
+    return tree
+
+
+def random_attachment_tree(
+    treesize: int = 200,
+    alphabetsize: int = 200,
+    rng: random.Random | int | None = None,
+) -> Tree:
+    """A random recursive tree: each new node attaches uniformly.
+
+    Produces trees with expected depth O(log n) and a long-tailed
+    fanout distribution — a useful contrast shape for robustness tests.
+    """
+    params = SyntheticTreeParams(treesize=treesize, alphabetsize=alphabetsize)
+    generator = _rng(rng)
+    tree = Tree()
+    nodes = [tree.add_root(label=_label(generator, params.alphabetsize))]
+    while len(tree) < params.treesize:
+        parent = generator.choice(nodes)
+        nodes.append(
+            tree.add_child(parent, label=_label(generator, params.alphabetsize))
+        )
+    return tree
+
+
+def uniform_free_tree(
+    treesize: int = 200,
+    alphabetsize: int = 200,
+    rng: random.Random | int | None = None,
+) -> Tree:
+    """A uniformly random tree over the whole tree space, via Prüfer.
+
+    Every labeled tree shape on ``treesize`` nodes is equally likely
+    (Prüfer's bijection); the tree is then rooted at node 0.  This
+    plays the role of the Holmes & Diaconis random-walk generator the
+    paper's C++ program implemented: sampling from the *whole* space of
+    trees rather than a parametric family.
+    """
+    params = SyntheticTreeParams(treesize=treesize, alphabetsize=alphabetsize)
+    generator = _rng(rng)
+    size = params.treesize
+    if size == 1:
+        tree = Tree()
+        tree.add_root(label=_label(generator, params.alphabetsize))
+        return tree
+    if size == 2:
+        tree = Tree()
+        root = tree.add_root(label=_label(generator, params.alphabetsize))
+        tree.add_child(root, label=_label(generator, params.alphabetsize))
+        return tree
+
+    sequence = [generator.randrange(size) for _ in range(size - 2)]
+    degree = [1] * size
+    for entry in sequence:
+        degree[entry] += 1
+    adjacency: list[list[int]] = [[] for _ in range(size)]
+    # Standard linear-ish Prüfer decoding with a sorted leaf pool.
+    import heapq
+
+    leaves = [i for i in range(size) if degree[i] == 1]
+    heapq.heapify(leaves)
+    for entry in sequence:
+        leaf = heapq.heappop(leaves)
+        adjacency[leaf].append(entry)
+        adjacency[entry].append(leaf)
+        degree[leaf] = 0
+        degree[entry] -= 1
+        if degree[entry] == 1:
+            heapq.heappush(leaves, entry)
+    last_two = [i for i in range(size) if degree[i] == 1][:2]
+    adjacency[last_two[0]].append(last_two[1])
+    adjacency[last_two[1]].append(last_two[0])
+
+    tree = Tree()
+    root = tree.add_root(label=_label(generator, params.alphabetsize), node_id=0)
+    stack = [(0, -1, root)]
+    while stack:
+        node, came_from, tree_node = stack.pop()
+        for other in adjacency[node]:
+            if other == came_from:
+                continue
+            child = tree.add_child(
+                tree_node,
+                label=_label(generator, params.alphabetsize),
+                node_id=other,
+            )
+            stack.append((other, node, child))
+    return tree
+
+
+def synthetic_forest(
+    params: SyntheticTreeParams | None = None,
+    rng: random.Random | int | None = None,
+    shape: str = "fixed_fanout",
+) -> list[Tree]:
+    """A database of ``params.databasesize`` synthetic trees.
+
+    ``shape`` selects the family: ``"fixed_fanout"`` (Table 3 model),
+    ``"random_attachment"`` or ``"uniform"``.
+    """
+    params = params or SyntheticTreeParams()
+    generator = _rng(rng)
+    makers = {
+        "fixed_fanout": lambda: fixed_fanout_tree(
+            params.treesize, params.fanout, params.alphabetsize, generator
+        ),
+        "random_attachment": lambda: random_attachment_tree(
+            params.treesize, params.alphabetsize, generator
+        ),
+        "uniform": lambda: uniform_free_tree(
+            params.treesize, params.alphabetsize, generator
+        ),
+    }
+    if shape not in makers:
+        raise ValueError(
+            f"unknown shape {shape!r}; expected one of {sorted(makers)}"
+        )
+    return [makers[shape]() for _ in range(params.databasesize)]

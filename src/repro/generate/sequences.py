@@ -1,0 +1,148 @@
+"""Jukes-Cantor sequence evolution.
+
+The paper's consensus and kernel-tree experiments start from real
+nucleotide data (six Mus genes [24]; ascomycete LSU rDNA [23]) run
+through PHYLIP.  Offline, we evolve synthetic alignments down a
+reference topology under the Jukes-Cantor (JC69) model — the simplest
+reversible substitution model — which preserves everything the
+downstream experiments consume: alignments whose parsimony landscape
+has a signal around the reference tree plus enough homoplasy to create
+*multiple* equally parsimonious trees.
+
+Shorter sequences and higher rates increase homoplasy (and hence tie
+counts); the experiment harnesses use that knob to reach the paper's
+5-35 tree set sizes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Mapping
+
+from repro.errors import TreeError
+from repro.parsimony.alignment import Alignment
+from repro.trees.tree import Tree
+
+__all__ = ["assign_branch_lengths", "evolve_alignment", "jc_substitution_probability"]
+
+_BASES = "ACGT"
+
+
+def _rng(seed_or_rng: random.Random | int | None) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def jc_substitution_probability(branch_length: float) -> float:
+    """Probability a site differs across a branch under JC69.
+
+    ``p = 3/4 * (1 - exp(-4/3 * t))`` with ``t`` in expected
+    substitutions per site; tends to 3/4 as ``t`` grows.
+    """
+    if branch_length < 0:
+        raise ValueError("branch length must be non-negative")
+    return 0.75 * (1.0 - math.exp(-4.0 * branch_length / 3.0))
+
+
+def assign_branch_lengths(
+    tree: Tree,
+    mean: float = 0.1,
+    rng: random.Random | int | None = None,
+) -> Tree:
+    """Draw exponential branch lengths onto ``tree`` in place.
+
+    Returns the same tree for chaining.  The root keeps no length.
+    """
+    if mean <= 0:
+        raise ValueError("mean branch length must be positive")
+    generator = _rng(rng)
+    for node in tree.preorder():
+        if node.parent is not None:
+            node.length = generator.expovariate(1.0 / mean)
+    return tree
+
+
+def evolve_alignment(
+    tree: Tree,
+    n_sites: int = 500,
+    rng: random.Random | int | None = None,
+    default_branch_length: float = 0.1,
+) -> Alignment:
+    """Evolve an alignment down a leaf-labeled tree under JC69.
+
+    Each site starts from a uniform root base and mutates independently
+    along every branch with the JC substitution probability of that
+    branch's length (``default_branch_length`` where lengths are
+    missing); a mutation replaces the base by one of the three others
+    uniformly.  Returns the leaf sequences as an
+    :class:`~repro.parsimony.alignment.Alignment` keyed by leaf label.
+
+    Raises
+    ------
+    TreeError
+        If the tree has unlabeled or duplicate-labeled leaves.
+    """
+    if n_sites < 1:
+        raise ValueError("n_sites must be >= 1")
+    if tree.root is None:
+        raise TreeError("cannot evolve sequences on an empty tree")
+    generator = _rng(rng)
+
+    leaf_sequences: dict[str, list[str]] = {}
+    root_sequence = [generator.choice(_BASES) for _ in range(n_sites)]
+    stack: list[tuple] = [(tree.root, root_sequence)]
+    while stack:
+        node, sequence = stack.pop()
+        if node.is_leaf:
+            if node.label is None:
+                raise TreeError(f"leaf {node.node_id} is unlabeled")
+            if node.label in leaf_sequences:
+                raise TreeError(f"duplicate leaf label {node.label!r}")
+            leaf_sequences[node.label] = sequence
+            continue
+        for child in node.children:
+            length = (
+                child.length if child.length is not None else default_branch_length
+            )
+            probability = jc_substitution_probability(length)
+            child_sequence = list(sequence)
+            for position in range(n_sites):
+                if generator.random() < probability:
+                    current = child_sequence[position]
+                    child_sequence[position] = generator.choice(
+                        [base for base in _BASES if base != current]
+                    )
+            stack.append((child, child_sequence))
+
+    return Alignment.from_dict(
+        {taxon: "".join(seq) for taxon, seq in leaf_sequences.items()}
+    )
+
+
+def mutate_alignment(
+    alignment: Alignment,
+    rate: float,
+    rng: random.Random | int | None = None,
+) -> Alignment:
+    """Apply i.i.d. point mutations to every site with probability ``rate``.
+
+    A cheap way to add extra homoplasy to an existing alignment (used
+    by tests and by experiment harnesses to tune tie counts).
+    """
+    if not 0 <= rate <= 1:
+        raise ValueError("rate must be in [0, 1]")
+    generator = _rng(rng)
+    mutated: Mapping[str, str] = {
+        taxon: "".join(
+            (
+                generator.choice([b for b in _BASES if b != char])
+                if char in _BASES and generator.random() < rate
+                else char
+            )
+            for char in sequence
+        )
+        for taxon, sequence in alignment
+    }
+    return Alignment.from_dict(dict(mutated))

@@ -1,0 +1,182 @@
+"""A synthetic TreeBASE-like corpus.
+
+The paper's phylogeny experiments (Figure 7 and Section 5.1) mine 1,500
+phylogenies obtained from TreeBASE (www.treebase.org): each tree has
+between 50 and 200 nodes, each internal node has between 2 and 9
+children (most have 2), and the label alphabet — the taxon names across
+the whole database — has 18,870 entries.  TreeBASE organises trees into
+*studies*: the trees of one study concern the same (or heavily
+overlapping) taxa, which is what makes cross-tree co-occurring patterns
+biologically meaningful.
+
+This module synthesises a corpus with exactly those statistics, since
+the live database is unreachable offline.  The mining cost and the
+support distribution depend only on tree shapes, corpus size, and label
+multiplicity, all of which are matched:
+
+- tree sizes uniform in [min_nodes, max_nodes] (node count, not taxa);
+- internal nodes binary with probability ``binary_bias`` (default 0.8),
+  otherwise uniformly 3-9 children;
+- leaf labels drawn from a global namespace of ``alphabet_size`` names,
+  with the trees of one study sampling from a shared small taxon pool
+  so that studies contain repeated label pairs, as in TreeBASE.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.trees.tree import Tree
+
+__all__ = ["SyntheticStudy", "synthetic_study", "synthetic_treebase_corpus"]
+
+#: The paper reports this alphabet size for the 1,500-tree TreeBASE slice.
+TREEBASE_ALPHABET_SIZE = 18_870
+
+
+@dataclass
+class SyntheticStudy:
+    """A group of phylogenies over one shared taxon pool.
+
+    Attributes
+    ----------
+    study_id:
+        Identifier, e.g. ``"S042"``.
+    taxa:
+        The taxon pool the study's trees draw their leaves from.
+    trees:
+        The phylogenies of the study.
+    """
+
+    study_id: str
+    taxa: list[str] = field(default_factory=list)
+    trees: list[Tree] = field(default_factory=list)
+
+
+def _rng(seed_or_rng: random.Random | int | None) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def _grow_topology(
+    target_nodes: int,
+    min_children: int,
+    max_children: int,
+    binary_bias: float,
+    rng: random.Random,
+) -> Tree:
+    """Grow an unlabeled topology with roughly ``target_nodes`` nodes.
+
+    Expansion repeatedly turns a random current leaf into an internal
+    node with a sampled child count, stopping once the target is
+    reached (the final count may exceed the target by at most
+    ``max_children - 1``).
+    """
+    tree = Tree()
+    root = tree.add_root()
+    expandable = [root]
+    while len(tree) < target_nodes and expandable:
+        position = rng.randrange(len(expandable))
+        expandable[position], expandable[-1] = expandable[-1], expandable[position]
+        node = expandable.pop()
+        if rng.random() < binary_bias:
+            arity = min_children
+        else:
+            arity = rng.randint(min_children, max_children)
+        for _ in range(arity):
+            expandable.append(tree.add_child(node))
+    return tree
+
+
+def synthetic_study(
+    study_id: str,
+    taxa: list[str],
+    num_trees: int,
+    min_nodes: int = 50,
+    max_nodes: int = 200,
+    min_children: int = 2,
+    max_children: int = 9,
+    binary_bias: float = 0.8,
+    rng: random.Random | int | None = None,
+) -> SyntheticStudy:
+    """Generate one study: ``num_trees`` phylogenies over a taxon pool.
+
+    Each tree's leaves are labeled by sampling (without replacement
+    within a tree) from the study's taxon pool; the pool is recycled
+    with replacement when a tree needs more leaves than the pool holds.
+    """
+    generator = _rng(rng)
+    study = SyntheticStudy(study_id=study_id, taxa=list(taxa))
+    for index in range(num_trees):
+        target = generator.randint(min_nodes, max_nodes)
+        tree = _grow_topology(
+            target, min_children, max_children, binary_bias, generator
+        )
+        tree.name = f"{study_id}_tree{index}"
+        leaves = [node for node in tree.leaves()]
+        pool = list(study.taxa)
+        generator.shuffle(pool)
+        for leaf in leaves:
+            if pool:
+                leaf.label = pool.pop()
+            else:
+                leaf.label = generator.choice(study.taxa)
+        study.trees.append(tree)
+    return study
+
+
+def synthetic_treebase_corpus(
+    num_trees: int = 1500,
+    trees_per_study: int = 4,
+    min_nodes: int = 50,
+    max_nodes: int = 200,
+    min_children: int = 2,
+    max_children: int = 9,
+    binary_bias: float = 0.8,
+    alphabet_size: int = TREEBASE_ALPHABET_SIZE,
+    rng: random.Random | int | None = None,
+) -> list[SyntheticStudy]:
+    """The full corpus: studies covering ``num_trees`` trees in total.
+
+    The global taxon namespace ``Taxon00000 .. Taxon{alphabet-1}`` is
+    partitioned into per-study pools sized to the studies' largest
+    trees, reusing names across studies once the namespace is exhausted
+    — mirroring how TreeBASE taxa recur between related studies.
+
+    Returns the list of studies; flatten with
+    ``[t for s in corpus for t in s.trees]`` for Figure 7 style runs.
+    """
+    generator = _rng(rng)
+    namespace = [f"Taxon{i:05d}" for i in range(alphabet_size)]
+    studies: list[SyntheticStudy] = []
+    produced = 0
+    cursor = 0
+    study_index = 0
+    while produced < num_trees:
+        count = min(trees_per_study, num_trees - produced)
+        # A pool comfortably larger than the leaf count of the biggest
+        # tree (a tree of n nodes has at most n - 1 leaves).
+        pool_size = max_nodes
+        if cursor + pool_size > len(namespace):
+            cursor = 0
+            generator.shuffle(namespace)
+        pool = namespace[cursor : cursor + pool_size]
+        cursor += pool_size
+        studies.append(
+            synthetic_study(
+                study_id=f"S{study_index:04d}",
+                taxa=pool,
+                num_trees=count,
+                min_nodes=min_nodes,
+                max_nodes=max_nodes,
+                min_children=min_children,
+                max_children=max_children,
+                binary_bias=binary_bias,
+                rng=generator,
+            )
+        )
+        produced += count
+        study_index += 1
+    return studies

@@ -1,0 +1,157 @@
+"""Serialisation of mining results.
+
+Mined cousin pair items and frequent patterns are plain records; this
+module fixes their interchange formats so results can leave the
+process — JSON for programmatic consumers, CSV for spreadsheets — and
+round-trip back for later comparison (e.g. diffing two mining runs of
+a growing TreeBASE snapshot).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Sequence
+
+from repro.core.cousins import CousinPairItem
+from repro.core.multi_tree import FrequentCousinPair
+
+__all__ = [
+    "items_to_json",
+    "items_from_json",
+    "items_to_csv",
+    "items_from_csv",
+    "patterns_to_json",
+    "patterns_from_json",
+]
+
+
+# ----------------------------------------------------------------------
+# Cousin pair items
+# ----------------------------------------------------------------------
+def items_to_json(items: Sequence[CousinPairItem], indent: int | None = 2) -> str:
+    """Serialise items to a JSON array of objects."""
+    payload = [
+        {
+            "label_a": item.label_a,
+            "label_b": item.label_b,
+            "distance": item.distance,
+            "occurrences": item.occurrences,
+        }
+        for item in items
+    ]
+    return json.dumps(payload, indent=indent)
+
+
+def items_from_json(text: str) -> list[CousinPairItem]:
+    """Parse items back from :func:`items_to_json` output.
+
+    Raises
+    ------
+    ValueError
+        On malformed JSON or records missing required fields.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"invalid JSON: {error}") from None
+    if not isinstance(payload, list):
+        raise ValueError("expected a JSON array of items")
+    items = []
+    for record in payload:
+        try:
+            items.append(
+                CousinPairItem.make(
+                    str(record["label_a"]),
+                    str(record["label_b"]),
+                    float(record["distance"]),
+                    int(record["occurrences"]),
+                )
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed item record {record!r}: {error}") from None
+    return items
+
+
+_CSV_HEADER = ["label_a", "label_b", "distance", "occurrences"]
+
+
+def items_to_csv(items: Sequence[CousinPairItem]) -> str:
+    """Serialise items to CSV with a header row."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_CSV_HEADER)
+    for item in items:
+        writer.writerow(
+            [item.label_a, item.label_b, item.distance, item.occurrences]
+        )
+    return buffer.getvalue()
+
+
+def items_from_csv(text: str) -> list[CousinPairItem]:
+    """Parse items back from :func:`items_to_csv` output."""
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows or rows[0] != _CSV_HEADER:
+        raise ValueError(f"expected header {_CSV_HEADER}, got {rows[:1]}")
+    items = []
+    for row in rows[1:]:
+        if len(row) != 4:
+            raise ValueError(f"malformed CSV row {row!r}")
+        items.append(
+            CousinPairItem.make(row[0], row[1], float(row[2]), int(row[3]))
+        )
+    return items
+
+
+# ----------------------------------------------------------------------
+# Frequent patterns
+# ----------------------------------------------------------------------
+def patterns_to_json(
+    patterns: Sequence[FrequentCousinPair], indent: int | None = 2
+) -> str:
+    """Serialise frequent patterns (support + posting list) to JSON."""
+    payload = [
+        {
+            "label_a": pattern.label_a,
+            "label_b": pattern.label_b,
+            "distance": pattern.distance,
+            "support": pattern.support,
+            "tree_indexes": list(pattern.tree_indexes),
+            "total_occurrences": pattern.total_occurrences,
+        }
+        for pattern in patterns
+    ]
+    return json.dumps(payload, indent=indent)
+
+
+def patterns_from_json(text: str) -> list[FrequentCousinPair]:
+    """Parse patterns back from :func:`patterns_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"invalid JSON: {error}") from None
+    if not isinstance(payload, list):
+        raise ValueError("expected a JSON array of patterns")
+    patterns = []
+    for record in payload:
+        try:
+            distance = record["distance"]
+            patterns.append(
+                FrequentCousinPair(
+                    label_a=str(record["label_a"]),
+                    label_b=str(record["label_b"]),
+                    distance=float(distance) if distance is not None else None,
+                    support=int(record["support"]),
+                    tree_indexes=tuple(
+                        int(i) for i in record["tree_indexes"]
+                    ),
+                    total_occurrences=int(record["total_occurrences"]),
+                )
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(
+                f"malformed pattern record {record!r}: {error}"
+            ) from None
+    return patterns

@@ -1,0 +1,45 @@
+"""Maximum-parsimony substrate (the PHYLIP substitute).
+
+The consensus-quality experiment of Section 5.2 consumes *sets of
+equally parsimonious trees*, which the paper generated with PHYLIP's
+``dnapars`` on real nucleotide data.  This subpackage rebuilds that
+pipeline:
+
+- :mod:`repro.parsimony.alignment` — multiple sequence alignments with
+  FASTA and (relaxed) PHYLIP I/O;
+- :mod:`repro.parsimony.fitch` — the Fitch-Hartigan small-parsimony
+  score, vectorised over sites with numpy and correct for
+  multifurcating trees;
+- :mod:`repro.parsimony.search` — hill-climbing tree search (NNI
+  neighbourhoods, random restarts) that retains *every* distinct
+  topology achieving the best score found, plus a helper that widens
+  the score band minimally when an experiment needs a fixed number of
+  (near-)equally-parsimonious trees.
+"""
+
+from repro.parsimony.alignment import Alignment
+from repro.parsimony.fitch import fitch_score, site_scores
+from repro.parsimony.bootstrap import (
+    bootstrap_alignment,
+    bootstrap_trees,
+    cluster_support,
+    annotate_support,
+)
+from repro.parsimony.search import (
+    ParsimonyResult,
+    parsimony_search,
+    equally_parsimonious_trees,
+)
+
+__all__ = [
+    "Alignment",
+    "fitch_score",
+    "site_scores",
+    "ParsimonyResult",
+    "parsimony_search",
+    "equally_parsimonious_trees",
+    "bootstrap_alignment",
+    "bootstrap_trees",
+    "cluster_support",
+    "annotate_support",
+]

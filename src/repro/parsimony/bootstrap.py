@@ -1,0 +1,147 @@
+"""Bootstrap resampling for parsimony trees (Felsenstein 1985).
+
+The classical companion to any tree search: resample alignment columns
+with replacement, re-run the search per replicate, and read off how
+often each clade of a reference tree recurs.  Within this reproduction
+it serves two roles:
+
+- it completes the PHYLIP-substitute pipeline (``seqboot`` +
+  ``dnapars`` + ``consense`` was the standard triple);
+- bootstrap replicate sets are a second natural source of "sets of
+  plausible trees" for the Section 5.2 consensus experiments, with a
+  different heterogeneity profile than tie plateaus.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.parsimony.alignment import Alignment
+from repro.parsimony.search import parsimony_search
+from repro.trees.bipartition import nontrivial_clusters
+from repro.trees.ops import copy_tree
+from repro.trees.tree import Tree
+
+__all__ = [
+    "bootstrap_alignment",
+    "bootstrap_trees",
+    "cluster_support",
+    "annotate_support",
+]
+
+
+def _rng(seed_or_rng: random.Random | int | None) -> random.Random:
+    if isinstance(seed_or_rng, random.Random):
+        return seed_or_rng
+    return random.Random(seed_or_rng)
+
+
+def bootstrap_alignment(
+    alignment: Alignment, rng: random.Random | int | None = None
+) -> Alignment:
+    """One bootstrap replicate: columns resampled with replacement.
+
+    The replicate has the same taxa and the same number of sites.
+    """
+    generator = _rng(rng)
+    n_sites = alignment.n_sites
+    chosen = [generator.randrange(n_sites) for _ in range(n_sites)]
+    return Alignment(
+        alignment.taxa,
+        tuple(
+            "".join(sequence[position] for position in chosen)
+            for sequence in alignment.sequences
+        ),
+    )
+
+
+def bootstrap_trees(
+    alignment: Alignment,
+    replicates: int = 20,
+    rng: random.Random | int | None = None,
+    n_starts: int = 2,
+    outgroup: str | None = None,
+) -> list[Tree]:
+    """One best parsimony tree per bootstrap replicate.
+
+    Parameters
+    ----------
+    replicates:
+        Number of resampled alignments (classically 100+; scale to
+        taste — each costs a full search).
+    n_starts:
+        Random restarts per replicate search.
+    outgroup:
+        When given, every replicate tree is re-rooted on this taxon.
+        Parsimony scores are rooting-invariant, so search rootings are
+        arbitrary; rooted-clade support (:func:`cluster_support`) is
+        only meaningful when reference and replicates are rooted
+        consistently — pass the same outgroup used for the reference.
+    """
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    generator = _rng(rng)
+    trees: list[Tree] = []
+    for _ in range(replicates):
+        replicate = bootstrap_alignment(alignment, generator)
+        result = parsimony_search(
+            replicate, rng=generator, n_starts=n_starts, max_trees=1
+        )
+        best = result.trees[0]
+        if outgroup is not None:
+            from repro.trees.rooting import outgroup_root
+
+            best = outgroup_root(best, outgroup)
+        trees.append(best)
+    return trees
+
+
+def cluster_support(
+    reference: Tree, replicate_trees: Sequence[Tree]
+) -> dict[frozenset[str], float]:
+    """Fraction of replicates displaying each reference clade.
+
+    Returns ``{cluster: support in [0, 1]}`` for every nontrivial
+    cluster of ``reference``.
+    """
+    if not replicate_trees:
+        raise ValueError("need at least one replicate tree")
+    reference_clusters = nontrivial_clusters(reference)
+    counts = {cluster: 0 for cluster in reference_clusters}
+    for tree in replicate_trees:
+        present = nontrivial_clusters(tree)
+        for cluster in reference_clusters:
+            if cluster in present:
+                counts[cluster] += 1
+    return {
+        cluster: count / len(replicate_trees)
+        for cluster, count in counts.items()
+    }
+
+
+def annotate_support(
+    reference: Tree, replicate_trees: Sequence[Tree]
+) -> Tree:
+    """A copy of ``reference`` with internal labels set to support %.
+
+    Each internal (non-root) node whose cluster is nontrivial gets the
+    integer percentage of replicates displaying it — the conventional
+    display on published phylogenies.
+    """
+    support = cluster_support(reference, replicate_trees)
+    annotated = copy_tree(reference)
+    below: dict[int, frozenset[str]] = {}
+    for node in annotated.postorder():
+        if node.is_leaf:
+            below[node.node_id] = frozenset(
+                (node.label,) if node.label is not None else ()
+            )
+        else:
+            below[node.node_id] = frozenset().union(
+                *(below[child.node_id] for child in node.children)
+            )
+            cluster = below[node.node_id]
+            if cluster in support and node.parent is not None:
+                node.label = str(round(100 * support[cluster]))
+    return annotated

@@ -1,0 +1,90 @@
+"""Fitch-Hartigan small parsimony, vectorised over sites.
+
+Given a leaf-labeled tree and an alignment, the small parsimony problem
+asks for the minimum number of state changes over the tree explaining
+the observed leaf states.  For binary trees this is Fitch's algorithm;
+for multifurcating nodes we apply Hartigan's generalisation:
+
+    at a node with children state-sets S_1 .. S_c, let count(s) be the
+    number of children whose set contains state s and k = max count;
+    the node's set is { s : count(s) = k } and the node contributes
+    (c - k) changes.
+
+States are 4-bit sets (see :mod:`repro.parsimony.alignment`), so the
+per-site computation runs as numpy bit arithmetic across all sites at
+once — fast enough to drive thousands of tree evaluations in the
+search of :mod:`repro.parsimony.search`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParsimonyError
+from repro.parsimony.alignment import Alignment
+from repro.trees.tree import Tree
+
+__all__ = ["fitch_score", "site_scores"]
+
+_STATE_BITS = (1, 2, 4, 8)
+
+
+def site_scores(tree: Tree, alignment: Alignment) -> np.ndarray:
+    """Per-site parsimony change counts, as an int array of n_sites.
+
+    Raises
+    ------
+    ParsimonyError
+        If the tree's leaf labels do not exactly match the alignment's
+        taxa, or the tree is degenerate (empty / leaf-only root with no
+        alignment match).
+    """
+    if tree.root is None:
+        raise ParsimonyError("cannot score an empty tree")
+    leaf_labels = [node.label for node in tree.leaves()]
+    if None in leaf_labels:
+        raise ParsimonyError("tree has unlabeled leaves")
+    if len(set(leaf_labels)) != len(leaf_labels):
+        raise ParsimonyError("tree has duplicate leaf labels")
+    if set(leaf_labels) != set(alignment.taxa):
+        missing = sorted(set(alignment.taxa) - set(leaf_labels))
+        extra = sorted(set(leaf_labels) - set(alignment.taxa))
+        raise ParsimonyError(
+            f"leaves and alignment disagree (missing {missing}, extra {extra})"
+        )
+
+    encoded = alignment.encoded()
+    row_of = {taxon: row for row, taxon in enumerate(alignment.taxa)}
+    n_sites = alignment.n_sites
+    changes = np.zeros(n_sites, dtype=np.int64)
+    sets: dict[int, np.ndarray] = {}
+
+    for node in tree.postorder():
+        if node.is_leaf:
+            sets[node.node_id] = encoded[row_of[node.label]]
+            continue
+        child_sets = [sets.pop(child.node_id) for child in node.children]
+        if len(child_sets) == 1:
+            # A unary node passes its child's set through at no cost.
+            sets[node.node_id] = child_sets[0]
+            continue
+        counts = np.zeros((4, n_sites), dtype=np.int16)
+        for child_set in child_sets:
+            for position, bit in enumerate(_STATE_BITS):
+                counts[position] += (child_set & bit).astype(bool)
+        best = counts.max(axis=0)
+        node_set = np.zeros(n_sites, dtype=np.uint8)
+        for position, bit in enumerate(_STATE_BITS):
+            node_set |= np.where(counts[position] == best, bit, 0).astype(np.uint8)
+        sets[node.node_id] = node_set
+        changes += len(child_sets) - best
+    return changes
+
+
+def fitch_score(tree: Tree, alignment: Alignment) -> int:
+    """Total parsimony score (number of changes) of a tree.
+
+    The classical Fitch count for binary trees, Hartigan's
+    generalisation at multifurcations; lower is better.
+    """
+    return int(site_scores(tree, alignment).sum())

@@ -1,0 +1,194 @@
+"""Maximum-parsimony tree search keeping all equally-best topologies.
+
+The paper's Section 5.2 pipeline is: sequences -> PHYLIP ``dnapars`` ->
+*the set of equally parsimonious trees* -> consensus methods.  This
+module is the middle arrow.  Like ``dnapars``, it hill-climbs through
+tree space with rearrangement moves from random starting trees and
+retains every distinct topology tied at the best score found — then
+explores the tie plateau exhaustively (bounded) so the returned set is
+a faithful stand-in for "the equally parsimonious trees".
+
+Exact branch-and-bound is out of reach beyond ~12 taxa (as it was for
+``dnapars``); the experiments only need *a* reproducible set of
+equally-good trees, which hill-climbing with restarts provides.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.generate.phylo import nni_neighbors, spr_neighbors, yule_tree
+from repro.parsimony.alignment import Alignment
+from repro.parsimony.fitch import fitch_score
+from repro.trees.bipartition import nontrivial_clusters
+from repro.trees.tree import Tree
+
+__all__ = ["ParsimonyResult", "parsimony_search", "equally_parsimonious_trees"]
+
+
+@dataclass
+class ParsimonyResult:
+    """Outcome of a parsimony search.
+
+    Attributes
+    ----------
+    best_score:
+        The lowest Fitch-Hartigan score encountered.
+    trees:
+        All distinct topologies found at ``best_score`` (bounded by the
+        search's ``max_trees``).
+    evaluations:
+        Number of tree score evaluations performed.
+    pool:
+        Every distinct evaluated topology with its score, best first —
+        the raw material for near-optimal selections.
+    """
+
+    best_score: int
+    trees: list[Tree]
+    evaluations: int
+    pool: list[tuple[int, Tree]] = field(default_factory=list, repr=False)
+
+
+def _topology_key(tree: Tree) -> frozenset[frozenset[str]]:
+    return frozenset(nontrivial_clusters(tree))
+
+
+def parsimony_search(
+    alignment: Alignment,
+    rng: random.Random | int | None = None,
+    n_starts: int = 4,
+    max_trees: int = 64,
+    max_plateau_expansions: int = 200,
+) -> ParsimonyResult:
+    """Hill-climbing parsimony search with NNI moves and restarts.
+
+    Parameters
+    ----------
+    alignment:
+        The sequences; leaves of candidate trees are its taxa.
+    rng:
+        Seed or :class:`random.Random` for the random starts.
+    n_starts:
+        Number of independent random starting topologies.
+    max_trees:
+        Cap on the number of tied-best topologies retained.
+    max_plateau_expansions:
+        Cap on equal-score neighbourhood expansions when walking the
+        tie plateau (keeps worst-case time bounded on flat landscapes).
+    """
+    generator = (
+        rng if isinstance(rng, random.Random) else random.Random(rng)
+    )
+    evaluated: dict[frozenset[frozenset[str]], tuple[int, Tree]] = {}
+    evaluations = 0
+
+    def score_of(tree: Tree) -> int:
+        nonlocal evaluations
+        key = _topology_key(tree)
+        cached = evaluated.get(key)
+        if cached is not None:
+            return cached[0]
+        value = fitch_score(tree, alignment)
+        evaluations += 1
+        evaluated[key] = (value, tree)
+        return value
+
+    best_score = None
+    for _ in range(max(1, n_starts)):
+        tree = yule_tree(list(alignment.taxa), generator)
+        score = score_of(tree)
+        improved = True
+        while improved:
+            improved = False
+            # Cheap local pass: steepest descent over NNI moves.
+            best_neighbor = None
+            best_neighbor_score = score
+            for neighbor in nni_neighbors(tree):
+                neighbor_score = score_of(neighbor)
+                if neighbor_score < best_neighbor_score:
+                    best_neighbor_score = neighbor_score
+                    best_neighbor = neighbor
+            if best_neighbor is None:
+                # NNI is stuck: one "global rearrangement" pass over the
+                # SPR neighbourhood (dnapars-style) to escape the local
+                # optimum; first improvement wins.
+                for neighbor in spr_neighbors(tree):
+                    neighbor_score = score_of(neighbor)
+                    if neighbor_score < best_neighbor_score:
+                        best_neighbor_score = neighbor_score
+                        best_neighbor = neighbor
+                        break
+            if best_neighbor is not None:
+                tree, score = best_neighbor, best_neighbor_score
+                improved = True
+        if best_score is None or score < best_score:
+            best_score = score
+    assert best_score is not None
+
+    # Walk the plateau of tied-best topologies.
+    tied = {
+        key: tree
+        for key, (value, tree) in evaluated.items()
+        if value == best_score
+    }
+    frontier = list(tied.values())
+    expansions = 0
+    while frontier and len(tied) < max_trees and expansions < max_plateau_expansions:
+        current = frontier.pop()
+        expansions += 1
+        for neighbor in nni_neighbors(current):
+            if len(tied) >= max_trees:
+                break
+            neighbor_score = score_of(neighbor)
+            key = _topology_key(neighbor)
+            if neighbor_score == best_score and key not in tied:
+                tied[key] = neighbor
+                frontier.append(neighbor)
+
+    pool = sorted(evaluated.values(), key=lambda pair: pair[0])
+    return ParsimonyResult(
+        best_score=best_score,
+        trees=list(tied.values())[:max_trees],
+        evaluations=evaluations,
+        pool=pool,
+    )
+
+
+def equally_parsimonious_trees(
+    alignment: Alignment,
+    count: int,
+    rng: random.Random | int | None = None,
+    n_starts: int = 4,
+) -> list[Tree]:
+    """At least ``count`` (near-)equally parsimonious distinct topologies.
+
+    Returns the tied-best trees when the plateau is large enough;
+    otherwise widens the score band minimally (best score, then best
+    score + 1, ...) over the search's evaluation pool until ``count``
+    topologies are collected.  The widening mirrors how practitioners
+    assemble tree sets when strict ties are scarce, and the consensus
+    experiment needs *fixed-size* sets (5, 10, ... 35 trees in
+    Figure 9).
+
+    Raises
+    ------
+    ValueError
+        If the search pool cannot supply ``count`` distinct topologies
+        (raise ``n_starts`` in that case).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    result = parsimony_search(
+        alignment, rng=rng, n_starts=n_starts, max_trees=max(count, 16)
+    )
+    if len(result.trees) >= count:
+        return result.trees[:count]
+    selected = list(result.pool[:count])
+    if len(selected) < count:
+        raise ValueError(
+            f"search pool holds only {len(selected)} distinct topologies; "
+            f"increase n_starts to collect {count}"
+        )
+    return [tree for _score, tree in selected]

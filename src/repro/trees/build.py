@@ -1,0 +1,190 @@
+"""The BUILD algorithm over rooted triples (Aho et al. 1981).
+
+A *rooted triple* ``ab|c`` asserts that taxa ``a`` and ``b`` share a
+more recent common ancestor with each other than either does with
+``c``.  Triples are the atoms of rooted tree topology: a tree is
+determined by its triple set, and a set of triples is realisable by a
+tree exactly when the classical BUILD recursion succeeds.
+
+This is the substrate for the supertree workflow
+(:mod:`repro.apps.supertree`) that Section 5.3 of the paper motivates:
+kernel trees drawn from groups with overlapping taxa are "a good
+starting point in building a supertree", and BUILD is the canonical
+way to assemble overlapping rooted information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import TreeError
+from repro.trees.traversal import TreeIndex
+from repro.trees.tree import Tree
+
+__all__ = ["Triple", "tree_triples", "build_from_triples", "BuildConflict"]
+
+
+class BuildConflict(TreeError):
+    """The triple set is incompatible: no tree realises all of it."""
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A rooted triple ``{a, b} | c`` (a, b closer to each other).
+
+    The pair is stored sorted so triples compare canonically.
+    """
+
+    a: str
+    b: str
+    c: str
+
+    def __post_init__(self) -> None:
+        if len({self.a, self.b, self.c}) != 3:
+            raise ValueError("a triple needs three distinct taxa")
+        if self.a > self.b:
+            object.__setattr__(self, "a", self.b)
+            object.__setattr__(self, "b", self.a)
+
+    @classmethod
+    def make(cls, a: str, b: str, c: str) -> "Triple":
+        """Build with the cherry pair normalised."""
+        if a > b:
+            a, b = b, a
+        return cls(a, b, c)
+
+    @property
+    def taxa(self) -> frozenset[str]:
+        """The three taxa of the triple."""
+        return frozenset((self.a, self.b, self.c))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.a}{self.b}|{self.c}"
+
+
+def tree_triples(tree: Tree) -> Iterator[Triple]:
+    """Yield every rooted triple displayed by a leaf-labeled tree.
+
+    For each unordered taxon triple {x, y, z}, the displayed triple is
+    decided by the pair whose LCA is strictly deeper than the LCA of
+    all three (unresolved triples — all three hanging off one node —
+    are not emitted).
+    """
+    leaves = [node for node in tree.leaves() if node.label is not None]
+    labels = [leaf.label for leaf in leaves]
+    if len(set(labels)) != len(labels):
+        raise TreeError("tree_triples requires unique leaf labels")
+    if len(leaves) < 3:
+        return
+    index = TreeIndex(tree)
+    for i in range(len(leaves)):
+        for j in range(i + 1, len(leaves)):
+            lca_ij = index.lca(leaves[i], leaves[j])
+            depth_ij = index.depth(lca_ij)
+            for k in range(j + 1, len(leaves)):
+                lca_ik = index.lca(leaves[i], leaves[k])
+                lca_jk = index.lca(leaves[j], leaves[k])
+                depth_ik = index.depth(lca_ik)
+                depth_jk = index.depth(lca_jk)
+                deepest = max(depth_ij, depth_ik, depth_jk)
+                # Exactly one pairwise LCA can be strictly deepest; if
+                # all are equal the triple is unresolved.
+                if depth_ij == depth_ik == depth_jk:
+                    continue
+                if depth_ij == deepest:
+                    yield Triple.make(
+                        leaves[i].label, leaves[j].label, leaves[k].label
+                    )
+                elif depth_ik == deepest:
+                    yield Triple.make(
+                        leaves[i].label, leaves[k].label, leaves[j].label
+                    )
+                else:
+                    yield Triple.make(
+                        leaves[j].label, leaves[k].label, leaves[i].label
+                    )
+
+
+def build_from_triples(
+    taxa: Iterable[str],
+    triples: Sequence[Triple],
+    name: str | None = None,
+) -> Tree:
+    """The BUILD recursion: a tree displaying every triple, or raise.
+
+    Parameters
+    ----------
+    taxa:
+        The full taxon set of the output tree (may exceed the taxa
+        mentioned by the triples; unconstrained taxa attach where the
+        recursion leaves them free).
+    triples:
+        The rooted triples to display.
+
+    Returns
+    -------
+    Tree
+        A (generally multifurcating) tree displaying all triples.
+
+    Raises
+    ------
+    BuildConflict
+        When no tree displays all the triples.
+    """
+    taxa_list = sorted(set(taxa))
+    if not taxa_list:
+        raise TreeError("cannot BUILD over an empty taxon set")
+    for triple in triples:
+        missing = triple.taxa - set(taxa_list)
+        if missing:
+            raise TreeError(f"triple {triple} mentions unknown taxa {sorted(missing)}")
+
+    tree = Tree(name=name)
+    root = tree.add_root()
+    stack: list[tuple[list[str], list[Triple], object]] = [
+        (taxa_list, list(triples), root)
+    ]
+    while stack:
+        block, block_triples, node = stack.pop()
+        if len(block) == 1:
+            node.label = block[0]
+            continue
+        if len(block) == 2:
+            tree.add_child(node, label=block[0])
+            tree.add_child(node, label=block[1])
+            continue
+        # Aho graph: connect the cherry pair of each triple.
+        position = {taxon: i for i, taxon in enumerate(block)}
+        parent = list(range(len(block)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for triple in block_triples:
+            root_a = find(position[triple.a])
+            root_b = find(position[triple.b])
+            if root_a != root_b:
+                parent[root_a] = root_b
+        components: dict[int, list[str]] = {}
+        for taxon in block:
+            components.setdefault(find(position[taxon]), []).append(taxon)
+        if len(components) == 1:
+            raise BuildConflict(
+                f"incompatible triples over block {block[:6]}..."
+                if len(block) > 6
+                else f"incompatible triples over block {block}"
+            )
+        for component in sorted(components.values(), key=lambda c: c[0]):
+            member_set = set(component)
+            inside = [
+                triple
+                for triple in block_triples
+                if triple.taxa <= member_set
+            ]
+            child = tree.add_child(node)
+            stack.append((sorted(component), inside, child))
+    return tree

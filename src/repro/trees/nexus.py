@@ -1,0 +1,172 @@
+"""NEXUS tree-file support.
+
+TreeBASE — the corpus the paper mines — distributes its phylogenies as
+NEXUS files.  This module reads and writes the subset of NEXUS needed
+for tree exchange: the ``TREES`` block with its optional ``TRANSLATE``
+table::
+
+    #NEXUS
+    BEGIN TREES;
+        TRANSLATE
+            1 Gnetum,
+            2 Welwitschia,
+            3 Ephedra;
+        TREE tree_1 = [&R] ((1,2),3);
+        TREE tree_2 = ((2,1),3);
+    END;
+
+Supported: any number of TREES blocks, ``[...]`` comments (including
+the ``[&R]``/``[&U]`` rooting annotations, which are recorded on the
+tree name side), quoted names, case-insensitive keywords, and the
+TRANSLATE indirection (labels in the Newick bodies are mapped through
+the table).  Other NEXUS blocks (TAXA, CHARACTERS, ...) are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NewickError
+from repro.trees.newick import parse_newick, write_newick
+from repro.trees.ops import relabel
+from repro.trees.tree import Tree
+
+__all__ = ["parse_nexus", "write_nexus", "read_nexus_file"]
+
+_BLOCK_RE = re.compile(
+    r"BEGIN\s+TREES\s*;(.*?)END\s*;", re.IGNORECASE | re.DOTALL
+)
+_TREE_RE = re.compile(
+    r"U?TREE\s*(\*)?\s*([^=\s]+)\s*=\s*(.*?);",
+    re.IGNORECASE | re.DOTALL,
+)
+_TRANSLATE_RE = re.compile(
+    r"TRANSLATE\s+(.*?);", re.IGNORECASE | re.DOTALL
+)
+
+
+def _strip_comments(text: str) -> str:
+    """Remove ``[...]`` comments (non-nested, per the NEXUS standard)."""
+    pieces: list[str] = []
+    position = 0
+    while True:
+        start = text.find("[", position)
+        if start == -1:
+            pieces.append(text[position:])
+            return "".join(pieces)
+        pieces.append(text[position:start])
+        end = text.find("]", start + 1)
+        if end == -1:
+            raise NewickError("unterminated NEXUS comment", start)
+        position = end + 1
+
+
+def _unquote(token: str) -> str:
+    # Underscores in unquoted tokens are kept literal (TreeBASE taxon
+    # names such as ``Mus_musculus`` round-trip unchanged).
+    token = token.strip()
+    if len(token) >= 2 and token[0] == "'" and token[-1] == "'":
+        return token[1:-1].replace("''", "'")
+    return token
+
+
+def _parse_translate(block: str) -> dict[str, str]:
+    match = _TRANSLATE_RE.search(block)
+    if not match:
+        return {}
+    table: dict[str, str] = {}
+    for entry in match.group(1).split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(None, 1)
+        if len(parts) != 2:
+            raise NewickError(f"malformed TRANSLATE entry {entry!r}")
+        key, name = parts
+        table[_unquote(key)] = _unquote(name)
+    return table
+
+
+def parse_nexus(text: str) -> list[Tree]:
+    """Parse every tree in the TREES block(s) of a NEXUS document.
+
+    Tree names become :attr:`Tree.name`; TRANSLATE keys in the Newick
+    bodies are replaced by their taxon names.
+
+    Raises
+    ------
+    NewickError
+        If the document has no ``#NEXUS`` header, no TREES block, or a
+        malformed tree statement.
+    """
+    stripped = _strip_comments(text)
+    if not stripped.lstrip().upper().startswith("#NEXUS"):
+        raise NewickError("missing #NEXUS header")
+    blocks = _BLOCK_RE.findall(stripped)
+    if not blocks:
+        raise NewickError("no TREES block found")
+    trees: list[Tree] = []
+    for block in blocks:
+        table = _parse_translate(block)
+        # Cut the TRANSLATE statement so its commas don't look like
+        # tree statements.
+        body = _TRANSLATE_RE.sub("", block)
+        for match in _TREE_RE.finditer(body):
+            name = _unquote(match.group(2))
+            newick = match.group(3).strip()
+            tree = parse_newick(newick + ";", name=name)
+            if table:
+                tree = relabel(tree, table, missing="keep")
+                tree.name = name
+            trees.append(tree)
+    if not trees:
+        raise NewickError("TREES block contains no TREE statements")
+    return trees
+
+
+def read_nexus_file(path: str) -> list[Tree]:
+    """Read all trees from a NEXUS file."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_nexus(handle.read())
+
+
+def write_nexus(trees: list[Tree], translate: bool = True) -> str:
+    """Serialise trees into a NEXUS document.
+
+    Parameters
+    ----------
+    translate:
+        When true (default), emit a TRANSLATE table over the union of
+        leaf labels and reference taxa by number — the compact style
+        TreeBASE uses.  When false, labels are written inline.
+    """
+    lines = ["#NEXUS", "BEGIN TREES;"]
+    if translate:
+        taxa = sorted({
+            label for tree in trees for label in tree.leaf_labels()
+        })
+        number_of = {name: str(i + 1) for i, name in enumerate(taxa)}
+        if taxa:
+            lines.append("    TRANSLATE")
+            entries = [
+                f"        {number} {_quote_if_needed(name)}"
+                for name, number in number_of.items()
+            ]
+            lines.append(",\n".join(entries) + ";")
+        payload = [
+            relabel(tree, number_of, missing="keep") for tree in trees
+        ]
+    else:
+        payload = list(trees)
+    for position, tree in enumerate(payload):
+        name = trees[position].name or f"tree_{position}"
+        body = write_newick(tree, include_lengths=True)
+        lines.append(f"    TREE {_quote_if_needed(name)} = [&R] {body}")
+    lines.append("END;")
+    return "\n".join(lines) + "\n"
+
+
+def _quote_if_needed(name: str) -> str:
+    if re.fullmatch(r"[\w.\-|]+", name):
+        return name
+    return "'" + name.replace("'", "''") + "'"

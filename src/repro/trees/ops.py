@@ -1,0 +1,212 @@
+"""Structural operations on trees.
+
+These are the supporting operations that the applications of Section 5
+need: deep copies, relabeling, restriction of a phylogeny to a taxon
+subset (used by the Adams consensus and by supertree-style workflows
+over trees that share only some taxa), suppression of unary nodes, and
+construction from a parent list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import TreeError
+from repro.trees.tree import Node, Tree
+
+__all__ = [
+    "copy_tree",
+    "relabel",
+    "restrict_to_taxa",
+    "collapse_unary",
+    "tree_from_parent_list",
+    "parent_list",
+]
+
+
+def copy_tree(tree: Tree, name: str | None = None) -> Tree:
+    """A deep structural copy preserving ids, labels and lengths."""
+    result = Tree(name=name if name is not None else tree.name)
+    if tree.root is None:
+        return result
+    new_root = result.add_root(label=tree.root.label, node_id=tree.root.node_id)
+    new_root.length = tree.root.length
+    mapping: dict[int, Node] = {tree.root.node_id: new_root}
+    for node in tree.preorder():
+        if node is tree.root:
+            continue
+        parent = mapping[node.parent.node_id]
+        mapping[node.node_id] = result.add_child(
+            parent, label=node.label, length=node.length, node_id=node.node_id
+        )
+    return result
+
+
+def relabel(
+    tree: Tree,
+    mapping: Mapping[str, str] | Callable[[str], str],
+    missing: str = "keep",
+) -> Tree:
+    """Return a copy of ``tree`` with labels rewritten.
+
+    Parameters
+    ----------
+    mapping:
+        Either a dict from old to new label or a callable applied to
+        every label.
+    missing:
+        For dict mappings, what to do with labels absent from the dict:
+        ``"keep"`` leaves them, ``"drop"`` unlabels the node,
+        ``"error"`` raises :class:`~repro.errors.TreeError`.
+    """
+    if missing not in ("keep", "drop", "error"):
+        raise ValueError(f"invalid missing policy {missing!r}")
+    result = copy_tree(tree)
+    for node in result.preorder():
+        if node.label is None:
+            continue
+        if callable(mapping):
+            node.label = mapping(node.label)
+        elif node.label in mapping:
+            node.label = mapping[node.label]
+        elif missing == "drop":
+            node.label = None
+        elif missing == "error":
+            raise TreeError(f"no mapping for label {node.label!r}")
+    return result
+
+
+def restrict_to_taxa(tree: Tree, taxa: Iterable[str], name: str | None = None) -> Tree:
+    """Restrict a phylogeny to the leaves whose labels are in ``taxa``.
+
+    Leaves outside ``taxa`` are pruned; internal nodes left childless
+    are removed, and internal nodes left with a single child are
+    suppressed (their edge lengths merge).  The result is the induced
+    topology on the kept taxa, the standard operation behind subtree
+    comparison of phylogenies with partially overlapping taxon sets.
+
+    Raises
+    ------
+    TreeError
+        If no requested taxon occurs in the tree.
+    """
+    wanted = set(taxa)
+    result = copy_tree(tree, name=name)
+    if result.root is None:
+        raise TreeError("cannot restrict an empty tree")
+    # Prune unwanted leaves repeatedly (removal can expose new leaves).
+    changed = True
+    while changed:
+        changed = False
+        for node in list(result.preorder()):
+            if node not in result or not node.is_leaf or node is result.root:
+                continue
+            if node.label is None or node.label not in wanted:
+                result.remove_subtree(node)
+                changed = True
+    root = result.root
+    if root is not None and root.is_leaf:
+        if root.label is None or root.label not in wanted:
+            raise TreeError("restriction removed every requested taxon")
+        return result
+    collapse_unary(result)
+    if result.root is None or not (result.leaf_labels() & wanted):
+        raise TreeError("restriction removed every requested taxon")
+    return result
+
+
+def collapse_unary(tree: Tree) -> int:
+    """Suppress all internal nodes that have exactly one child, in place.
+
+    A unary root is replaced by its single child.  Returns the number
+    of suppressed nodes.
+    """
+    suppressed = 0
+    changed = True
+    while changed:
+        changed = False
+        root = tree.root
+        if root is not None and root.degree == 1 and not root.is_leaf:
+            # Promote the single child to root by splicing the child's
+            # content upward: move grandchildren to the root and take
+            # over the child's label.
+            child = root.children[0]
+            if child.is_leaf:
+                root.label = child.label
+                tree.remove_subtree(child)
+            else:
+                root.label = child.label
+                tree.splice_out(child)
+            suppressed += 1
+            changed = True
+            continue
+        for node in list(tree.preorder()):
+            if node not in tree or node is tree.root:
+                continue
+            if node.degree == 1 and not node.is_leaf:
+                tree.splice_out(node)
+                suppressed += 1
+                changed = True
+    return suppressed
+
+
+def tree_from_parent_list(
+    parents: Sequence[int | None],
+    labels: Sequence[str | None] | None = None,
+) -> Tree:
+    """Build a tree from a parent array.
+
+    ``parents[i]`` is the id of node ``i``'s parent, or ``None`` for the
+    root (exactly one entry must be ``None``).  Node ids are the array
+    positions.
+
+    Raises
+    ------
+    TreeError
+        If there is not exactly one root or an edge points outside the
+        array.
+    """
+    roots = [i for i, parent in enumerate(parents) if parent is None]
+    if len(roots) != 1:
+        raise TreeError(f"expected exactly one root, found {len(roots)}")
+    label_of = (
+        (lambda i: labels[i]) if labels is not None else (lambda i: None)
+    )
+    children_of: dict[int, list[int]] = {}
+    for child, parent in enumerate(parents):
+        if parent is None:
+            continue
+        if not 0 <= parent < len(parents):
+            raise TreeError(f"parent id {parent} out of range")
+        children_of.setdefault(parent, []).append(child)
+    tree = Tree()
+    root_id = roots[0]
+    root = tree.add_root(label=label_of(root_id), node_id=root_id)
+    stack = [root]
+    built = 1
+    while stack:
+        parent_node = stack.pop()
+        for child_id in children_of.get(parent_node.node_id, ()):
+            stack.append(
+                tree.add_child(parent_node, label=label_of(child_id), node_id=child_id)
+            )
+            built += 1
+    if built != len(parents):
+        raise TreeError("parent list contains a cycle or unreachable nodes")
+    return tree
+
+
+def parent_list(tree: Tree) -> list[int | None]:
+    """The inverse of :func:`tree_from_parent_list` for compact ids.
+
+    Requires node ids to be exactly ``0 .. size-1``.
+    """
+    size = len(tree)
+    result: list[int | None] = [None] * size
+    for node in tree.preorder():
+        if not 0 <= node.node_id < size:
+            raise TreeError("parent_list requires compact 0..n-1 node ids")
+        result[node.node_id] = (
+            node.parent.node_id if node.parent is not None else None
+        )
+    return result

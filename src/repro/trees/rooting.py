@@ -1,0 +1,210 @@
+"""Rooting unrooted phylogenies.
+
+Section 6 of the paper notes that maximum-parsimony and
+maximum-likelihood reconstructions are unrooted.  Free-tree mining
+(:mod:`repro.core.freetree`) handles them directly; the applications
+that need *rooted* trees (consensus, Adams recursion, rooted triples)
+first pick a root.  This module provides the two standard choices:
+
+- :func:`outgroup_root` — root on the edge above a designated outgroup
+  taxon (or the LCA edge of an outgroup set), the biologically
+  preferred method (the seed-plant study carries an explicit
+  "Outgroup to Seed Plants" taxon for exactly this purpose);
+- :func:`midpoint_root` — root halfway along the longest leaf-to-leaf
+  path, the fallback when no outgroup is known (requires branch
+  lengths; edges without one count as length 1).
+
+Both take a :class:`~repro.core.freetree.FreeTree` or an
+already-rooted :class:`~repro.trees.tree.Tree` (which is unrooted
+first, so re-rooting is a supported operation).
+"""
+
+from __future__ import annotations
+
+from repro.core.freetree import FreeTree
+from repro.errors import TreeError
+from repro.trees.ops import collapse_unary
+from repro.trees.tree import Tree
+
+__all__ = ["outgroup_root", "midpoint_root", "reroot_on_edge"]
+
+
+def _as_free(tree_or_graph, suppress_root: bool = False) -> FreeTree:
+    if isinstance(tree_or_graph, FreeTree):
+        return tree_or_graph
+    if isinstance(tree_or_graph, Tree):
+        # Re-rooting semantics: a binary root is an artifact of the old
+        # rooting and is elided, so "unroot then root elsewhere" does
+        # not leave phantom degree-2 nodes on the paths.
+        return FreeTree.from_rooted(tree_or_graph, suppress_root=suppress_root)
+    raise TreeError(
+        f"expected a Tree or FreeTree, got {type(tree_or_graph).__name__}"
+    )
+
+
+def reroot_on_edge(tree_or_graph, edge: tuple[int, int], name: str | None = None) -> Tree:
+    """Root on an arbitrary edge (the Section 6 / Figure 11 operation).
+
+    Returns a new rooted tree whose (unlabeled, fresh-id) root subdivides
+    ``edge``.
+    """
+    graph = _as_free(tree_or_graph)
+    rooted = graph.to_rooted(edge)
+    if name is not None:
+        rooted.name = name
+    return rooted
+
+
+def outgroup_root(
+    tree_or_graph,
+    outgroup: str | set[str],
+    name: str | None = None,
+) -> Tree:
+    """Root so that the outgroup is the root's own child subtree.
+
+    Parameters
+    ----------
+    outgroup:
+        A single taxon label, or a set of labels.  For a single taxon
+        the root lands on its pendant edge.  For a set, the tree is
+        first rooted at any member, the outgroup's LCA is located, and
+        the root is placed on the edge above it; the set must form a
+        clade from that vantage (otherwise ``TreeError``).
+
+    Raises
+    ------
+    TreeError
+        If an outgroup label is absent or the set is not a clade.
+    """
+    graph = _as_free(tree_or_graph, suppress_root=True)
+    labels = {label for label in (graph.label(n) for n in graph.nodes()) if label}
+    wanted = {outgroup} if isinstance(outgroup, str) else set(outgroup)
+    missing = wanted - labels
+    if missing:
+        raise TreeError(f"outgroup taxa not in tree: {sorted(missing)}")
+    if not wanted:
+        raise TreeError("empty outgroup")
+
+    if len(graph) == 1:
+        return graph.to_rooted()  # a single node is its own root
+
+    if len(wanted) == 1:
+        # Root on the pendant edge of the outgroup node itself.
+        anchor = next(
+            node for node in graph.nodes() if graph.label(node) in wanted
+        )
+        pendant = next(iter(graph.neighbors(anchor)))
+        rooted = graph.to_rooted((anchor, pendant))
+        if name is not None:
+            rooted.name = name
+        return rooted
+
+    # Multi-taxon outgroup: temporarily root on an *ingroup* leaf's
+    # pendant edge — such an edge can never separate two outgroup
+    # members, so their LCA is well-defined below it — then re-root
+    # above the outgroup's LCA.
+    anchor = next(
+        (
+            node
+            for node in graph.nodes()
+            if len(graph.neighbors(node)) == 1
+            and graph.label(node) not in wanted
+        ),
+        None,
+    )
+    if anchor is None:
+        raise TreeError("outgroup spans the whole tree; cannot root above it")
+    temporary = graph.to_rooted((anchor, next(iter(graph.neighbors(anchor)))))
+    members = [
+        node for node in temporary.preorder() if node.label in wanted
+    ]
+    lca = members[0]
+    for node in members[1:]:
+        lca = temporary.lca(lca, node)
+    below = {
+        node.label
+        for node in temporary.preorder()
+        if node.label is not None
+        and (node is lca or temporary.is_ancestor(lca, node))
+    }
+    if below != wanted:
+        raise TreeError(
+            f"outgroup {sorted(wanted)} is not a clade "
+            f"(smallest containing clade: {sorted(below)})"
+        )
+    if lca.parent is None:
+        raise TreeError("outgroup spans the whole tree; cannot root above it")
+    rooted = graph.to_rooted((lca.parent.node_id, lca.node_id))
+    # The temporary root may survive as a degree-2 artifact; suppress.
+    collapse_unary(rooted)
+    if name is not None:
+        rooted.name = name
+    return rooted
+
+
+def midpoint_root(tree_or_graph, name: str | None = None) -> Tree:
+    """Root at the midpoint of the longest weighted leaf-to-leaf path.
+
+    Edge weights come from the child-side branch lengths when the
+    input is a rooted tree; a :class:`FreeTree` input uses unit
+    weights (free trees carry no lengths).  The root subdivides the
+    edge containing the path midpoint.
+    """
+    weights: dict[frozenset[int], float] = {}
+    if isinstance(tree_or_graph, Tree):
+        for node in tree_or_graph.preorder():
+            if node.parent is not None:
+                key = frozenset((node.node_id, node.parent.node_id))
+                weights[key] = node.length if node.length is not None else 1.0
+        root = tree_or_graph.root
+        if root is not None and root.label is None and root.degree == 2:
+            # The binary root is suppressed below; its two edges merge
+            # into one whose weight is their sum.
+            first, second = root.children
+            weights[frozenset((first.node_id, second.node_id))] = (
+                (first.length if first.length is not None else 1.0)
+                + (second.length if second.length is not None else 1.0)
+            )
+    graph = _as_free(tree_or_graph, suppress_root=True)
+    if len(graph) == 1:
+        return graph.to_rooted()
+
+    def edge_weight(a: int, b: int) -> float:
+        return weights.get(frozenset((a, b)), 1.0)
+
+    # Double BFS/DFS for the weighted diameter (exact on trees).
+    def farthest(start: int) -> tuple[int, float, dict[int, int]]:
+        distance = {start: 0.0}
+        parent: dict[int, int] = {}
+        stack = [start]
+        best_node, best_value = start, 0.0
+        while stack:
+            node = stack.pop()
+            for other in graph.neighbors(node):
+                if other in distance:
+                    continue
+                distance[other] = distance[node] + edge_weight(node, other)
+                parent[other] = node
+                stack.append(other)
+                if distance[other] > best_value:
+                    best_node, best_value = other, distance[other]
+        return best_node, best_value, parent
+
+    end_a, _ignored, _parents = farthest(next(iter(graph.nodes())))
+    end_b, diameter, parents = farthest(end_a)
+    # Walk back from end_b toward end_a accumulating weight until the
+    # midpoint's edge is found.
+    path = [end_b]
+    while path[-1] != end_a:
+        path.append(parents[path[-1]])
+    target = diameter / 2.0
+    walked = 0.0
+    for first, second in zip(path, path[1:]):
+        step = edge_weight(first, second)
+        if walked + step >= target or second == end_a:
+            rooted = graph.to_rooted((first, second))
+            if name is not None:
+                rooted.name = name
+            return rooted
+        walked += step
+    raise TreeError("midpoint search failed")  # pragma: no cover

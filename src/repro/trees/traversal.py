@@ -1,0 +1,178 @@
+"""Preprocessing indexes over a tree.
+
+Section 3 of the paper describes two preprocessing steps used by
+``Single_Tree_Mining``:
+
+1. computing ``children_set(v)`` for every node ``v`` (this is stored on
+   the nodes themselves, see :attr:`repro.trees.tree.Node.children`);
+2. building a *conventional hash table* so that the list of ancestors of
+   any node can be located in constant time.
+
+:class:`TreeIndex` materialises step 2 together with the depth table and
+a constant-time least-common-ancestor-free distance check used by the
+mining inner loop.  An index is a snapshot: it records the tree version
+at construction and refuses to serve queries after the tree mutates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import TreeError
+from repro.trees.tree import Node, Tree
+
+__all__ = ["TreeIndex"]
+
+
+class TreeIndex:
+    """Depth, ancestor and Euler-interval tables for one tree.
+
+    Parameters
+    ----------
+    tree:
+        The tree to index.  The tree must be non-empty.
+
+    Notes
+    -----
+    Building the index is a single O(|T|) pass plus O(|T| * height) for
+    the explicit ancestor lists (the paper's hash table).  The ancestor
+    lists are built lazily on first use so that shallow queries on deep
+    trees stay cheap.
+    """
+
+    def __init__(self, tree: Tree) -> None:
+        if tree.root is None:
+            raise TreeError("cannot index an empty tree")
+        self._tree = tree
+        self._version = tree.version
+        self._depth: dict[int, int] = {}
+        self._enter: dict[int, int] = {}
+        self._leave: dict[int, int] = {}
+        self._order: list[Node] = []
+        self._ancestors: dict[int, tuple[Node, ...]] | None = None
+        self._build()
+
+    def _build(self) -> None:
+        clock = 0
+        stack: list[tuple[Node, int, bool]] = [(self._tree.root, 0, False)]
+        while stack:
+            node, depth, expanded = stack.pop()
+            if expanded:
+                self._leave[node.node_id] = clock
+                clock += 1
+                continue
+            self._depth[node.node_id] = depth
+            self._enter[node.node_id] = clock
+            clock += 1
+            self._order.append(node)
+            stack.append((node, depth, True))
+            stack.extend((child, depth + 1, False) for child in reversed(node.children))
+
+    def _check_fresh(self) -> None:
+        if self._tree.version != self._version:
+            raise TreeError("tree mutated after the index was built")
+
+    @property
+    def tree(self) -> Tree:
+        """The indexed tree."""
+        return self._tree
+
+    def depth(self, node: Node) -> int:
+        """Number of edges from the root to ``node`` (O(1))."""
+        self._check_fresh()
+        return self._depth[node.node_id]
+
+    def preorder(self) -> Sequence[Node]:
+        """All nodes in preorder, as recorded at build time."""
+        self._check_fresh()
+        return self._order
+
+    def is_ancestor(self, ancestor: Node, descendant: Node) -> bool:
+        """O(1) strict-ancestor test via Euler-tour intervals."""
+        self._check_fresh()
+        if ancestor.node_id == descendant.node_id:
+            return False
+        return (
+            self._enter[ancestor.node_id] < self._enter[descendant.node_id]
+            and self._leave[descendant.node_id] < self._leave[ancestor.node_id]
+        )
+
+    def ancestors(self, node: Node) -> tuple[Node, ...]:
+        """The full ancestor list of ``node``, root last.
+
+        This is the paper's hash-table lookup: after the (lazy) first
+        call, every query is a single dictionary access.
+        """
+        self._check_fresh()
+        if self._ancestors is None:
+            table: dict[int, tuple[Node, ...]] = {}
+            for current in self._order:
+                parent = current.parent
+                if parent is None:
+                    table[current.node_id] = ()
+                else:
+                    table[current.node_id] = (parent,) + table[parent.node_id]
+            self._ancestors = table
+        return self._ancestors[node.node_id]
+
+    def ancestor_at(self, node: Node, levels_up: int) -> Node | None:
+        """The ancestor exactly ``levels_up`` edges above ``node``.
+
+        Returns ``None`` when the node is fewer than ``levels_up`` levels
+        deep.  ``levels_up`` must be at least 1.
+        """
+        self._check_fresh()
+        if levels_up < 1:
+            raise ValueError("levels_up must be >= 1")
+        current: Node | None = node
+        for _ in range(levels_up):
+            if current is None:
+                return None
+            current = current.parent
+        return current
+
+    def lca(self, first: Node, second: Node) -> Node:
+        """Least common ancestor, walking up from the deeper node."""
+        self._check_fresh()
+        a, b = first, second
+        depth_a = self._depth[a.node_id]
+        depth_b = self._depth[b.node_id]
+        while depth_a > depth_b:
+            a = a.parent  # type: ignore[assignment]
+            depth_a -= 1
+        while depth_b > depth_a:
+            b = b.parent  # type: ignore[assignment]
+            depth_b -= 1
+        while a is not b:
+            a = a.parent  # type: ignore[assignment]
+            b = b.parent  # type: ignore[assignment]
+            if a is None or b is None:  # pragma: no cover - defensive
+                raise TreeError("nodes do not share an ancestor")
+        return a
+
+    def descendants_at_depth(self, node: Node, levels_down: int) -> Iterator[Node]:
+        """Yield descendants exactly ``levels_down`` edges below ``node``.
+
+        ``levels_down`` of 0 yields ``node`` itself.  The walk is a
+        depth-bounded DFS, so cost is proportional to the number of
+        nodes within ``levels_down`` of ``node``.
+        """
+        self._check_fresh()
+        if levels_down < 0:
+            raise ValueError("levels_down must be >= 0")
+        stack: list[tuple[Node, int]] = [(node, 0)]
+        while stack:
+            current, depth = stack.pop()
+            if depth == levels_down:
+                yield current
+                continue
+            stack.extend((child, depth + 1) for child in current.children)
+
+    def subtree_nodes(self, node: Node) -> Iterator[Node]:
+        """Yield ``node`` and all of its descendants."""
+        self._check_fresh()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(current.children)

@@ -1,0 +1,88 @@
+"""Structural invariants of trees.
+
+These checks back the property-based tests and guard the boundaries of
+the mining algorithms: every generator in :mod:`repro.generate` promises
+to emit trees that pass :func:`check_tree`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeError
+from repro.trees.tree import Tree
+
+__all__ = ["check_tree", "is_binary", "is_leaf_labeled", "assert_same_taxa"]
+
+
+def check_tree(tree: Tree) -> None:
+    """Verify the core structural invariants of a tree.
+
+    Checks that parent/child pointers are mutually consistent, ids are
+    unique and indexed correctly, every node is reachable from the root,
+    and there are no cycles.
+
+    Raises
+    ------
+    TreeError
+        Describing the first violated invariant.
+    """
+    if tree.root is None:
+        if len(tree) != 0:
+            raise TreeError("rootless tree has nodes")
+        return
+    if tree.root.parent is not None:
+        raise TreeError("root has a parent")
+    seen: set[int] = set()
+    count = 0
+    for node in tree.preorder():
+        count += 1
+        if node.node_id in seen:
+            raise TreeError(f"duplicate node id {node.node_id}")
+        seen.add(node.node_id)
+        if tree.node(node.node_id) is not node:
+            raise TreeError(f"id index stale for node {node.node_id}")
+        for child in node.children:
+            if child.parent is not node:
+                raise TreeError(
+                    f"child {child.node_id} does not point back to "
+                    f"parent {node.node_id}"
+                )
+    if count != len(tree):
+        raise TreeError(
+            f"{len(tree) - count} node(s) unreachable from the root"
+        )
+
+
+def is_binary(tree: Tree) -> bool:
+    """Whether every internal node has exactly two children."""
+    return all(node.degree == 2 for node in tree.internal_nodes())
+
+
+def is_leaf_labeled(tree: Tree) -> bool:
+    """Whether every leaf carries a label and labels are unique.
+
+    This is the shape of a phylogeny: taxa on the leaves, anonymous
+    internal nodes (internal labels are permitted).
+    """
+    labels = [node.label for node in tree.leaves()]
+    return None not in labels and len(labels) == len(set(labels))
+
+
+def assert_same_taxa(trees) -> set[str]:
+    """Check all trees share one leaf-label set; return it.
+
+    Raises
+    ------
+    TreeError
+        If the trees disagree on taxa (includes both offending sets).
+    """
+    trees = list(trees)
+    if not trees:
+        raise TreeError("no trees given")
+    taxa = trees[0].leaf_labels()
+    for tree in trees[1:]:
+        other = tree.leaf_labels()
+        if other != taxa:
+            raise TreeError(
+                f"taxon sets differ: {sorted(taxa)} vs {sorted(other)}"
+            )
+    return taxa

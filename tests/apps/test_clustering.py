@@ -1,0 +1,105 @@
+"""Unit tests for phylogenetic clustering (future work ii)."""
+
+import pytest
+
+from repro.apps.clustering import ClusteringResult, cluster_consensus, cluster_trees
+from repro.errors import ConsensusError
+from repro.generate.phylo import random_nni, yule_tree
+from repro.trees.newick import parse_newick
+
+
+def two_camp_trees(rng, per_camp=3):
+    """Two clearly separated families of trees over disjoint taxa."""
+    camp_a = yule_tree([f"a{i}" for i in range(6)], rng)
+    camp_b = yule_tree([f"b{i}" for i in range(6)], rng)
+    trees = []
+    for _ in range(per_camp):
+        trees.append(random_nni(camp_a, rng))
+    for _ in range(per_camp):
+        trees.append(random_nni(camp_b, rng))
+    return trees
+
+
+class TestClusterTrees:
+    def test_recovers_obvious_camps(self, rng):
+        trees = two_camp_trees(rng)
+        result = cluster_trees(trees, k=2)
+        assert result.clusters == ((0, 1, 2), (3, 4, 5))
+
+    def test_k_one_groups_everything(self, rng):
+        trees = two_camp_trees(rng)
+        result = cluster_trees(trees, k=1)
+        assert result.clusters == (tuple(range(6)),)
+
+    def test_k_equals_n_is_singletons(self, rng):
+        trees = two_camp_trees(rng, per_camp=2)
+        result = cluster_trees(trees, k=4)
+        assert result.clusters == ((0,), (1,), (2,), (3,))
+
+    def test_invalid_k(self, rng):
+        trees = two_camp_trees(rng, per_camp=1)
+        with pytest.raises(ValueError, match="k must be"):
+            cluster_trees(trees, k=0)
+        with pytest.raises(ValueError, match="k must be"):
+            cluster_trees(trees, k=99)
+
+    def test_invalid_linkage(self, rng):
+        trees = two_camp_trees(rng, per_camp=1)
+        with pytest.raises(ValueError, match="linkage"):
+            cluster_trees(trees, k=2, linkage="bogus")
+
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_all_linkages_partition(self, linkage, rng):
+        trees = two_camp_trees(rng)
+        result = cluster_trees(trees, k=2, linkage=linkage)
+        members = sorted(m for cluster in result.clusters for m in cluster)
+        assert members == list(range(6))
+
+    def test_medoids_belong_to_their_clusters(self, rng):
+        trees = two_camp_trees(rng)
+        result = cluster_trees(trees, k=2)
+        for cluster, medoid in zip(result.clusters, result.medoids):
+            assert medoid in cluster
+
+    def test_medoid_minimises_intra_cluster_distance(self, rng):
+        trees = two_camp_trees(rng)
+        result = cluster_trees(trees, k=2)
+        for cluster, medoid in zip(result.clusters, result.medoids):
+            medoid_cost = sum(result.matrix[medoid][o] for o in cluster)
+            for member in cluster:
+                cost = sum(result.matrix[member][o] for o in cluster)
+                assert medoid_cost <= cost + 1e-12
+
+    def test_assignment_view(self, rng):
+        trees = two_camp_trees(rng)
+        result = cluster_trees(trees, k=2)
+        assignment = result.assignment()
+        assert assignment[0] == assignment[1] == assignment[2]
+        assert assignment[3] == assignment[4] == assignment[5]
+        assert assignment[0] != assignment[3]
+
+
+class TestClusterConsensus:
+    def test_one_consensus_per_cluster(self, rng):
+        # Same taxa, two topological camps.
+        camp_a = parse_newick("(((a,b),c),(d,e));")
+        camp_b = parse_newick("(((d,a),e),(b,c));")
+        trees = [camp_a, camp_a, camp_b, camp_b]
+        results = cluster_consensus(trees, k=2, method="strict")
+        assert len(results) == 2
+        from repro.trees.bipartition import robinson_foulds
+
+        distances = sorted(
+            min(robinson_foulds(result, camp) for camp in (camp_a, camp_b))
+            for result in results
+        )
+        assert distances == [0.0, 0.0]
+
+    def test_mixed_taxa_rejected_by_consensus(self, rng):
+        trees = two_camp_trees(rng)  # disjoint taxa between camps
+        with pytest.raises(ConsensusError):
+            cluster_consensus(trees, k=1)
+
+    def test_result_type(self, rng):
+        trees = two_camp_trees(rng)
+        assert isinstance(cluster_trees(trees, 2), ClusteringResult)

@@ -1,0 +1,97 @@
+"""Unit tests for the Section 5.2 consensus-quality workflow."""
+
+import pytest
+
+from repro.apps.consensus_quality import (
+    ConsensusQualityRow,
+    consensus_quality_table,
+    score_methods,
+)
+from repro.datasets.mus import MUS_TAXA, mus_alignment, mus_reference_tree
+from repro.generate.phylo import random_nni, yule_tree
+
+
+class TestScoreMethods:
+    def test_all_methods_scored(self, rng):
+        taxa = [f"t{i}" for i in range(7)]
+        trees = [yule_tree(taxa, rng) for _ in range(4)]
+        scores = score_methods(trees)
+        assert set(scores) == {
+            "strict", "majority", "semistrict", "adams", "nelson"
+        }
+        assert all(value >= 0 for value in scores.values())
+
+    def test_subset_of_methods(self, rng):
+        taxa = [f"t{i}" for i in range(6)]
+        trees = [yule_tree(taxa, rng) for _ in range(3)]
+        scores = score_methods(trees, methods=["strict", "majority"])
+        assert set(scores) == {"strict", "majority"}
+
+    def test_unanimous_profile_scores_equal(self, rng):
+        # When all input trees agree, every method returns that tree,
+        # so all scores coincide (and are maximal).
+        tree = yule_tree(8, rng)
+        trees = [tree, tree, tree]
+        scores = score_methods(trees)
+        assert len(set(round(v, 9) for v in scores.values())) == 1
+
+    def test_near_unanimous_profile_majority_wins_or_ties(self, rng):
+        # Profiles of NNI-perturbed copies: majority should be at least
+        # as good as strict (it keeps more agreed structure).
+        reference = yule_tree(10, rng)
+        trees = [reference] + [random_nni(reference, rng) for _ in range(4)]
+        scores = score_methods(trees)
+        assert scores["majority"] >= scores["strict"] - 1e-9
+
+
+class TestQualityTable:
+    def test_row_structure(self):
+        alignment = mus_alignment(n_sites=120, rng=5)
+        rows = consensus_quality_table(
+            alignment, tree_counts=(5, 8), rng=5, n_starts=2
+        )
+        assert [row.num_trees for row in rows] == [5, 8]
+        for row in rows:
+            assert isinstance(row, ConsensusQualityRow)
+            assert set(row.scores) == {
+                "strict", "majority", "semistrict", "adams", "nelson"
+            }
+
+    def test_best_method(self):
+        row = ConsensusQualityRow(5, {"a": 1.0, "b": 3.0, "c": 2.0})
+        assert row.best_method() == "b"
+
+    def test_majority_is_best_on_mus_data(self):
+        # The paper's Figure 9 finding, on the substituted data.
+        alignment = mus_alignment(n_sites=200, rng=42)
+        rows = consensus_quality_table(
+            alignment, tree_counts=(6,), rng=42, n_starts=3
+        )
+        scores = rows[0].scores
+        assert scores["majority"] >= max(
+            scores["strict"], scores["semistrict"]
+        ) - 1e-9
+
+
+class TestMusDataset:
+    def test_sixteen_taxa(self):
+        assert len(MUS_TAXA) == 16
+        assert len(set(MUS_TAXA)) == 16
+
+    def test_reference_tree_is_over_the_taxa(self):
+        tree = mus_reference_tree()
+        assert tree.leaf_labels() == set(MUS_TAXA)
+        from repro.trees.validate import is_binary
+
+        assert is_binary(tree)
+
+    def test_alignment_shape(self):
+        alignment = mus_alignment(n_sites=100, rng=1)
+        assert alignment.n_taxa == 16
+        assert alignment.n_sites == 100
+        assert set(alignment.taxa) == set(MUS_TAXA)
+
+    def test_alignment_deterministic(self):
+        assert mus_alignment(n_sites=50, rng=3) == mus_alignment(
+            n_sites=50, rng=3
+        )

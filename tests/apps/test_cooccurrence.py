@@ -1,0 +1,72 @@
+"""Unit tests for the Section 5.1 co-occurrence workflow."""
+
+from repro.apps.cooccurrence import find_cooccurring_patterns
+from repro.datasets.figure1 import figure1_trees
+from repro.datasets.seed_plants import seed_plant_trees
+from repro.trees.newick import parse_newick
+
+
+class TestReportStructure:
+    def test_patterns_match_mine_forest(self):
+        from repro.core.multi_tree import mine_forest
+
+        trees = list(figure1_trees())
+        report = find_cooccurring_patterns(trees)
+        assert report.patterns == mine_forest(trees)
+
+    def test_occurrences_align_with_patterns(self):
+        trees = list(figure1_trees())
+        report = find_cooccurring_patterns(trees)
+        assert len(report.occurrences) == len(report.patterns)
+        for pattern, spots in zip(report.patterns, report.occurrences):
+            assert set(spots) <= set(pattern.tree_indexes)
+            for tree_index, pairs in spots.items():
+                for pair in pairs:
+                    assert pair.label_key == (pattern.label_a, pattern.label_b)
+                    if pattern.distance is not None:
+                        assert pair.distance == pattern.distance
+
+    def test_every_supporting_tree_has_occurrences(self):
+        report = find_cooccurring_patterns(seed_plant_trees())
+        for pattern, spots in zip(report.patterns, report.occurrences):
+            assert set(spots) == set(pattern.tree_indexes)
+
+    def test_node_ids_are_real(self):
+        trees = seed_plant_trees()
+        report = find_cooccurring_patterns(trees)
+        for spots in report.occurrences:
+            for tree_index, pairs in spots.items():
+                tree = trees[tree_index]
+                for pair in pairs:
+                    node_a = tree.node(pair.id_a)
+                    node_b = tree.node(pair.id_b)
+                    assert {node_a.label, node_b.label} == {
+                        pair.label_a, pair.label_b
+                    } or pair.label_a == pair.label_b
+
+
+class TestDescribe:
+    def test_describe_mentions_counts_and_trees(self):
+        report = find_cooccurring_patterns(seed_plant_trees())
+        text = report.describe()
+        assert "frequent cousin pair" in text
+        assert "seed_plants_1" in text
+        assert "Gnetum" in text
+
+    def test_empty_report(self):
+        trees = [parse_newick("(a,b);"), parse_newick("(x,y);")]
+        report = find_cooccurring_patterns(trees)
+        assert report.patterns == []
+        assert "0 frequent" in report.describe()
+
+
+class TestIgnoreDistance:
+    def test_merged_patterns_have_no_distance(self):
+        trees = list(figure1_trees())
+        report = find_cooccurring_patterns(trees, ignore_distance=True)
+        assert all(p.distance is None for p in report.patterns)
+        be = next(
+            p for p in report.patterns
+            if (p.label_a, p.label_b) == ("b", "e")
+        )
+        assert be.support == 3

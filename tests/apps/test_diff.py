@@ -1,0 +1,80 @@
+"""Unit tests for snapshot diffing."""
+
+from repro.apps.diff import diff_forests, diff_patterns
+from repro.core.multi_tree import mine_forest
+from repro.trees.newick import parse_newick
+
+
+def forest(*newicks):
+    return [parse_newick(text) for text in newicks]
+
+
+class TestDiffForests:
+    def test_identical_snapshots_empty_diff(self):
+        trees = forest("((a,b),c);", "((a,b),d);")
+        delta = diff_forests(trees, trees)
+        assert delta.is_empty
+        assert len(delta.unchanged) == len(mine_forest(trees))
+
+    def test_gained_pattern(self):
+        old = forest("((a,b),c);", "((x,y),c);")
+        new = old + forest("(a,b);")  # (a, b) now in 2 trees
+        delta = diff_forests(old, new)
+        gained_keys = {
+            (p.label_a, p.label_b, p.distance) for p in delta.gained
+        }
+        assert ("a", "b", 0.0) in gained_keys
+        assert not delta.lost
+
+    def test_lost_pattern(self):
+        old = forest("(a,b);", "(a,b);")
+        new = forest("(a,b);", "(x,y);")
+        delta = diff_forests(old, new)
+        lost_keys = {(p.label_a, p.label_b, p.distance) for p in delta.lost}
+        assert ("a", "b", 0.0) in lost_keys
+        assert not delta.gained
+
+    def test_changed_support(self):
+        old = forest("(a,b);", "(a,b);")
+        new = forest("(a,b);", "(a,b);", "(a,b);")
+        delta = diff_forests(old, new)
+        assert len(delta.changed) == 1
+        before, after = delta.changed[0]
+        assert before.support == 2
+        assert after.support == 3
+
+    def test_changed_occurrences_same_support(self):
+        old = forest("(a,b);", "(a,b);")
+        new = forest("(a,b);", "(a,b,b);")  # extra occurrence in tree 2
+        delta = diff_forests(old, new)
+        assert len(delta.changed) == 1
+        before, after = delta.changed[0]
+        assert before.support == after.support == 2
+        assert after.total_occurrences > before.total_occurrences
+
+
+class TestDiffPatterns:
+    def test_tree_indexes_ignored_for_equality(self):
+        # Same pattern supported by different positions: unchanged.
+        old = mine_forest(forest("(x,y);", "(a,b);", "(a,b);"))
+        new = mine_forest(forest("(a,b);", "(a,b);", "(x,y);"))
+        delta = diff_patterns(old, new)
+        assert delta.is_empty
+
+    def test_describe(self):
+        old = mine_forest(forest("(a,b);", "(a,b);"))
+        new = mine_forest(forest("(c,d);", "(c,d);"))
+        text = diff_patterns(old, new).describe()
+        assert "1 gained" in text
+        assert "1 lost" in text
+        assert "+ (c, d)" in text
+        assert "- (a, b)" in text
+
+    def test_sorted_output(self):
+        old = []
+        new = mine_forest(
+            forest("((a,b),(c,d));", "((a,b),(c,d));", "(a,b);")
+        )
+        delta = diff_patterns(old, new)
+        supports = [p.support for p in delta.gained]
+        assert supports == sorted(supports, reverse=True)

@@ -1,0 +1,84 @@
+"""Unit tests for the Section 5.3 kernel-tree workflow and dataset."""
+
+import pytest
+
+from repro.apps.kernel_trees import kernel_tree_experiment, run_kernel_search
+from repro.datasets.ascomycetes import (
+    ASCOMYCETE_TAXA,
+    ascomycete_group_taxa,
+    ascomycete_groups,
+)
+from repro.errors import DatasetError
+from repro.trees.validate import check_tree, is_leaf_labeled
+
+
+class TestAscomyceteDataset:
+    def test_thirty_two_taxa(self):
+        assert len(ASCOMYCETE_TAXA) == 32
+        assert len(set(ASCOMYCETE_TAXA)) == 32
+
+    def test_group_taxa_overlap_but_differ(self):
+        for count in (2, 3, 4, 5):
+            groups = ascomycete_group_taxa(count)
+            assert len(groups) == count
+            for i in range(count):
+                for j in range(i + 1, count):
+                    shared = set(groups[i]) & set(groups[j])
+                    assert set(groups[i]) != set(groups[j])
+            # Consecutive groups share some taxa.
+            for i in range(count - 1):
+                assert set(groups[i]) & set(groups[i + 1])
+
+    def test_group_count_bounds(self):
+        with pytest.raises(DatasetError):
+            ascomycete_group_taxa(1)
+        with pytest.raises(DatasetError):
+            ascomycete_group_taxa(6)
+
+    def test_perturb_groups(self, rng):
+        groups = ascomycete_groups(3, trees_per_group=4, rng=rng)
+        assert len(groups) == 3
+        expected_taxa = ascomycete_group_taxa(3)
+        for group, taxa in zip(groups, expected_taxa):
+            assert len(group) == 4
+            for tree in group:
+                check_tree(tree)
+                assert is_leaf_labeled(tree)
+                assert tree.leaf_labels() == set(taxa)
+
+    def test_perturbed_trees_are_distinct(self, rng):
+        from repro.trees.bipartition import nontrivial_clusters
+
+        groups = ascomycete_groups(2, trees_per_group=5, rng=rng)
+        for group in groups:
+            keys = {frozenset(nontrivial_clusters(tree)) for tree in group}
+            assert len(keys) == 5
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(DatasetError, match="unknown method"):
+            ascomycete_groups(2, rng=rng, method="bogus")
+
+
+class TestKernelExperiment:
+    def test_rows_cover_requested_counts(self, rng):
+        rows = kernel_tree_experiment(
+            group_counts=(2, 3), trees_per_group=3, rng=rng
+        )
+        assert [row.num_groups for row in rows] == [2, 3]
+        for row in rows:
+            assert row.elapsed_seconds >= 0.0
+            assert len(row.result.indexes) == row.num_groups
+
+    def test_evaluations_grow_with_group_count(self, rng):
+        rows = kernel_tree_experiment(
+            group_counts=(2, 3, 4), trees_per_group=3, rng=rng
+        )
+        evaluations = [row.result.pairwise_evaluations for row in rows]
+        assert evaluations == sorted(evaluations)
+        assert evaluations[0] < evaluations[-1]
+
+    def test_run_kernel_search_times(self, rng):
+        groups = ascomycete_groups(2, trees_per_group=3, rng=rng)
+        result, elapsed = run_kernel_search(groups)
+        assert elapsed >= 0.0
+        assert 0.0 <= result.average_distance <= 1.0

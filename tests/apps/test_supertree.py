@@ -1,0 +1,74 @@
+"""Unit tests for supertree assembly from overlapping trees."""
+
+import pytest
+
+from repro.apps.supertree import build_supertree
+from repro.trees.build import Triple, tree_triples
+from repro.trees.newick import parse_newick
+from repro.trees.validate import check_tree
+
+
+class TestBuildSupertree:
+    def test_compatible_overlap_merges_cleanly(self):
+        first = parse_newick("((a,b),c);")
+        second = parse_newick("((b,d),c);")
+        result = build_supertree([first, second])
+        check_tree(result.tree)
+        assert result.tree.leaf_labels() == {"a", "b", "c", "d"}
+        assert result.rejected == ()
+        displayed = set(tree_triples(result.tree))
+        assert Triple.make("a", "b", "c") in displayed
+        assert Triple.make("b", "d", "c") in displayed
+
+    def test_single_tree_is_reproduced(self, rng):
+        from repro.generate.phylo import yule_tree
+        from repro.trees.bipartition import robinson_foulds
+
+        tree = yule_tree(7, rng)
+        result = build_supertree([tree])
+        assert robinson_foulds(result.tree, tree) == 0.0
+        assert result.conflict_count == 0
+
+    def test_majority_resolution_wins_conflicts(self):
+        # Two trees say ab|c, one says ac|b: the supertree keeps ab|c.
+        ab_c = parse_newick("((a,b),c);")
+        ac_b = parse_newick("((a,c),b);")
+        result = build_supertree([ab_c, ab_c, ac_b])
+        displayed = set(tree_triples(result.tree))
+        assert Triple.make("a", "b", "c") in displayed
+        assert Triple.make("a", "c", "b") not in displayed
+
+    def test_conflicts_are_reported(self):
+        first = parse_newick("(((a,b),c),d);")
+        second = parse_newick("(((b,c),a),d);")
+        result = build_supertree([first, second])
+        check_tree(result.tree)
+        # At least one of the contradicting triples had to go.
+        assert result.conflict_count >= 1
+        assert all(weight >= 1 for _t, weight in result.rejected)
+
+    def test_kernel_tree_pipeline(self, rng):
+        # The paper's Section 5.3 pipeline: kernels from overlapping
+        # groups, then one supertree spanning the union of taxa.
+        from repro.core.kernel import find_kernel_trees
+        from repro.datasets.ascomycetes import ascomycete_groups
+
+        groups = ascomycete_groups(3, trees_per_group=3, rng=rng)
+        kernels = find_kernel_trees(groups).trees
+        result = build_supertree(list(kernels))
+        check_tree(result.tree)
+        union = set().union(*(k.leaf_labels() for k in kernels))
+        assert result.tree.leaf_labels() == union
+
+    def test_no_trees_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_supertree([])
+
+    def test_deterministic(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        first = yule_tree([f"t{i}" for i in range(6)], rng)
+        second = yule_tree([f"t{i}" for i in range(3, 9)], rng)
+        once = build_supertree([first, second])
+        twice = build_supertree([first, second])
+        assert once.tree.canonical_form() == twice.tree.canonical_form()

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.trees.newick import parse_newick
+from repro.trees.tree import Tree
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG, reseeded per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_tree() -> Tree:
+    """A 9-node tree with duplicate labels and an unlabeled internal."""
+    return parse_newick("((a,b,(d)x),(c,(a,e)));", name="small")
+
+
+@pytest.fixture
+def caterpillar() -> Tree:
+    """A deep, narrow tree: ladder of ten 2-child levels."""
+    newick = "(l0,(l1,(l2,(l3,(l4,(l5,(l6,(l7,(l8,l9)))))))));"
+    return parse_newick(newick, name="caterpillar")
+
+
+@pytest.fixture
+def star_tree() -> Tree:
+    """A flat tree: one root with eight leaf children."""
+    return parse_newick("(a,b,c,d,e,f,g,h);", name="star")
+
+
+def make_random_tree(rng: random.Random, max_size: int = 40) -> Tree:
+    """A random tree drawn from one of the generator families."""
+    from repro.generate.random_trees import (
+        fixed_fanout_tree,
+        random_attachment_tree,
+        uniform_free_tree,
+    )
+
+    size = rng.randint(1, max_size)
+    family = rng.choice(["fixed", "attach", "uniform"])
+    alphabet = rng.choice([2, 5, 20])
+    if family == "fixed":
+        return fixed_fanout_tree(size, rng.randint(1, 6), alphabet, rng)
+    if family == "attach":
+        return random_attachment_tree(size, alphabet, rng)
+    return uniform_free_tree(size, alphabet, rng)

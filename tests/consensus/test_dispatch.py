@@ -1,0 +1,71 @@
+"""Unit tests for the consensus dispatcher and profile validation."""
+
+import pytest
+
+from repro.consensus import CONSENSUS_METHODS, consensus
+from repro.consensus.base import validate_profile
+from repro.errors import ConsensusError
+from repro.trees.newick import parse_newick
+from repro.trees.tree import Tree
+from repro.trees.validate import check_tree
+
+
+class TestDispatcher:
+    def test_all_five_methods_registered(self):
+        assert set(CONSENSUS_METHODS) == {
+            "strict", "majority", "semistrict", "adams", "nelson"
+        }
+
+    @pytest.mark.parametrize(
+        "method", ["strict", "majority", "semistrict", "adams", "nelson"]
+    )
+    def test_every_method_runs(self, method, rng):
+        from repro.generate.phylo import yule_tree
+
+        taxa = [f"t{i}" for i in range(6)]
+        trees = [yule_tree(taxa, rng) for _ in range(3)]
+        result = consensus(trees, method=method)
+        check_tree(result)
+        assert result.leaf_labels() == set(taxa)
+
+    def test_unknown_method(self):
+        with pytest.raises(ConsensusError, match="unknown consensus method"):
+            consensus([parse_newick("(a,b);")], method="bogus")
+
+    def test_kwargs_forwarded(self):
+        trees = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,c),(b,d));"),
+        ]
+        loose = consensus(trees, method="majority", ratio=0.5)
+        from repro.trees.bipartition import nontrivial_clusters
+
+        assert nontrivial_clusters(loose)
+
+
+class TestValidateProfile:
+    def test_returns_taxa(self):
+        trees = [parse_newick("((a,b),c);")]
+        assert validate_profile(trees) == {"a", "b", "c"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConsensusError, match="at least one"):
+            validate_profile([])
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ConsensusError, match="empty"):
+            validate_profile([Tree()])
+
+    def test_unlabeled_leaves_rejected(self):
+        with pytest.raises(ConsensusError, match="unlabeled"):
+            validate_profile([parse_newick("((a,),c);")])
+
+    def test_duplicate_leaves_rejected(self):
+        with pytest.raises(ConsensusError, match="unlabeled or duplicate"):
+            validate_profile([parse_newick("((a,a),c);")])
+
+    def test_taxa_mismatch_reports_symmetric_difference(self):
+        trees = [parse_newick("((a,b),c);"), parse_newick("((a,b),z);")]
+        with pytest.raises(ConsensusError, match="c.*z|z.*c"):
+            validate_profile(trees)

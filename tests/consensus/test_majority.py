@@ -1,0 +1,89 @@
+"""Unit tests for the majority-rule consensus."""
+
+import pytest
+
+from repro.consensus.majority import majority_consensus
+from repro.consensus.strict import strict_consensus
+from repro.errors import ConsensusError
+from repro.trees.bipartition import cluster_counts, nontrivial_clusters
+from repro.trees.newick import parse_newick
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestMajority:
+    def test_two_against_one(self):
+        trees = [
+            parse_newick("(((a,b),c),d);"),
+            parse_newick("(((a,b),c),d);"),
+            parse_newick("(((a,c),b),d);"),
+        ]
+        result = majority_consensus(trees)
+        clusters = nontrivial_clusters(result)
+        assert fs("a", "b") in clusters
+        assert fs("a", "c") not in clusters
+
+    def test_exact_half_excluded(self):
+        trees = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,c),(b,d));"),
+        ]
+        result = majority_consensus(trees)
+        assert nontrivial_clusters(result) == set()
+
+    def test_refines_strict(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        taxa = [f"t{i}" for i in range(7)]
+        for _ in range(5):
+            trees = [yule_tree(taxa, rng) for _ in range(5)]
+            strict = nontrivial_clusters(strict_consensus(trees))
+            majority = nontrivial_clusters(majority_consensus(trees))
+            assert strict <= majority
+
+    def test_majority_clusters_count_verified(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        taxa = [f"t{i}" for i in range(6)]
+        trees = [yule_tree(taxa, rng) for _ in range(7)]
+        counts = cluster_counts(trees)
+        result = nontrivial_clusters(majority_consensus(trees))
+        expected = {c for c, n in counts.items() if n > 3.5}
+        assert result == expected
+
+    def test_high_ratio_approaches_strict(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        taxa = [f"t{i}" for i in range(6)]
+        trees = [yule_tree(taxa, rng) for _ in range(4)]
+        stricter = nontrivial_clusters(
+            majority_consensus(trees, ratio=0.99)
+        )
+        assert stricter == nontrivial_clusters(strict_consensus(trees))
+
+    def test_sub_majority_greedy_is_consistent(self):
+        # ratio 0 admits conflicting clusters; greedy keeps the most
+        # replicated ones and stays laminar.
+        trees = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,c),(b,d));"),
+        ]
+        result = majority_consensus(trees, ratio=0.0)
+        clusters = nontrivial_clusters(result)
+        assert fs("a", "b") in clusters
+        assert fs("c", "d") in clusters
+        assert fs("a", "c") not in clusters  # conflicts with the winners
+
+    def test_invalid_ratio_rejected(self):
+        trees = [parse_newick("((a,b),c);")]
+        with pytest.raises(ConsensusError, match="ratio"):
+            majority_consensus(trees, ratio=1.0)
+        with pytest.raises(ConsensusError, match="ratio"):
+            majority_consensus(trees, ratio=-0.1)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConsensusError):
+            majority_consensus([])

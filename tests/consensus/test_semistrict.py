@@ -1,0 +1,78 @@
+"""Unit tests for the semi-strict (combinable component) consensus."""
+
+import pytest
+
+from repro.consensus.semistrict import semistrict_consensus
+from repro.consensus.strict import strict_consensus
+from repro.errors import ConsensusError
+from repro.trees.bipartition import nontrivial_clusters
+from repro.trees.newick import parse_newick
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestSemiStrict:
+    def test_unresolved_tree_does_not_veto(self):
+        # The star tree conflicts with nothing, so (a,b) survives even
+        # though it is absent from the second tree -- the defining
+        # advantage over the strict consensus.
+        trees = [
+            parse_newick("((a,b),c,d);"),
+            parse_newick("(a,b,c,d);"),
+        ]
+        result = semistrict_consensus(trees)
+        assert nontrivial_clusters(result) == {fs("a", "b")}
+        # Strict consensus drops it.
+        assert nontrivial_clusters(strict_consensus(trees)) == set()
+
+    def test_conflict_still_vetoes(self):
+        trees = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,c),(b,d));"),
+        ]
+        result = semistrict_consensus(trees)
+        assert nontrivial_clusters(result) == set()
+
+    def test_complementary_resolutions_combine(self):
+        # Each tree resolves a different region; the semi-strict tree
+        # carries both resolutions.
+        trees = [
+            parse_newick("((a,b),c,d,e);"),
+            parse_newick("(a,b,c,(d,e));"),
+        ]
+        result = semistrict_consensus(trees)
+        assert nontrivial_clusters(result) == {fs("a", "b"), fs("d", "e")}
+
+    def test_superset_of_strict(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        taxa = [f"t{i}" for i in range(7)]
+        for _ in range(5):
+            trees = [yule_tree(taxa, rng) for _ in range(4)]
+            strict = nontrivial_clusters(strict_consensus(trees))
+            semi = nontrivial_clusters(semistrict_consensus(trees))
+            assert strict <= semi
+
+    def test_identical_profile_identity(self):
+        tree = parse_newick("(((a,b),c),(d,e));")
+        result = semistrict_consensus([tree, tree])
+        assert nontrivial_clusters(result) == nontrivial_clusters(tree)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConsensusError):
+            semistrict_consensus([])
+
+    def test_binary_profiles_equal_strict(self, rng):
+        # With fully resolved (binary) inputs, every cluster missing
+        # from some tree necessarily conflicts with it, so semi-strict
+        # degenerates to strict.
+        from repro.generate.phylo import yule_tree
+
+        taxa = [f"t{i}" for i in range(6)]
+        for _ in range(5):
+            trees = [yule_tree(taxa, rng) for _ in range(3)]
+            assert nontrivial_clusters(
+                semistrict_consensus(trees)
+            ) == nontrivial_clusters(strict_consensus(trees))

@@ -1,0 +1,72 @@
+"""Unit tests for the strict consensus."""
+
+import pytest
+
+from repro.consensus.strict import strict_consensus
+from repro.errors import ConsensusError
+from repro.trees.bipartition import nontrivial_clusters, robinson_foulds
+from repro.trees.newick import parse_newick
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestStrict:
+    def test_identical_profile_returns_same_topology(self):
+        trees = [parse_newick("((a,b),(c,d));") for _ in range(3)]
+        result = strict_consensus(trees)
+        assert robinson_foulds(result, trees[0]) == 0.0
+
+    def test_total_conflict_gives_star(self):
+        trees = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,c),(b,d));"),
+            parse_newick("((a,d),(b,c));"),
+        ]
+        result = strict_consensus(trees)
+        assert nontrivial_clusters(result) == set()
+        assert result.root.degree == 4
+
+    def test_partial_agreement(self):
+        trees = [
+            parse_newick("(((a,b),c),(d,e));"),
+            parse_newick("(((a,b),d),(c,e));"),
+        ]
+        result = strict_consensus(trees)
+        assert nontrivial_clusters(result) == {fs("a", "b")}
+
+    def test_single_tree_is_identity(self):
+        tree = parse_newick("(((a,b),c),(d,e));")
+        assert robinson_foulds(strict_consensus([tree]), tree) == 0.0
+
+    def test_only_everywhere_clusters_survive(self):
+        trees = [
+            parse_newick("(((a,b),(c,d)),e);"),
+            parse_newick("(((a,b),(c,d)),e);"),
+            parse_newick("(((a,b),c),(d,e));"),
+        ]
+        result = strict_consensus(trees)
+        assert nontrivial_clusters(result) == {fs("a", "b")}
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ConsensusError):
+            strict_consensus([])
+
+    def test_mismatched_taxa_rejected(self):
+        with pytest.raises(ConsensusError, match="different taxa"):
+            strict_consensus(
+                [parse_newick("((a,b),c);"), parse_newick("((a,b),z);")]
+            )
+
+    def test_contained_in_every_input(self, rng):
+        from repro.generate.phylo import yule_tree
+        from repro.trees.bipartition import compatible_with_tree
+
+        taxa = [f"t{i}" for i in range(8)]
+        trees = [yule_tree(taxa, rng) for _ in range(4)]
+        result = strict_consensus(trees)
+        for cluster in nontrivial_clusters(result):
+            for tree in trees:
+                assert cluster in nontrivial_clusters(tree)
+                assert compatible_with_tree(cluster, tree)

@@ -1,0 +1,178 @@
+"""Unit tests for the cousin-distance definition (Figure 2)."""
+
+import pickle
+
+import pytest
+
+from repro.core.cousins import (
+    ANY,
+    CousinPair,
+    CousinPairItem,
+    cousin_distance,
+    distance_from_heights,
+    kinship_name,
+    valid_distances,
+)
+from repro.trees.newick import parse_newick
+from repro.trees.traversal import TreeIndex
+
+
+class TestDistanceFromHeights:
+    @pytest.mark.parametrize(
+        "h1, h2, expected",
+        [
+            (1, 1, 0.0),     # siblings
+            (1, 2, 0.5),     # aunt-niece
+            (2, 2, 1.0),     # first cousins
+            (2, 3, 1.5),     # first cousins once removed
+            (3, 3, 2.0),     # second cousins
+            (3, 4, 2.5),     # second cousins once removed
+        ],
+    )
+    def test_figure2_table(self, h1, h2, expected):
+        assert distance_from_heights(h1, h2) == expected
+        assert distance_from_heights(h2, h1) == expected  # symmetric
+
+    def test_ancestor_pairs_undefined(self):
+        assert distance_from_heights(0, 1) is None
+        assert distance_from_heights(2, 0) is None
+
+    def test_gap_beyond_cutoff_undefined(self):
+        assert distance_from_heights(1, 3) is None  # twice removed
+        assert distance_from_heights(1, 3, max_generation_gap=2) == 1.0
+
+    def test_closed_form_matches_both_cases(self):
+        # min - 1 + gap/2 must reduce to the paper's two-case formula.
+        for h in range(1, 6):
+            assert distance_from_heights(h, h) == h - 1
+            assert distance_from_heights(h, h + 1) == h - 0.5
+
+
+class TestCousinDistance:
+    def setup_method(self):
+        # Section 2 walkthrough tree: all five relationships present.
+        self.tree = parse_newick("((b,(d,(f,f2)dd)bb)x,(e,(g,(h,h2)gg)ee)y)a;")
+        self.index = TreeIndex(self.tree)
+        self.by_label = {}
+        for node in self.tree.labeled_nodes():
+            self.by_label.setdefault(node.label, node)
+
+    def dist(self, a, b, gap=1):
+        return cousin_distance(
+            self.tree, self.by_label[a], self.by_label[b],
+            max_generation_gap=gap, index=self.index,
+        )
+
+    def test_siblings(self):
+        assert self.dist("x", "y") == 0.0
+
+    def test_aunt_niece(self):
+        assert self.dist("x", "e") == 0.5
+
+    def test_first_cousins(self):
+        assert self.dist("b", "e") == 1.0
+
+    def test_first_cousins_once_removed(self):
+        assert self.dist("b", "g") == 1.5
+
+    def test_second_cousins(self):
+        assert self.dist("d", "g") == 2.0
+
+    def test_second_cousins_once_removed(self):
+        assert self.dist("d", "h") == 2.5
+
+    def test_parent_child_undefined(self):
+        assert self.dist("x", "b") is None
+
+    def test_grandparent_undefined_even_with_gap(self):
+        assert self.dist("a", "b") is None
+        assert self.dist("a", "b", gap=5) is None
+
+    def test_twice_removed_needs_gap_2(self):
+        assert self.dist("x", "g") is None
+        assert self.dist("x", "g", gap=2) == 0.5 + 0.5  # min(1,3)-1+1
+
+    def test_same_node_undefined(self):
+        node = self.by_label["b"]
+        assert cousin_distance(self.tree, node, node, index=self.index) is None
+
+    def test_unlabeled_node_undefined(self):
+        tree = parse_newick("((a,b),(c,));")
+        unlabeled = next(n for n in tree.leaves() if n.label is None)
+        labeled = next(n for n in tree.leaves() if n.label == "a")
+        assert cousin_distance(tree, labeled, unlabeled) is None
+
+    def test_index_optional(self):
+        value = cousin_distance(
+            self.tree, self.by_label["x"], self.by_label["y"]
+        )
+        assert value == 0.0
+
+
+class TestValidDistances:
+    def test_default_grid(self):
+        assert valid_distances(1.5) == [0.0, 0.5, 1.0, 1.5]
+
+    def test_gap_zero_integers_only(self):
+        assert valid_distances(2, max_generation_gap=0) == [0.0, 1.0, 2.0]
+
+    def test_zero(self):
+        assert valid_distances(0) == [0.0]
+
+    def test_gap_two_same_grid(self):
+        assert valid_distances(1.5, max_generation_gap=2) == [0.0, 0.5, 1.0, 1.5]
+
+
+class TestKinshipNames:
+    @pytest.mark.parametrize(
+        "distance, name",
+        [
+            (0, "siblings"),
+            (0.5, "aunt-niece"),
+            (1, "first cousins"),
+            (1.5, "first cousins once removed"),
+            (2, "second cousins"),
+            (2.5, "second cousins once removed"),
+            (6, "6th cousins"),
+        ],
+    )
+    def test_names(self, distance, name):
+        assert kinship_name(distance) == name
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            kinship_name(-1)
+
+
+class TestRecords:
+    def test_item_sorts_labels(self):
+        item = CousinPairItem.make("z", "a", 1.0, 2)
+        assert (item.label_a, item.label_b) == ("a", "z")
+
+    def test_item_rejects_unsorted_direct_construction(self):
+        with pytest.raises(ValueError, match="sorted"):
+            CousinPairItem("z", "a", 1.0, 2)
+
+    def test_item_rejects_bad_occurrences(self):
+        with pytest.raises(ValueError):
+            CousinPairItem("a", "b", 1.0, 0)
+
+    def test_item_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            CousinPairItem("a", "b", -1.0, 1)
+
+    def test_item_describe(self):
+        text = CousinPairItem.make("e", "a", 0.5, 2).describe()
+        assert text == "(a, e) at distance 0.5 (aunt-niece) x2"
+
+    def test_pair_requires_ordered_ids(self):
+        with pytest.raises(ValueError):
+            CousinPair(5, 3, "a", "b", 0.0)
+
+    def test_pair_label_key_sorted(self):
+        pair = CousinPair(1, 2, "z", "a", 0.0)
+        assert pair.label_key == ("a", "z")
+
+    def test_any_is_singleton_even_after_pickle(self):
+        assert pickle.loads(pickle.dumps(ANY)) is ANY
+        assert repr(ANY) == "ANY"

@@ -1,0 +1,123 @@
+"""Unit tests for the four cousin-based tree distances (Eq. 6)."""
+
+import pytest
+
+from repro.core.distance import (
+    DistanceMode,
+    distance_matrix,
+    pairset_distance,
+    tree_distance,
+)
+from repro.core.pairset import CousinPairSet
+from repro.core.cousins import CousinPairItem
+from repro.trees.newick import parse_newick
+
+from tests.conftest import make_random_tree
+
+ALL_MODES = list(DistanceMode)
+
+
+def make_set(*rows):
+    return CousinPairSet.from_items(
+        CousinPairItem.make(a, b, d, n) for a, b, d, n in rows
+    )
+
+
+class TestIdentityAndRange:
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_self_distance_zero(self, mode, rng):
+        for _ in range(5):
+            tree = make_random_tree(rng)
+            assert tree_distance(tree, tree, mode=mode) == 0.0
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_range_and_symmetry(self, mode, rng):
+        for _ in range(5):
+            first = make_random_tree(rng)
+            second = make_random_tree(rng)
+            forward = tree_distance(first, second, mode=mode)
+            backward = tree_distance(second, first, mode=mode)
+            assert forward == backward
+            assert 0.0 <= forward <= 1.0
+
+    @pytest.mark.parametrize("mode", ALL_MODES)
+    def test_disjoint_labels_distance_one(self, mode):
+        first = parse_newick("(a,b);")
+        second = parse_newick("(c,d);")
+        assert tree_distance(first, second, mode=mode) == 1.0
+
+    def test_two_empty_pairsets(self):
+        empty = CousinPairSet.from_items([])
+        for mode in ALL_MODES:
+            assert pairset_distance(empty, empty, mode) == 0.0
+
+
+class TestModeSemantics:
+    def test_plain_ignores_everything_but_labels(self):
+        left = make_set(("a", "b", 0.0, 5))
+        right = make_set(("a", "b", 1.5, 1))
+        assert pairset_distance(left, right, DistanceMode.PLAIN) == 0.0
+
+    def test_dist_sees_distance(self):
+        left = make_set(("a", "b", 0.0, 5))
+        right = make_set(("a", "b", 1.5, 5))
+        assert pairset_distance(left, right, DistanceMode.DIST) == 1.0
+
+    def test_occur_sees_counts_not_distances(self):
+        left = make_set(("a", "b", 0.0, 2))
+        right = make_set(("a", "b", 1.5, 2))
+        assert pairset_distance(left, right, DistanceMode.OCCUR) == 0.0
+        heavier = make_set(("a", "b", 0.0, 4))
+        assert pairset_distance(left, heavier, DistanceMode.OCCUR) == 0.5
+
+    def test_dist_occur_sees_both(self):
+        left = make_set(("a", "b", 0.0, 1), ("a", "b", 1.0, 1))
+        right = make_set(("a", "b", 0.0, 1))
+        value = pairset_distance(left, right, DistanceMode.DIST_OCCUR)
+        assert value == pytest.approx(1 - 1 / 2)
+
+    def test_footnote2_min_max_counts(self):
+        left = make_set(("a", "b", 0.5, 1))
+        right = make_set(("a", "b", 0.5, 2))
+        value = pairset_distance(left, right, DistanceMode.DIST_OCCUR)
+        assert value == pytest.approx(1 - 1 / 2)
+
+    def test_string_mode_accepted(self):
+        left = make_set(("a", "b", 0.5, 1))
+        assert pairset_distance(left, left, "plain") == 0.0
+
+    def test_unknown_mode_rejected(self):
+        left = make_set(("a", "b", 0.5, 1))
+        with pytest.raises(ValueError):
+            pairset_distance(left, left, "bogus")
+
+
+class TestUnequalTaxa:
+    def test_works_across_different_taxon_sets(self):
+        # The motivating property of Section 5.3: trees sharing only
+        # some taxa still get a graded distance.
+        first = parse_newick("((a,b),(c,d));")
+        second = parse_newick("((a,b),(e,f));")
+        value = tree_distance(first, second, mode=DistanceMode.PLAIN)
+        assert 0.0 < value < 1.0
+
+
+class TestDistanceMatrix:
+    def test_shape_and_symmetry(self, rng):
+        trees = [make_random_tree(rng) for _ in range(4)]
+        matrix = distance_matrix(trees)
+        assert len(matrix) == 4
+        for i in range(4):
+            assert matrix[i][i] == 0.0
+            for j in range(4):
+                assert matrix[i][j] == matrix[j][i]
+
+    def test_matches_pairwise_calls(self, rng):
+        trees = [make_random_tree(rng) for _ in range(3)]
+        matrix = distance_matrix(trees, mode=DistanceMode.DIST)
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert matrix[i][j] == pytest.approx(
+                        tree_distance(trees[i], trees[j], mode=DistanceMode.DIST)
+                    )

@@ -1,0 +1,83 @@
+"""Unit tests: closed-form pair counts vs the miner, on complete trees."""
+
+import pytest
+
+from repro.core.expectations import (
+    complete_tree,
+    complete_tree_size,
+    pair_count_at_distance,
+    pairs_up_to,
+)
+from repro.core.single_tree import mine_tree
+
+
+class TestCompleteTree:
+    @pytest.mark.parametrize("fanout, height", [(1, 3), (2, 3), (3, 2), (5, 2)])
+    def test_size_formula(self, fanout, height):
+        tree = complete_tree(fanout, height)
+        assert len(tree) == complete_tree_size(fanout, height)
+
+    def test_all_leaves_at_height(self):
+        tree = complete_tree(3, 2)
+        assert all(tree.depth(leaf) == 2 for leaf in tree.leaves())
+
+    def test_single_node(self):
+        tree = complete_tree(4, 0)
+        assert len(tree) == 1
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            complete_tree(0, 2)
+        with pytest.raises(ValueError):
+            complete_tree_size(2, -1)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("fanout, height", [(2, 3), (3, 3), (4, 2), (2, 5)])
+    @pytest.mark.parametrize("distance", [0.0, 0.5, 1.0, 1.5, 2.0])
+    def test_formula_matches_miner(self, fanout, height, distance):
+        tree = complete_tree(fanout, height)
+        items = mine_tree(tree, maxdist=distance)
+        mined = sum(
+            item.occurrences for item in items if item.distance == distance
+        )
+        assert mined == pair_count_at_distance(fanout, height, distance)
+
+    @pytest.mark.parametrize("gap", [0, 1, 2])
+    def test_formula_matches_miner_with_gaps(self, gap):
+        tree = complete_tree(3, 4)
+        items = mine_tree(tree, maxdist=2.5, max_generation_gap=gap)
+        for distance in (0.0, 0.5, 1.0, 1.5, 2.0, 2.5):
+            mined = sum(
+                item.occurrences
+                for item in items
+                if item.distance == distance
+            )
+            assert mined == pair_count_at_distance(
+                3, 4, distance, max_generation_gap=gap
+            )
+
+    def test_totals_match_miner(self):
+        tree = complete_tree(3, 3)
+        total = sum(item.occurrences for item in mine_tree(tree, maxdist=1.5))
+        assert total == pairs_up_to(3, 3, maxdist=1.5)
+
+    def test_path_tree_has_no_pairs(self):
+        assert pairs_up_to(1, 6, maxdist=3.0) == 0
+
+
+class TestFigure4Arithmetic:
+    def test_pair_volume_grows_with_fanout_at_fixed_budget(self):
+        """The driver of Figure 4: at a comparable node budget, bushier
+        complete trees contain far more qualifying pairs."""
+        # ~200-node budgets: 2-ary h7 (255), 5-ary h3 (156), 13-ary h2 (183).
+        narrow = pairs_up_to(2, 7) / complete_tree_size(2, 7)
+        medium = pairs_up_to(5, 3) / complete_tree_size(5, 3)
+        wide = pairs_up_to(13, 2) / complete_tree_size(13, 2)
+        assert narrow < medium < wide
+
+    def test_distance_zero_is_sibling_pairs(self):
+        # Sanity: d=0 pairs are C(k,2) per internal node.
+        fanout, height = 4, 3
+        internal = complete_tree_size(fanout, height - 1)
+        assert pair_count_at_distance(fanout, height, 0.0) == internal * 6

@@ -1,0 +1,242 @@
+"""Unit tests for free-tree mining (Section 6)."""
+
+import pytest
+
+from repro.core.cousins import CousinPairItem
+from repro.core.freetree import (
+    FreeTree,
+    mine_free_tree,
+    mine_free_tree_rooted,
+    mine_graph_forest,
+)
+from repro.errors import FreeTreeError
+from repro.generate.random_trees import uniform_free_tree
+
+from tests.conftest import make_random_tree
+
+
+def path_graph(labels):
+    graph = FreeTree()
+    ids = [graph.add_node(label=label) for label in labels]
+    for first, second in zip(ids, ids[1:]):
+        graph.add_edge(first, second)
+    return graph
+
+
+class TestFreeTreeStructure:
+    def test_add_nodes_and_edges(self):
+        graph = path_graph(["a", "b", "c"])
+        graph.validate()
+        assert len(graph) == 3
+        assert graph.edge_count() == 2
+
+    def test_self_loop_rejected(self):
+        graph = FreeTree()
+        node = graph.add_node("a")
+        with pytest.raises(FreeTreeError, match="self-loop"):
+            graph.add_edge(node, node)
+
+    def test_duplicate_edge_rejected(self):
+        graph = path_graph(["a", "b"])
+        with pytest.raises(FreeTreeError, match="duplicate edge"):
+            graph.add_edge(0, 1)
+
+    def test_edge_to_missing_node_rejected(self):
+        graph = FreeTree()
+        node = graph.add_node("a")
+        with pytest.raises(FreeTreeError, match="must exist"):
+            graph.add_edge(node, 99)
+
+    def test_cycle_detected(self):
+        graph = path_graph(["a", "b", "c"])
+        graph.add_edge(0, 2)
+        with pytest.raises(FreeTreeError, match="edges"):
+            graph.validate()
+
+    def test_disconnection_detected(self):
+        graph = FreeTree()
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_node("c")
+        graph.add_node("d")
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        # 4 nodes, 2 edges: fails the edge-count check first.
+        with pytest.raises(FreeTreeError):
+            graph.validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(FreeTreeError, match="empty"):
+            FreeTree().validate()
+
+    def test_from_rooted_round_trip(self, rng):
+        tree = make_random_tree(rng)
+        graph = FreeTree.from_rooted(tree)
+        graph.validate()
+        assert len(graph) == len(tree)
+        assert graph.edge_count() == len(tree) - 1
+
+
+class TestRooting:
+    def test_artificial_root_is_unlabeled_fresh_id(self):
+        graph = path_graph(["a", "b", "c"])
+        rooted = graph.to_rooted((0, 1))
+        assert rooted.root.label is None
+        assert rooted.root.node_id not in (0, 1, 2)
+        assert len(rooted) == 4  # 3 originals + artificial root
+
+    def test_root_has_the_edge_endpoints_as_children(self):
+        graph = path_graph(["a", "b", "c"])
+        rooted = graph.to_rooted((1, 2))
+        child_ids = {child.node_id for child in rooted.root.children}
+        assert child_ids == {1, 2}
+
+    def test_non_edge_rejected(self):
+        graph = path_graph(["a", "b", "c"])
+        with pytest.raises(FreeTreeError, match="not an edge"):
+            graph.to_rooted((0, 2))
+
+    def test_single_node_roots_directly(self):
+        graph = FreeTree()
+        graph.add_node("only")
+        rooted = graph.to_rooted()
+        assert len(rooted) == 1
+        assert rooted.root.label == "only"
+
+
+class TestPathDistances:
+    def test_equation7(self):
+        # Path a-b-c-d-e: path lengths 2, 3, 4 -> distances 0, 0.5, 1.
+        graph = path_graph(["a", "b", "c", "d", "e"])
+        items = mine_free_tree(graph, maxdist=1.5)
+        expected = [
+            CousinPairItem.make("a", "c", 0.0, 1),
+            CousinPairItem.make("b", "d", 0.0, 1),
+            CousinPairItem.make("c", "e", 0.0, 1),
+            CousinPairItem.make("a", "d", 0.5, 1),
+            CousinPairItem.make("b", "e", 0.5, 1),
+            CousinPairItem.make("a", "e", 1.0, 1),
+        ]
+        assert items == sorted(expected)
+
+    def test_adjacent_nodes_excluded(self):
+        graph = path_graph(["a", "b"])
+        assert mine_free_tree(graph, maxdist=5) == []
+
+    def test_unlabeled_nodes_skipped(self):
+        graph = FreeTree()
+        a = graph.add_node("a")
+        hub = graph.add_node(None)
+        b = graph.add_node("b")
+        graph.add_edge(a, hub)
+        graph.add_edge(hub, b)
+        assert mine_free_tree(graph) == [CousinPairItem.make("a", "b", 0.0, 1)]
+
+    def test_maxdist_limits_radius(self):
+        graph = path_graph(list("abcdefgh"))
+        items = mine_free_tree(graph, maxdist=0)
+        assert all(item.distance == 0.0 for item in items)
+
+    def test_minoccur(self):
+        # Star: center unlabeled, four leaves labeled x -> (x,x,0,6).
+        graph = FreeTree()
+        hub = graph.add_node(None)
+        for _ in range(4):
+            leaf = graph.add_node("x")
+            graph.add_edge(hub, leaf)
+        assert mine_free_tree(graph, minoccur=6) == [
+            CousinPairItem.make("x", "x", 0.0, 6)
+        ]
+        assert mine_free_tree(graph, minoccur=7) == []
+
+
+class TestRootedEquivalence:
+    def test_rooted_matches_bfs_any_edge(self, rng):
+        for _ in range(15):
+            tree = uniform_free_tree(rng.randint(2, 40), 5, rng)
+            graph = FreeTree.from_rooted(tree)
+            for maxdist in [0, 0.5, 1.5, 2.5]:
+                expected = mine_free_tree(graph, maxdist=maxdist)
+                for edge in list(graph.edges())[:4]:
+                    assert (
+                        mine_free_tree_rooted(graph, maxdist=maxdist, edge=edge)
+                        == expected
+                    )
+
+    def test_rooting_edge_choice_is_arbitrary(self, rng):
+        tree = uniform_free_tree(25, 4, rng)
+        graph = FreeTree.from_rooted(tree)
+        results = {
+            tuple(mine_free_tree_rooted(graph, edge=edge))
+            for edge in graph.edges()
+        }
+        assert len(results) == 1
+
+
+class TestRootedVsRootedMining:
+    def test_free_distances_collapse_rooted_categories(self):
+        # In a rooted tree (a,(b)x);: a and b have a 3-edge path.
+        # Rooted mining calls this aunt-niece 0.5; free mining agrees
+        # because (3 - 2) / 2 = 0.5 -- the definitions coincide when
+        # the generation gap is <= 1.
+        from repro.core.single_tree import mine_tree
+        from repro.trees.newick import parse_newick
+
+        tree = parse_newick("(a,(b)x)g;")
+        graph = FreeTree.from_rooted(tree)
+        rooted_items = mine_tree(tree, maxdist=1.5)
+        free_items = mine_free_tree(graph, maxdist=1.5)
+        assert CousinPairItem.make("a", "b", 0.5, 1) in free_items
+        assert CousinPairItem.make("a", "b", 0.5, 1) in rooted_items
+        # But free mining also sees pairs rooted mining excludes:
+        # the labeled grandparent g and grandchild b are an
+        # ancestor-descendant pair (excluded when rooted), yet their
+        # 2-edge path makes them distance 0 in the free tree.
+        rooted_keys = {item.key for item in rooted_items}
+        free_keys = {item.key for item in free_items}
+        assert ("b", "g", 0.0) not in rooted_keys
+        assert ("b", "g", 0.0) in free_keys
+
+
+class TestGraphForest:
+    def test_support_counting(self):
+        graphs = [
+            path_graph(["a", "b", "c"]),
+            path_graph(["a", "x", "c"]),
+            path_graph(["q", "r", "s"]),
+        ]
+        frequent = mine_graph_forest(graphs, minsup=2)
+        assert frequent == [("a", "c", 0.0, 2)]
+
+    def test_minsup_one(self):
+        graphs = [path_graph(["a", "b", "c"])]
+        assert mine_graph_forest(graphs, minsup=1) == [("a", "c", 0.0, 1)]
+
+
+class TestSuppressRoot:
+    def test_binary_unlabeled_root_elided(self):
+        from repro.trees.newick import parse_newick
+
+        tree = parse_newick("((a,b),(c,d));")
+        kept = FreeTree.from_rooted(tree)
+        elided = FreeTree.from_rooted(tree, suppress_root=True)
+        assert len(kept) == 7
+        assert len(elided) == 6
+        elided.validate()
+        # The two former root children are now directly adjacent.
+        first, second = tree.root.children
+        assert second.node_id in elided.neighbors(first.node_id)
+
+    def test_labeled_root_kept(self):
+        from repro.trees.newick import parse_newick
+
+        tree = parse_newick("((a,b),(c,d))r;")
+        elided = FreeTree.from_rooted(tree, suppress_root=True)
+        assert len(elided) == 7  # labeled roots are information, kept
+
+    def test_multifurcating_root_kept(self):
+        from repro.trees.newick import parse_newick
+
+        tree = parse_newick("(a,b,c);")
+        elided = FreeTree.from_rooted(tree, suppress_root=True)
+        assert len(elided) == 4

@@ -1,0 +1,128 @@
+"""Unit tests for the queryable cousin-pair index."""
+
+import random
+
+import pytest
+
+from repro.core.cousins import ANY
+from repro.core.index import CousinPairIndex
+from repro.core.multi_tree import mine_forest, support
+from repro.datasets.figure1 import figure1_trees
+from repro.trees.newick import parse_newick
+
+from tests.conftest import make_random_tree
+
+
+class TestDifferentialAgainstBatchMiner:
+    def test_frequent_matches_mine_forest(self, rng):
+        for _ in range(5):
+            trees = [make_random_tree(rng, max_size=25) for _ in range(6)]
+            index = CousinPairIndex.build(trees)
+            for minsup in (1, 2, 3):
+                assert index.frequent(minsup) == mine_forest(
+                    trees, minsup=minsup
+                )
+
+    def test_support_matches_batch_support(self):
+        trees = list(figure1_trees())
+        index = CousinPairIndex.build(trees)
+        assert index.support("b", "e", 1.0) == support(trees, "b", "e", 1.0)
+        assert index.support("b", "e", ANY) == support(trees, "b", "e", None)
+        assert index.support("e", "b", 1.0) == 2  # label order free
+
+    def test_parameters_respected(self, rng):
+        trees = [make_random_tree(rng, max_size=25) for _ in range(4)]
+        index = CousinPairIndex.build(trees, maxdist=0.5)
+        batch = mine_forest(trees, maxdist=0.5, minsup=1)
+        assert index.frequent(1) == batch
+
+
+class TestQueries:
+    def setup_method(self):
+        self.trees = list(figure1_trees())
+        self.index = CousinPairIndex.build(self.trees)
+
+    def test_counts(self):
+        assert self.index.tree_count == 3
+        assert self.index.pattern_count == len(self.index)
+        assert self.index.pattern_count > 0
+
+    def test_trees_with(self):
+        assert self.index.trees_with("b", "e", 1.0) == (0, 2)
+        assert self.index.trees_with("b", "e") == (0, 1, 2)
+        assert self.index.trees_with("zz", "qq") == ()
+
+    def test_tree_names(self):
+        assert self.index.tree_name(0) == "T1"
+        assert self.index.tree_name(2) == "T3"
+
+    def test_patterns_involving(self):
+        patterns = self.index.patterns_involving("e")
+        assert patterns
+        assert all("e" in (p.label_a, p.label_b) for p in patterns)
+        # Total occurrences aggregate across trees.
+        be_at_1 = next(p for p in patterns if p.key == ("b", "e", 1.0))
+        assert be_at_1.occurrences == 2  # once in T1, once in T3
+
+    def test_patterns_involving_unknown_label(self):
+        assert self.index.patterns_involving("nope") == []
+
+    def test_top_k(self):
+        top = self.index.top_k(3)
+        assert len(top) == 3
+        supports = [p.support for p in top]
+        assert supports == sorted(supports, reverse=True)
+        assert top == self.index.frequent(1)[:3]
+
+    def test_top_k_bounds(self):
+        assert self.index.top_k(0) == []
+        everything = self.index.top_k(10_000)
+        assert len(everything) == self.index.pattern_count
+        with pytest.raises(ValueError):
+            self.index.top_k(-1)
+
+    def test_bad_minsup(self):
+        with pytest.raises(ValueError):
+            self.index.frequent(0)
+
+    def test_iteration_sorted(self):
+        keys = list(self.index)
+        assert keys == sorted(keys)
+
+
+class TestIncrementalInsertion:
+    def test_incremental_equals_batch(self, rng):
+        trees = [make_random_tree(rng, max_size=20) for _ in range(5)]
+        batch = CousinPairIndex.build(trees)
+        incremental = CousinPairIndex()
+        positions = [incremental.add_tree(tree) for tree in trees]
+        assert positions == [0, 1, 2, 3, 4]
+        assert incremental.frequent(2) == batch.frequent(2)
+
+    def test_support_grows_as_trees_arrive(self):
+        index = CousinPairIndex()
+        assert index.support("a", "b", 0.0) == 0
+        index.add_tree(parse_newick("(a,b);"))
+        assert index.support("a", "b", 0.0) == 1
+        index.add_tree(parse_newick("(a,b,c);"))
+        assert index.support("a", "b", 0.0) == 2
+        assert index.trees_with("a", "b", 0.0) == (0, 1)
+
+    def test_empty_index(self):
+        index = CousinPairIndex()
+        assert index.tree_count == 0
+        assert index.frequent(1) == []
+        assert index.top_k(5) == []
+
+
+class TestIndexMaxHeight:
+    def test_height_limit_respected(self):
+        trees = [
+            parse_newick("((a,b),(d,e));"),
+            parse_newick("((a,x),(d,y));"),
+        ]
+        capped = CousinPairIndex.build(trees, max_height=1)
+        assert capped.support("a", "d", 1.0) == 0  # first cousins excluded
+        assert capped.support("a", "b", 0.0) == 1  # siblings kept
+        unrestricted = CousinPairIndex.build(trees)
+        assert unrestricted.support("a", "d", 1.0) == 2

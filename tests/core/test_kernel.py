@@ -1,0 +1,85 @@
+"""Unit tests for kernel-tree selection (Section 5.3)."""
+
+import pytest
+
+from repro.core.distance import DistanceMode, tree_distance
+from repro.core.kernel import find_kernel_trees
+from repro.trees.newick import parse_newick
+
+from tests.conftest import make_random_tree
+
+
+class TestValidation:
+    def test_needs_two_groups(self):
+        with pytest.raises(ValueError, match="two groups"):
+            find_kernel_trees([[parse_newick("(a,b);")]])
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ValueError, match="empty"):
+            find_kernel_trees([[parse_newick("(a,b);")], []])
+
+
+class TestExactness:
+    def test_two_groups_picks_minimum_pair(self):
+        shared = "((a,b),(c,d));"
+        groups = [
+            [parse_newick("((a,c),(b,d));"), parse_newick(shared)],
+            [parse_newick(shared), parse_newick("((a,d),(b,c));")],
+        ]
+        result = find_kernel_trees(groups, mode=DistanceMode.DIST)
+        assert result.indexes == (1, 0)
+        assert result.average_distance == 0.0
+
+    def test_matches_brute_force(self, rng):
+        from itertools import product
+
+        groups = [
+            [make_random_tree(rng, max_size=15) for _ in range(3)]
+            for _ in range(3)
+        ]
+        result = find_kernel_trees(groups, mode=DistanceMode.DIST_OCCUR)
+        best = None
+        for combo in product(range(3), repeat=3):
+            total = 0.0
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    total += tree_distance(
+                        groups[i][combo[i]],
+                        groups[j][combo[j]],
+                        mode=DistanceMode.DIST_OCCUR,
+                    )
+            average = total / 3
+            if best is None or average < best:
+                best = average
+        assert result.average_distance == pytest.approx(best)
+
+    def test_returns_actual_trees(self, rng):
+        groups = [
+            [make_random_tree(rng) for _ in range(2)] for _ in range(2)
+        ]
+        result = find_kernel_trees(groups)
+        for group, index, tree in zip(groups, result.indexes, result.trees):
+            assert group[index] is tree
+
+
+class TestBookkeeping:
+    def test_pairwise_evaluation_count(self, rng):
+        sizes = [2, 3, 4]
+        groups = [
+            [make_random_tree(rng, max_size=10) for _ in range(size)]
+            for size in sizes
+        ]
+        result = find_kernel_trees(groups)
+        assert result.pairwise_evaluations == 2 * 3 + 2 * 4 + 3 * 4
+
+    def test_evaluations_grow_with_groups(self, rng):
+        trees = [
+            [make_random_tree(rng, max_size=10) for _ in range(3)]
+            for _ in range(5)
+        ]
+        evaluations = []
+        for count in (2, 3, 4, 5):
+            result = find_kernel_trees(trees[:count])
+            evaluations.append(result.pairwise_evaluations)
+        assert evaluations == sorted(evaluations)
+        assert evaluations[0] < evaluations[-1]

@@ -1,0 +1,113 @@
+"""Unit tests for the cousin pair item multiset algebra (footnote 2)."""
+
+from collections import Counter
+
+from repro.core.cousins import CousinPairItem
+from repro.core.pairset import CousinPairSet
+from repro.trees.newick import parse_newick
+
+
+def make_set(*rows):
+    return CousinPairSet.from_items(
+        CousinPairItem.make(a, b, d, n) for a, b, d, n in rows
+    )
+
+
+class TestConstruction:
+    def test_from_tree_equals_mined_items(self):
+        from repro.core.single_tree import mine_tree
+
+        tree = parse_newick("((a,b),(c,(a,d)));")
+        pair_set = CousinPairSet.from_tree(tree)
+        assert pair_set.items() == mine_tree(tree)
+
+    def test_from_items_merges_duplicates(self):
+        pair_set = make_set(("a", "b", 0.0, 1), ("b", "a", 0.0, 2))
+        assert pair_set.occurrences("a", "b", 0.0) == 3
+        assert len(pair_set) == 1
+
+    def test_bool_and_len(self):
+        assert not CousinPairSet.from_items([])
+        assert make_set(("a", "b", 0.0, 1))
+
+    def test_equality(self):
+        assert make_set(("a", "b", 0.0, 1)) == make_set(("b", "a", 0.0, 1))
+        assert make_set(("a", "b", 0.0, 1)) != make_set(("a", "b", 0.5, 1))
+
+
+class TestProjections:
+    def setup_method(self):
+        self.pair_set = make_set(
+            ("a", "b", 0.0, 2),
+            ("a", "b", 1.0, 3),
+            ("c", "d", 0.5, 1),
+        )
+
+    def test_with_distance_and_occurrence(self):
+        counter = self.pair_set.with_distance_and_occurrence()
+        assert counter[("a", "b", 0.0)] == 2
+        assert counter[("a", "b", 1.0)] == 3
+
+    def test_with_distance(self):
+        assert self.pair_set.with_distance() == {
+            ("a", "b", 0.0), ("a", "b", 1.0), ("c", "d", 0.5)
+        }
+
+    def test_with_occurrence_sums_over_distances(self):
+        counter = self.pair_set.with_occurrence()
+        assert counter[("a", "b")] == 5
+        assert counter[("c", "d")] == 1
+
+    def test_label_pairs(self):
+        assert self.pair_set.label_pairs() == {("a", "b"), ("c", "d")}
+
+    def test_distances_of(self):
+        assert self.pair_set.distances_of("b", "a") == [0.0, 1.0]
+        assert self.pair_set.distances_of("x", "y") == []
+
+    def test_occurrences_lookup_unsorted_labels(self):
+        assert self.pair_set.occurrences("b", "a", 1.0) == 3
+        assert self.pair_set.occurrences("a", "b", 2.0) == 0
+
+
+class TestMultisetAlgebra:
+    def test_footnote2_example(self):
+        # cpi(T2) has (a,b,c,(0.5,n1)); cpi(T3) has (a,b,c,(0.5,n2)).
+        left = Counter({("a", "b", 0.5): 1})
+        right = Counter({("a", "b", 0.5): 2})
+        assert CousinPairSet.multiset_intersection_size(left, right) == 1
+        assert CousinPairSet.multiset_union_size(left, right) == 2
+
+    def test_disjoint_keys(self):
+        left = Counter({("a", "b", 0.0): 2})
+        right = Counter({("c", "d", 0.0): 3})
+        assert CousinPairSet.multiset_intersection_size(left, right) == 0
+        assert CousinPairSet.multiset_union_size(left, right) == 5
+
+    def test_intersection_symmetric(self):
+        left = Counter({"x": 3, "y": 1})
+        right = Counter({"x": 1, "z": 4})
+        forward = CousinPairSet.multiset_intersection_size(left, right)
+        backward = CousinPairSet.multiset_intersection_size(right, left)
+        assert forward == backward == 1
+
+    def test_union_symmetric(self):
+        left = Counter({"x": 3, "y": 1})
+        right = Counter({"x": 1, "z": 4})
+        forward = CousinPairSet.multiset_union_size(left, right)
+        backward = CousinPairSet.multiset_union_size(right, left)
+        assert forward == backward == 3 + 1 + 4
+
+    def test_inclusion_exclusion(self):
+        left = Counter({"x": 3, "y": 1, "w": 2})
+        right = Counter({"x": 1, "z": 4, "w": 5})
+        union = CousinPairSet.multiset_union_size(left, right)
+        intersection = CousinPairSet.multiset_intersection_size(left, right)
+        assert union + intersection == sum(left.values()) + sum(right.values())
+
+    def test_empty_operands(self):
+        empty: Counter = Counter()
+        full = Counter({"x": 2})
+        assert CousinPairSet.multiset_intersection_size(empty, full) == 0
+        assert CousinPairSet.multiset_union_size(empty, full) == 2
+        assert CousinPairSet.multiset_union_size(empty, empty) == 0

@@ -1,0 +1,121 @@
+"""The paper's worked examples, verified end to end.
+
+These tests pin the reproduction to the prose of Sections 2 and 5:
+Table 1's item list, the support arithmetic for (b, e), and the
+Figure 8 seed-plant findings.
+"""
+
+from repro.core.multi_tree import mine_forest, support
+from repro.core.reference import mine_tree_reference
+from repro.core.single_tree import mine_tree
+from repro.core.updown import mine_tree_updown
+from repro.datasets.figure1 import figure1_trees, table1_items
+from repro.datasets.seed_plants import SEED_PLANT_TAXA, seed_plant_trees
+
+
+class TestTable1:
+    def test_t3_items_match_hand_computation(self):
+        _, _, t3 = figure1_trees()
+        assert mine_tree(t3) == table1_items()
+
+    def test_all_three_miners_agree_on_t3(self):
+        _, _, t3 = figure1_trees()
+        assert mine_tree(t3) == mine_tree_updown(t3) == mine_tree_reference(t3)
+
+    def test_aunt_niece_double_occurrence(self):
+        # The (a, e, 0.5, 2) row: two distinct node pairs.
+        _, _, t3 = figure1_trees()
+        item = next(
+            item for item in mine_tree(t3)
+            if item.key == ("a", "e", 0.5)
+        )
+        assert item.occurrences == 2
+
+
+class TestSupportArithmetic:
+    """Section 2's frequent-cousin-pair example."""
+
+    def test_t1_has_b_e_at_distance_1(self):
+        t1, _, _ = figure1_trees()
+        keys = {item.key for item in mine_tree(t1)}
+        assert ("b", "e", 1.0) in keys
+
+    def test_t2_has_b_e_at_half(self):
+        _, t2, _ = figure1_trees()
+        keys = {item.key for item in mine_tree(t2)}
+        assert ("b", "e", 0.5) in keys
+        assert ("b", "e", 1.0) not in keys
+
+    def test_t3_has_b_e_at_zero_and_one(self):
+        _, _, t3 = figure1_trees()
+        keys = {item.key for item in mine_tree(t3)}
+        assert ("b", "e", 0.0) in keys
+        assert ("b", "e", 1.0) in keys
+
+    def test_support_wrt_distance_1_is_2(self):
+        assert support(list(figure1_trees()), "b", "e", 1.0) == 2
+
+    def test_support_ignoring_distance_is_3(self):
+        assert support(list(figure1_trees()), "b", "e", None) == 3
+
+    def test_frequent_pair_via_mine_forest(self):
+        frequent = mine_forest(list(figure1_trees()), minsup=2)
+        keys = {(p.label_a, p.label_b, p.distance) for p in frequent}
+        assert ("b", "e", 1.0) in keys
+
+
+class TestFigure1Prose:
+    def test_t1_has_an_unlabeled_non_root_node(self):
+        t1, _, _ = figure1_trees()
+        unlabeled = [
+            node for node in t1.preorder()
+            if node.label is None and node is not t1.root
+        ]
+        assert unlabeled
+
+    def test_t2_has_duplicate_labels(self):
+        _, t2, _ = figure1_trees()
+        labels = [node.label for node in t2.labeled_nodes()]
+        assert len(labels) != len(set(labels))
+
+    def test_t1_exhibits_the_kinship_ladder(self):
+        # Section 2 names distances 0.5, 1, 1.5, 2 and 2.5 in T1.
+        t1, _, _ = figure1_trees()
+        distances = {item.distance for item in mine_tree(t1, maxdist=2.5)}
+        assert {0.5, 1.0, 1.5, 2.0, 2.5} <= distances
+
+
+class TestFigure8SeedPlants:
+    def test_taxa_are_the_papers_eight(self):
+        trees = seed_plant_trees()
+        for tree in trees:
+            assert tree.leaf_labels() == set(SEED_PLANT_TAXA)
+
+    def test_gnetum_welwitschia_sibling_in_all_four(self):
+        frequent = mine_forest(seed_plant_trees(), minsup=2)
+        pattern = next(
+            p for p in frequent
+            if (p.label_a, p.label_b, p.distance) == ("Gnetum", "Welwitschia", 0.0)
+        )
+        assert pattern.support == 4
+
+    def test_ginkgoales_ephedra_at_1_5_in_exactly_two(self):
+        frequent = mine_forest(seed_plant_trees(), minsup=2)
+        pattern = next(
+            p for p in frequent
+            if (p.label_a, p.label_b, p.distance) == ("Ephedra", "Ginkgoales", 1.5)
+        )
+        assert pattern.support == 2
+
+
+class TestSeedPlantsNexus:
+    def test_nexus_round_trip_preserves_findings(self):
+        from repro.datasets.seed_plants import seed_plants_nexus
+        from repro.trees.nexus import parse_nexus
+
+        trees = parse_nexus(seed_plants_nexus())
+        assert len(trees) == 4
+        frequent = mine_forest(trees, minsup=2)
+        keys = {(p.label_a, p.label_b, p.distance): p.support for p in frequent}
+        assert keys[("Gnetum", "Welwitschia", 0.0)] == 4
+        assert keys[("Ephedra", "Ginkgoales", 1.5)] == 2

@@ -1,0 +1,33 @@
+"""Differential tests: the naive all-pairs oracle vs both real miners."""
+
+from repro.core.reference import mine_tree_reference
+from repro.core.single_tree import mine_tree
+from repro.core.updown import mine_tree_updown
+
+from tests.conftest import make_random_tree
+
+
+class TestThreeWayAgreement:
+    def test_default_parameters(self, rng):
+        for _ in range(20):
+            tree = make_random_tree(rng, max_size=40)
+            oracle = mine_tree_reference(tree)
+            assert mine_tree(tree) == oracle
+            assert mine_tree_updown(tree) == oracle
+
+    def test_parameter_sweep(self, rng):
+        for _ in range(15):
+            tree = make_random_tree(rng, max_size=30)
+            for maxdist in [0, 1, 2.5]:
+                for gap in [0, 1, 3]:
+                    oracle = mine_tree_reference(tree, maxdist, 1, gap)
+                    assert mine_tree(tree, maxdist, 1, gap) == oracle
+                    assert mine_tree_updown(tree, maxdist, 1, gap) == oracle
+
+    def test_minoccur_consistency(self, rng):
+        for _ in range(10):
+            tree = make_random_tree(rng, max_size=30)
+            for minoccur in [1, 2, 3]:
+                assert mine_tree(tree, minoccur=minoccur) == mine_tree_reference(
+                    tree, minoccur=minoccur
+                )

@@ -1,0 +1,98 @@
+"""Unit tests for the consensus-quality score (Eqs. 4-5)."""
+
+import pytest
+
+from repro.core.cousins import CousinPairItem
+from repro.core.pairset import CousinPairSet
+from repro.core.similarity import (
+    average_similarity,
+    pairset_similarity,
+    similarity_score,
+)
+from repro.trees.newick import parse_newick
+
+from tests.conftest import make_random_tree
+
+
+def make_set(*rows):
+    return CousinPairSet.from_items(
+        CousinPairItem.make(a, b, d, n) for a, b, d, n in rows
+    )
+
+
+class TestEquation4:
+    def test_identical_distance_contributes_one(self):
+        left = make_set(("a", "b", 0.5, 1))
+        assert pairset_similarity(left, left) == 1.0
+
+    def test_distance_gap_discounts(self):
+        left = make_set(("a", "b", 0.0, 1))
+        right = make_set(("a", "b", 1.0, 1))
+        assert pairset_similarity(left, right) == pytest.approx(1 / 2)
+
+    def test_half_gap(self):
+        left = make_set(("a", "b", 0.0, 1))
+        right = make_set(("a", "b", 0.5, 1))
+        assert pairset_similarity(left, right) == pytest.approx(1 / 1.5)
+
+    def test_unshared_pairs_contribute_nothing(self):
+        left = make_set(("a", "b", 0.0, 1), ("x", "y", 0.0, 1))
+        right = make_set(("a", "b", 0.0, 1), ("p", "q", 0.0, 1))
+        assert pairset_similarity(left, right) == 1.0
+
+    def test_multiplicity_uses_closest_distances(self):
+        # (a, b) at {0, 1.5} in one tree, {1} in the other: closest gap
+        # is |1.5 - 1| = 0.5.
+        left = make_set(("a", "b", 0.0, 1), ("a", "b", 1.5, 1))
+        right = make_set(("a", "b", 1.0, 1))
+        assert pairset_similarity(left, right) == pytest.approx(1 / 1.5)
+
+    def test_score_sums_over_shared_pairs(self):
+        left = make_set(("a", "b", 0.0, 1), ("c", "d", 1.0, 1))
+        right = make_set(("a", "b", 0.0, 1), ("c", "d", 1.0, 1))
+        assert pairset_similarity(left, right) == 2.0
+
+    def test_symmetric(self, rng):
+        for _ in range(5):
+            first = CousinPairSet.from_tree(make_random_tree(rng))
+            second = CousinPairSet.from_tree(make_random_tree(rng))
+            assert pairset_similarity(first, second) == pytest.approx(
+                pairset_similarity(second, first)
+            )
+
+
+class TestTreeLevel:
+    def test_identical_trees_score_equals_pair_count(self):
+        tree = parse_newick("((a,b),(c,d));")
+        pair_count = len(
+            CousinPairSet.from_tree(tree).label_pairs()
+        )
+        assert similarity_score(tree, tree) == pair_count
+
+    def test_self_similarity_is_max(self, rng):
+        for _ in range(5):
+            tree = make_random_tree(rng)
+            own = similarity_score(tree, tree)
+            other = similarity_score(tree, make_random_tree(rng))
+            assert other <= own + 1e-9
+
+
+class TestEquation5:
+    def test_average_over_profile(self):
+        consensus = parse_newick("((a,b),(c,d));")
+        originals = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,c),(b,d));"),
+        ]
+        scores = [similarity_score(consensus, tree) for tree in originals]
+        assert average_similarity(consensus, originals) == pytest.approx(
+            sum(scores) / 2
+        )
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            average_similarity(parse_newick("(a,b);"), [])
+
+    def test_single_tree_profile(self):
+        tree = parse_newick("((a,b),c);")
+        assert average_similarity(tree, [tree]) == similarity_score(tree, tree)

@@ -1,0 +1,240 @@
+"""Unit tests for Single_Tree_Mining (Figure 3 / Lemmas 1-2)."""
+
+import pytest
+
+from repro.core.cousins import CousinPairItem
+from repro.core.single_tree import (
+    enumerate_cousin_pairs,
+    mine_tree,
+    mine_tree_counter,
+)
+from repro.errors import MiningParameterError
+from repro.trees.newick import parse_newick
+from repro.trees.tree import Tree
+
+
+class TestBasics:
+    def test_two_siblings(self):
+        tree = parse_newick("(a,b);")
+        assert mine_tree(tree) == [CousinPairItem("a", "b", 0.0, 1)]
+
+    def test_empty_tree(self):
+        assert mine_tree(Tree()) == []
+
+    def test_single_node(self):
+        assert mine_tree(parse_newick("a;")) == []
+
+    def test_path_has_no_pairs(self):
+        # Every pair on a path is ancestor-descendant.
+        tree = parse_newick("(((((a)b)c)d)e);")
+        assert mine_tree(tree, maxdist=5) == []
+
+    def test_unlabeled_nodes_never_pair(self):
+        tree = parse_newick("((,a),);")  # two unlabeled leaves
+        assert mine_tree(tree) == []
+
+    def test_duplicate_labels_aggregate(self):
+        tree = parse_newick("(a,a,a);")
+        assert mine_tree(tree) == [CousinPairItem("a", "a", 0.0, 3)]
+
+    def test_star_counts_all_sibling_pairs(self, star_tree):
+        items = mine_tree(star_tree)
+        assert all(item.distance == 0.0 for item in items)
+        assert sum(item.occurrences for item in items) == 8 * 7 // 2
+
+    def test_results_sorted(self, rng):
+        from tests.conftest import make_random_tree
+
+        for _ in range(5):
+            items = mine_tree(make_random_tree(rng), maxdist=2.5)
+            assert items == sorted(items)
+
+
+class TestMaxdist:
+    def test_maxdist_zero_only_siblings(self):
+        tree = parse_newick("((a,b),(c,d));")
+        items = mine_tree(tree, maxdist=0)
+        assert {item.key for item in items} == {
+            ("a", "b", 0.0), ("c", "d", 0.0)
+        }
+
+    def test_maxdist_monotone(self, rng):
+        from tests.conftest import make_random_tree
+
+        for _ in range(5):
+            tree = make_random_tree(rng)
+            previous: set = set()
+            for maxdist in [0, 0.5, 1, 1.5, 2]:
+                keys = {item.key for item in mine_tree(tree, maxdist=maxdist)}
+                assert previous <= keys
+                previous = keys
+
+    def test_exact_distances_not_inflated(self):
+        # First cousins must appear at 1, not again at 1.5.
+        tree = parse_newick("((a,b),(c,d));")
+        items = mine_tree(tree, maxdist=1.5)
+        ac = [item for item in items if item.label_key == ("a", "c")]
+        assert ac == [CousinPairItem("a", "c", 1.0, 1)]
+
+
+class TestMinoccur:
+    def test_minoccur_filters(self):
+        tree = parse_newick("(a,a,b);")
+        all_items = mine_tree(tree, minoccur=1)
+        assert CousinPairItem("a", "b", 0.0, 2) in all_items
+        filtered = mine_tree(tree, minoccur=2)
+        assert filtered == [CousinPairItem("a", "b", 0.0, 2)]
+
+    def test_invalid_parameters_rejected(self):
+        tree = parse_newick("(a,b);")
+        with pytest.raises(MiningParameterError):
+            mine_tree(tree, maxdist=-1)
+        with pytest.raises(MiningParameterError):
+            mine_tree(tree, minoccur=0)
+
+
+class TestGenerationGap:
+    def test_gap_zero_drops_half_distances(self):
+        tree = parse_newick("((a,b),c);")
+        items = mine_tree(tree, maxdist=1.5, max_generation_gap=0)
+        assert all(item.distance == int(item.distance) for item in items)
+        # The aunt-niece pairs (a,c) and (b,c) disappear.
+        assert {item.label_key for item in items} == {("a", "b")}
+
+    def test_gap_two_admits_twice_removed(self):
+        tree = parse_newick("(((a)aa,b)x,c);")
+        # c at height 1, a at height 3 under the root: gap 2.
+        gap1 = mine_tree(tree, maxdist=2.5, max_generation_gap=1)
+        gap2 = mine_tree(tree, maxdist=2.5, max_generation_gap=2)
+        assert ("a", "c") not in {item.label_key for item in gap1}
+        assert ("a", "c") in {item.label_key for item in gap2}
+
+
+class TestOccurrenceCounting:
+    def test_no_double_counting_same_label_pair(self):
+        # (a, a) as first cousins across two subtrees: 2x2 = 4 pairs.
+        tree = parse_newick("((a,a),(a,a));")
+        items = mine_tree(tree, maxdist=1)
+        first_cousins = [i for i in items if i.distance == 1.0]
+        assert first_cousins == [CousinPairItem("a", "a", 1.0, 4)]
+
+    def test_counter_backbone_unfiltered(self):
+        tree = parse_newick("(a,a,b);")
+        counts = mine_tree_counter(tree)
+        assert counts[("a", "a", 0.0)] == 1
+        assert counts[("a", "b", 0.0)] == 2
+
+
+class TestEnumeratePairs:
+    def test_pairs_aggregate_to_items(self, rng):
+        from collections import Counter
+
+        from tests.conftest import make_random_tree
+
+        for _ in range(10):
+            tree = make_random_tree(rng)
+            pairs = list(enumerate_cousin_pairs(tree, maxdist=1.5))
+            counter = Counter()
+            for pair in pairs:
+                label_a, label_b = pair.label_key
+                counter[(label_a, label_b, pair.distance)] += 1
+            expected = {item.key: item.occurrences for item in mine_tree(tree)}
+            assert dict(counter) == expected
+
+    def test_pairs_unique(self, rng):
+        from tests.conftest import make_random_tree
+
+        for _ in range(10):
+            tree = make_random_tree(rng)
+            pairs = list(enumerate_cousin_pairs(tree, maxdist=2))
+            keys = [(pair.id_a, pair.id_b) for pair in pairs]
+            assert len(keys) == len(set(keys))
+
+    def test_pair_ids_ordered(self, small_tree):
+        for pair in enumerate_cousin_pairs(small_tree):
+            assert pair.id_a < pair.id_b
+
+    def test_pair_distances_verified_against_definition(self, rng):
+        from repro.core.cousins import cousin_distance
+        from repro.trees.traversal import TreeIndex
+        from tests.conftest import make_random_tree
+
+        for _ in range(5):
+            tree = make_random_tree(rng, max_size=25)
+            index = TreeIndex(tree)
+            for pair in enumerate_cousin_pairs(tree, maxdist=2):
+                value = cousin_distance(
+                    tree, tree.node(pair.id_a), tree.node(pair.id_b), index=index
+                )
+                assert value == pair.distance
+
+
+class TestComplexityShape:
+    def test_output_bounded_by_n_squared(self, rng):
+        from tests.conftest import make_random_tree
+
+        for _ in range(5):
+            tree = make_random_tree(rng, max_size=30)
+            pairs = list(enumerate_cousin_pairs(tree, maxdist=3))
+            n = len(tree)
+            assert len(pairs) <= n * (n - 1) // 2
+
+
+class TestMaxHeight:
+    """The reviewer's independent horizontal limit (Section 2)."""
+
+    def test_height_one_keeps_only_nearest_kin(self):
+        # max_height 1: the shallower cousin must hang directly off the
+        # LCA — siblings and aunt-niece pairs only, regardless of
+        # maxdist.
+        tree = parse_newick("((a,(b,c)x),(d,(e,f)y));")
+        items = mine_tree(tree, maxdist=2.5, max_height=1)
+        assert items
+        assert all(item.distance in (0.0, 0.5) for item in items)
+
+    def test_none_is_paper_behavior(self, rng):
+        from tests.conftest import make_random_tree
+
+        for _ in range(5):
+            tree = make_random_tree(rng)
+            assert mine_tree(tree, maxdist=2.0) == mine_tree(
+                tree, maxdist=2.0, max_height=None
+            )
+
+    def test_monotone_in_height(self, rng):
+        from tests.conftest import make_random_tree
+
+        for _ in range(5):
+            tree = make_random_tree(rng)
+            previous: set = set()
+            for height in (1, 2, 3):
+                keys = {
+                    item.key
+                    for item in mine_tree(tree, maxdist=2.5, max_height=height)
+                }
+                assert previous <= keys
+                previous = keys
+
+    def test_all_miners_agree(self, rng):
+        from repro.core.reference import mine_tree_reference
+        from repro.core.updown import mine_tree_updown
+        from tests.conftest import make_random_tree
+
+        for _ in range(10):
+            tree = make_random_tree(rng, max_size=30)
+            for height in (1, 2):
+                expected = mine_tree_reference(
+                    tree, 2.5, 1, 2, max_height=height
+                )
+                assert mine_tree(tree, 2.5, 1, 2, max_height=height) == expected
+                assert (
+                    mine_tree_updown(tree, 2.5, 1, 2, max_height=height)
+                    == expected
+                )
+
+    def test_invalid_height_rejected(self):
+        from repro.errors import MiningParameterError
+
+        tree = parse_newick("(a,b);")
+        with pytest.raises(MiningParameterError, match="max_height"):
+            mine_tree(tree, max_height=0)

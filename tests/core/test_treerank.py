@@ -1,0 +1,117 @@
+"""Unit tests for the UpDown distance / TreeRank extension."""
+
+import pytest
+
+from repro.core.treerank import (
+    rank_trees,
+    treerank_score,
+    updown_distance,
+    updown_matrix,
+)
+from repro.errors import TreeError
+from repro.trees.newick import parse_newick
+
+
+class TestUpdownMatrix:
+    def test_cherry(self):
+        matrix = updown_matrix(parse_newick("(a,b);"))
+        assert matrix == {("a", "b"): (1, 1), ("b", "a"): (1, 1)}
+
+    def test_ancestor_pairs_included(self):
+        # Unlike cousin mining, ancestor-descendant pairs are entries.
+        matrix = updown_matrix(parse_newick("(b)a;"))
+        assert matrix[("a", "b")] == (0, 1)
+        assert matrix[("b", "a")] == (1, 0)
+
+    def test_unbalanced_entries(self):
+        matrix = updown_matrix(parse_newick("((a,b),c);"))
+        assert matrix[("a", "c")] == (2, 1)
+        assert matrix[("c", "a")] == (1, 2)
+
+    def test_entry_count(self):
+        matrix = updown_matrix(parse_newick("((a,b),(c,d));"))
+        assert len(matrix) == 4 * 3  # ordered pairs of 4 labeled nodes
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(TreeError, match="unique"):
+            updown_matrix(parse_newick("(a,a);"))
+
+    def test_no_labels_rejected(self):
+        with pytest.raises(TreeError, match="no labeled"):
+            updown_matrix(parse_newick("(,);"))
+
+    def test_empty_rejected(self):
+        from repro.trees.tree import Tree
+
+        with pytest.raises(TreeError, match="empty"):
+            updown_matrix(Tree())
+
+
+class TestUpdownDistance:
+    def test_identical_trees(self):
+        tree = parse_newick("((a,b),(c,d));")
+        assert updown_distance(tree, tree) == 0.0
+
+    def test_symmetric_and_bounded(self, rng):
+        from tests.conftest import make_random_tree
+        from repro.trees.ops import relabel
+
+        for trial in range(5):
+            # Unique labels per node via relabel-by-id trick.
+            first = make_random_tree(rng, max_size=12)
+            second = make_random_tree(rng, max_size=12)
+            for tree in (first, second):
+                for position, node in enumerate(tree.preorder()):
+                    node.label = f"n{position}"
+            forward = updown_distance(first, second)
+            assert forward == updown_distance(second, first)
+            assert 0.0 <= forward <= 1.0
+
+    def test_different_topologies_differ(self):
+        first = parse_newick("((a,b),(c,d));")
+        second = parse_newick("((a,c),(b,d));")
+        assert updown_distance(first, second) > 0.0
+
+    def test_partial_taxon_overlap(self):
+        first = parse_newick("((a,b),(c,d));")
+        second = parse_newick("((a,b),(e,f));")
+        value = updown_distance(first, second)
+        assert 0.0 <= value <= 1.0  # only shared pairs participate
+
+    def test_disjoint_taxa_is_zero_by_convention(self):
+        first = parse_newick("(a,b);")
+        second = parse_newick("(x,y);")
+        assert updown_distance(first, second) == 0.0
+
+    def test_handles_parent_child_the_cousin_miner_skips(self):
+        # The motivating case from Section 2: labeled internal nodes.
+        first = parse_newick("((b,c)a,d);")
+        second = parse_newick("((b,d)a,c);")
+        assert updown_distance(first, second) > 0.0
+
+
+class TestTreeRank:
+    def test_score_range(self):
+        first = parse_newick("((a,b),(c,d));")
+        second = parse_newick("((a,c),(b,d));")
+        score = treerank_score(first, second)
+        assert 0.0 <= score <= 100.0
+        assert treerank_score(first, first) == 100.0
+
+    def test_ranking_prefers_identical(self, rng):
+        from repro.generate.phylo import yule_tree, random_spr
+
+        query = yule_tree(8, rng)
+        near = random_spr(query, rng)
+        candidates = [near, query, yule_tree(8, rng)]
+        ranking = rank_trees(query, candidates)
+        assert ranking[0][0] == 1  # the identical tree ranks first
+        assert ranking[0][1] == 100.0
+
+    def test_ranking_is_sorted(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        query = yule_tree(7, rng)
+        candidates = [yule_tree(7, rng) for _ in range(5)]
+        scores = [score for _pos, score in rank_trees(query, candidates)]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,59 @@
+"""Tests for the paper-literal up/down miner, incl. Eqs. (1)-(3)."""
+
+import pytest
+
+from repro.core.updown import mine_tree_updown, my_cousin_level, my_level
+from repro.core.single_tree import mine_tree
+from repro.trees.newick import parse_newick
+
+from tests.conftest import make_random_tree
+
+
+class TestLevelEquations:
+    @pytest.mark.parametrize(
+        "distance, up, down",
+        [
+            (0.0, 1, 1),
+            (0.5, 2, 1),
+            (1.0, 2, 2),
+            (1.5, 3, 2),
+            (2.0, 3, 3),
+            (2.5, 4, 3),
+        ],
+    )
+    def test_equations_1_to_3(self, distance, up, down):
+        assert my_level(distance) == up
+        assert my_cousin_level(distance) == down
+
+    def test_levels_reconstruct_distance(self):
+        from repro.core.cousins import distance_from_heights
+
+        for half_steps in range(0, 12):
+            distance = half_steps / 2.0
+            up, down = my_level(distance), my_cousin_level(distance)
+            assert distance_from_heights(up, down) == distance
+
+
+class TestAgainstPrimaryMiner:
+    def test_known_tree(self):
+        tree = parse_newick("((a,b),(c,(a,d)));")
+        assert mine_tree_updown(tree) == mine_tree(tree)
+
+    def test_random_trees_all_params(self, rng):
+        for _ in range(25):
+            tree = make_random_tree(rng, max_size=35)
+            maxdist = rng.choice([0, 0.5, 1, 1.5, 2, 2.5])
+            gap = rng.choice([0, 1, 2])
+            minoccur = rng.choice([1, 2])
+            assert mine_tree_updown(
+                tree, maxdist, minoccur, gap
+            ) == mine_tree(tree, maxdist, minoccur, gap)
+
+    def test_empty_and_tiny(self):
+        from repro.trees.tree import Tree
+
+        assert mine_tree_updown(Tree()) == []
+        assert mine_tree_updown(parse_newick("a;")) == []
+        assert mine_tree_updown(parse_newick("(a,b);")) == mine_tree(
+            parse_newick("(a,b);")
+        )

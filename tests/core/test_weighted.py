@@ -1,0 +1,105 @@
+"""Unit tests for weighted-edge cousin mining (future work i)."""
+
+import pytest
+
+from repro.core.single_tree import mine_tree
+from repro.core.weighted import (
+    WeightedPairItem,
+    enumerate_weighted_pairs,
+    mine_tree_weighted,
+)
+from repro.trees.newick import parse_newick
+
+from tests.conftest import make_random_tree
+
+
+class TestSpans:
+    def test_sibling_span_is_sum_of_branches(self):
+        tree = parse_newick("(a:0.3,b:0.7);")
+        (pair,) = list(enumerate_weighted_pairs(tree))
+        assert pair.span == pytest.approx(1.0)
+        assert pair.distance == 0.0
+
+    def test_aunt_niece_span(self):
+        tree = parse_newick("(a:1,(b:2)x:4);")
+        pairs = {
+            p.pair.label_key: p.span for p in enumerate_weighted_pairs(tree)
+        }
+        # a--root--x--b: 1 + 4 + 2.
+        assert pairs[("a", "b")] == pytest.approx(7.0)
+
+    def test_default_length_for_missing(self):
+        tree = parse_newick("(a,b:5);")
+        (pair,) = list(enumerate_weighted_pairs(tree, default_length=2.0))
+        assert pair.span == pytest.approx(7.0)
+
+    def test_unweighted_tree_counts_edges(self, rng):
+        # default_length 1: span of a same-generation pair at cousin
+        # distance d is exactly 2 * (d + 1) edges.
+        for _ in range(5):
+            tree = make_random_tree(rng, max_size=20)
+            for pair in enumerate_weighted_pairs(tree, maxdist=2.0,
+                                                 max_generation_gap=0):
+                assert pair.span == pytest.approx(2 * (pair.distance + 1))
+
+    def test_max_span_filters(self):
+        tree = parse_newick("(a:10,b:10,c:0.1,d:0.1);")
+        spans = [
+            p.pair.label_key
+            for p in enumerate_weighted_pairs(tree, max_span=1.0)
+        ]
+        assert spans == [("c", "d")]
+
+
+class TestAggregation:
+    def test_projection_matches_unweighted_miner(self, rng):
+        for _ in range(10):
+            tree = make_random_tree(rng, max_size=25)
+            weighted = mine_tree_weighted(tree, maxdist=1.5)
+            projected = {
+                (item.label_a, item.label_b, item.distance): item.occurrences
+                for item in weighted
+            }
+            expected = {
+                item.key: item.occurrences for item in mine_tree(tree)
+            }
+            assert projected == expected
+
+    def test_span_statistics(self):
+        tree = parse_newick("((a:1,b:1):1,(a:3,b:3):1);")
+        items = {
+            (i.label_a, i.label_b, i.distance): i
+            for i in mine_tree_weighted(tree)
+        }
+        siblings = items[("a", "b", 0.0)]
+        assert siblings.occurrences == 2
+        assert siblings.min_span == pytest.approx(2.0)
+        assert siblings.max_span == pytest.approx(6.0)
+        assert siblings.mean_span == pytest.approx(4.0)
+
+    def test_minoccur_applies_after_span_filter(self):
+        tree = parse_newick("((a:1,b:1):1,(a:9,b:9):1);")
+        kept = mine_tree_weighted(tree, max_span=3.0, minoccur=2)
+        assert kept == []  # only one occurrence survives the span cut
+        kept = mine_tree_weighted(tree, max_span=3.0, minoccur=1)
+        assert any(
+            (i.label_a, i.label_b, i.distance) == ("a", "b", 0.0)
+            and i.occurrences == 1
+            for i in kept
+        )
+
+    def test_describe(self):
+        item = WeightedPairItem("a", "b", 0.5, 2, 1.0, 1.5, 2.0)
+        text = item.describe()
+        assert "(a, b)" in text and "x2" in text and "span" in text
+
+    def test_empty_tree(self):
+        from repro.trees.tree import Tree
+
+        assert mine_tree_weighted(Tree()) == []
+
+    def test_sorted_output(self, rng):
+        tree = make_random_tree(rng, max_size=30)
+        items = mine_tree_weighted(tree, maxdist=2.0)
+        keys = [(i.label_a, i.label_b, i.distance) for i in items]
+        assert keys == sorted(keys)

@@ -1,0 +1,170 @@
+"""Unit tests for random phylogenies and rearrangement moves."""
+
+import random
+
+import pytest
+
+from repro.generate.phylo import (
+    coalescent_tree,
+    nni_neighbors,
+    random_binary_phylogeny,
+    random_nni,
+    random_spr,
+    yule_tree,
+)
+from repro.trees.bipartition import nontrivial_clusters
+from repro.trees.validate import check_tree, is_binary, is_leaf_labeled
+
+
+class TestYule:
+    def test_binary_leaf_labeled(self, rng):
+        tree = yule_tree(12, rng)
+        check_tree(tree)
+        assert is_binary(tree)
+        assert is_leaf_labeled(tree)
+        assert len(tree.leaf_labels()) == 12
+
+    def test_explicit_taxa(self, rng):
+        taxa = ["x", "y", "z"]
+        tree = yule_tree(taxa, rng)
+        assert tree.leaf_labels() == set(taxa)
+
+    def test_single_taxon(self, rng):
+        tree = yule_tree(["only"], rng)
+        assert len(tree) == 1
+        assert tree.root.label == "only"
+
+    def test_duplicate_taxa_rejected(self, rng):
+        with pytest.raises(ValueError, match="unique"):
+            yule_tree(["a", "a"], rng)
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            yule_tree([], rng)
+
+    def test_node_count(self, rng):
+        tree = yule_tree(10, rng)
+        assert len(tree) == 2 * 10 - 1  # binary: n leaves, n-1 internals
+
+
+class TestCoalescent:
+    def test_binary_leaf_labeled(self, rng):
+        tree = coalescent_tree(10, rng)
+        check_tree(tree)
+        assert is_binary(tree)
+        assert is_leaf_labeled(tree)
+
+    def test_dispatch(self, rng):
+        for model in ("yule", "coalescent"):
+            tree = random_binary_phylogeny(6, rng, model=model)
+            assert is_binary(tree)
+        with pytest.raises(ValueError, match="unknown model"):
+            random_binary_phylogeny(6, rng, model="bogus")
+
+
+class TestNni:
+    def test_neighbors_are_valid_same_taxa(self, rng):
+        tree = yule_tree(8, rng)
+        neighbours = nni_neighbors(tree)
+        assert neighbours
+        for neighbour in neighbours:
+            check_tree(neighbour)
+            assert neighbour.leaf_labels() == tree.leaf_labels()
+            assert is_binary(neighbour)
+
+    def test_neighbors_differ_topologically(self, rng):
+        tree = yule_tree(8, rng)
+        original = frozenset(nontrivial_clusters(tree))
+        changed = [
+            neighbour
+            for neighbour in nni_neighbors(tree)
+            if frozenset(nontrivial_clusters(neighbour)) != original
+        ]
+        assert changed  # NNI must actually move
+
+    def test_original_untouched(self, rng):
+        tree = yule_tree(8, rng)
+        before = tree.canonical_form()
+        nni_neighbors(tree)
+        random_nni(tree, rng)
+        assert tree.canonical_form() == before
+
+    def test_random_nni_tiny_tree_is_copy(self, rng):
+        tree = yule_tree(2, rng)
+        moved = random_nni(tree, rng)
+        assert moved.isomorphic_to(tree)
+
+    def test_count_for_binary(self, rng):
+        # Rooted binary tree with n leaves: n - 2 internal non-root
+        # nodes, each yielding 1 sibling x 2 children = 2 neighbours.
+        tree = yule_tree(10, rng)
+        assert len(nni_neighbors(tree)) == 2 * (10 - 2)
+
+
+class TestSpr:
+    def test_result_valid_and_taxa_preserved(self, rng):
+        for _ in range(20):
+            tree = yule_tree(rng.randint(3, 12), rng)
+            moved = random_spr(tree, rng)
+            check_tree(moved)
+            assert moved.leaf_labels() == tree.leaf_labels()
+
+    def test_original_untouched(self, rng):
+        tree = yule_tree(9, rng)
+        before = tree.canonical_form()
+        random_spr(tree, rng)
+        assert tree.canonical_form() == before
+
+    def test_spr_reaches_new_topologies(self):
+        tree = yule_tree(8, random.Random(3))
+        original = frozenset(nontrivial_clusters(tree))
+        shapes = {
+            frozenset(nontrivial_clusters(random_spr(tree, random.Random(seed))))
+            for seed in range(20)
+        }
+        assert any(shape != original for shape in shapes)
+
+
+class TestSprNeighbors:
+    def test_all_neighbors_valid(self, rng):
+        from repro.generate.phylo import spr_neighbors
+
+        tree = yule_tree(7, rng)
+        neighbours = list(spr_neighbors(tree))
+        assert neighbours
+        for neighbour in neighbours:
+            check_tree(neighbour)
+            assert neighbour.leaf_labels() == tree.leaf_labels()
+            assert is_binary(neighbour)
+
+    def test_neighborhood_contains_nni(self, rng):
+        # Every NNI topology must be reachable by some SPR move.
+        from repro.generate.phylo import spr_neighbors
+
+        tree = yule_tree(6, rng)
+        spr_shapes = {
+            frozenset(nontrivial_clusters(neighbour))
+            for neighbour in spr_neighbors(tree)
+        }
+        for neighbour in nni_neighbors(tree):
+            assert frozenset(nontrivial_clusters(neighbour)) in spr_shapes
+
+    def test_neighborhood_strictly_larger_than_nni(self, rng):
+        from repro.generate.phylo import spr_neighbors
+
+        tree = yule_tree(8, rng)
+        nni_shapes = {
+            frozenset(nontrivial_clusters(n)) for n in nni_neighbors(tree)
+        }
+        spr_shapes = {
+            frozenset(nontrivial_clusters(n)) for n in spr_neighbors(tree)
+        }
+        assert nni_shapes < spr_shapes
+
+    def test_original_untouched(self, rng):
+        from repro.generate.phylo import spr_neighbors
+
+        tree = yule_tree(6, rng)
+        before = tree.canonical_form()
+        list(spr_neighbors(tree))
+        assert tree.canonical_form() == before

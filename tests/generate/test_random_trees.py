@@ -1,0 +1,119 @@
+"""Unit tests for the Table 3 synthetic tree generators."""
+
+import random
+
+import pytest
+
+from repro.generate.random_trees import (
+    SyntheticTreeParams,
+    fixed_fanout_tree,
+    random_attachment_tree,
+    synthetic_forest,
+    uniform_free_tree,
+)
+from repro.trees.validate import check_tree
+
+
+class TestParams:
+    def test_paper_defaults(self):
+        params = SyntheticTreeParams()
+        assert params.treesize == 200
+        assert params.databasesize == 1000
+        assert params.fanout == 5
+        assert params.alphabetsize == 200
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"treesize": 0}, {"databasesize": 0}, {"fanout": 0},
+                   {"alphabetsize": 0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticTreeParams(**kwargs)
+
+
+class TestFixedFanout:
+    def test_exact_size(self, rng):
+        for size in [1, 2, 7, 50, 200]:
+            tree = fixed_fanout_tree(size, 5, 20, rng)
+            assert len(tree) == size
+            check_tree(tree)
+
+    def test_fanout_respected(self, rng):
+        tree = fixed_fanout_tree(100, 3, 20, rng)
+        internal_degrees = {node.degree for node in tree.internal_nodes()}
+        # All full internal nodes have exactly fanout children; at most
+        # one node is partially filled.
+        assert internal_degrees <= {1, 2, 3}
+        assert max(internal_degrees) == 3
+
+    def test_fanout_one_is_a_path(self, rng):
+        tree = fixed_fanout_tree(10, 1, 5, rng)
+        assert tree.height() == 9
+
+    def test_larger_fanout_is_bushier(self, rng):
+        deep = fixed_fanout_tree(200, 2, 5, random.Random(1))
+        wide = fixed_fanout_tree(200, 60, 5, random.Random(1))
+        assert wide.height() < deep.height()
+
+    def test_all_nodes_labeled_from_alphabet(self, rng):
+        tree = fixed_fanout_tree(50, 5, 10, rng)
+        for node in tree.preorder():
+            assert node.label is not None
+            assert node.label.startswith("L")
+            assert 0 <= int(node.label[1:]) < 10
+
+    def test_deterministic_given_seed(self):
+        a = fixed_fanout_tree(50, 5, 10, random.Random(42))
+        b = fixed_fanout_tree(50, 5, 10, random.Random(42))
+        assert a.isomorphic_to(b)
+
+
+class TestRandomAttachment:
+    def test_exact_size_and_validity(self, rng):
+        for size in [1, 2, 25]:
+            tree = random_attachment_tree(size, 10, rng)
+            assert len(tree) == size
+            check_tree(tree)
+
+    def test_seed_int_accepted(self):
+        a = random_attachment_tree(30, 10, 7)
+        b = random_attachment_tree(30, 10, 7)
+        assert a.isomorphic_to(b)
+
+
+class TestUniformFreeTree:
+    def test_exact_size_and_validity(self, rng):
+        for size in [1, 2, 3, 4, 40]:
+            tree = uniform_free_tree(size, 10, rng)
+            assert len(tree) == size
+            check_tree(tree)
+
+    def test_ids_are_compact(self, rng):
+        tree = uniform_free_tree(30, 10, rng)
+        assert sorted(node.node_id for node in tree.preorder()) == list(range(30))
+
+    def test_prufer_shapes_vary(self):
+        shapes = {
+            uniform_free_tree(8, 1, random.Random(seed)).canonical_form()
+            for seed in range(30)
+        }
+        assert len(shapes) > 10  # genuinely samples the tree space
+
+
+class TestSyntheticForest:
+    def test_database_size(self, rng):
+        params = SyntheticTreeParams(treesize=20, databasesize=7)
+        forest = synthetic_forest(params, rng)
+        assert len(forest) == 7
+        for tree in forest:
+            assert len(tree) == 20
+
+    def test_all_shapes(self, rng):
+        params = SyntheticTreeParams(treesize=15, databasesize=2)
+        for shape in ("fixed_fanout", "random_attachment", "uniform"):
+            for tree in synthetic_forest(params, rng, shape=shape):
+                check_tree(tree)
+
+    def test_unknown_shape_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown shape"):
+            synthetic_forest(SyntheticTreeParams(), rng, shape="bogus")

@@ -1,0 +1,130 @@
+"""Unit tests for Jukes-Cantor sequence evolution."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import TreeError
+from repro.generate.phylo import yule_tree
+from repro.generate.sequences import (
+    assign_branch_lengths,
+    evolve_alignment,
+    jc_substitution_probability,
+    mutate_alignment,
+)
+from repro.trees.newick import parse_newick
+
+
+class TestJcProbability:
+    def test_zero_branch_no_change(self):
+        assert jc_substitution_probability(0.0) == 0.0
+
+    def test_saturates_at_three_quarters(self):
+        assert jc_substitution_probability(100.0) == pytest.approx(0.75)
+
+    def test_monotone(self):
+        values = [jc_substitution_probability(t / 10) for t in range(20)]
+        assert values == sorted(values)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jc_substitution_probability(-0.1)
+
+    def test_closed_form(self):
+        t = 0.3
+        expected = 0.75 * (1 - math.exp(-4 * t / 3))
+        assert jc_substitution_probability(t) == pytest.approx(expected)
+
+
+class TestAssignBranchLengths:
+    def test_all_non_root_edges_get_lengths(self, rng):
+        tree = yule_tree(8, rng)
+        assign_branch_lengths(tree, mean=0.1, rng=rng)
+        for node in tree.preorder():
+            if node.parent is not None:
+                assert node.length is not None
+                assert node.length >= 0
+
+    def test_mean_roughly_respected(self):
+        tree = yule_tree(200, random.Random(5))
+        assign_branch_lengths(tree, mean=0.2, rng=random.Random(5))
+        lengths = [n.length for n in tree.preorder() if n.length is not None]
+        assert 0.15 < sum(lengths) / len(lengths) < 0.25
+
+    def test_bad_mean_rejected(self, rng):
+        with pytest.raises(ValueError):
+            assign_branch_lengths(yule_tree(4, rng), mean=0.0)
+
+
+class TestEvolveAlignment:
+    def test_taxa_and_length(self, rng):
+        tree = yule_tree(6, rng)
+        alignment = evolve_alignment(tree, n_sites=120, rng=rng)
+        assert set(alignment.taxa) == tree.leaf_labels()
+        assert alignment.n_sites == 120
+
+    def test_zero_branch_lengths_give_identical_sequences(self, rng):
+        tree = yule_tree(5, rng)
+        for node in tree.preorder():
+            node.length = 0.0
+        alignment = evolve_alignment(tree, n_sites=50, rng=rng)
+        assert len(set(alignment.sequences)) == 1
+
+    def test_long_branches_decorrelate(self, rng):
+        tree = yule_tree(5, rng)
+        for node in tree.preorder():
+            node.length = 50.0
+        alignment = evolve_alignment(tree, n_sites=400, rng=rng)
+        first, second = alignment.sequences[0], alignment.sequences[1]
+        agreement = sum(a == b for a, b in zip(first, second)) / 400
+        assert agreement < 0.45  # random expectation 0.25, allow slack
+
+    def test_closer_taxa_more_similar(self):
+        # ((a,b),(c,d)) with short inner branches: a~b closer than a~c.
+        tree = parse_newick("((a:0.02,b:0.02):0.5,(c:0.02,d:0.02):0.5);")
+        alignment = evolve_alignment(tree, n_sites=600, rng=11)
+        def agreement(x, y):
+            sx, sy = alignment.sequence_of(x), alignment.sequence_of(y)
+            return sum(a == b for a, b in zip(sx, sy))
+        assert agreement("a", "b") > agreement("a", "c")
+
+    def test_unlabeled_leaf_rejected(self, rng):
+        tree = parse_newick("((a,b),);")
+        with pytest.raises(TreeError, match="unlabeled"):
+            evolve_alignment(tree, n_sites=10, rng=rng)
+
+    def test_duplicate_leaf_rejected(self, rng):
+        tree = parse_newick("(a,a);")
+        with pytest.raises(TreeError, match="duplicate"):
+            evolve_alignment(tree, n_sites=10, rng=rng)
+
+    def test_bad_sites_rejected(self, rng):
+        with pytest.raises(ValueError):
+            evolve_alignment(yule_tree(3, rng), n_sites=0, rng=rng)
+
+    def test_deterministic_with_seed(self, rng):
+        tree = yule_tree(5, random.Random(3))
+        a = evolve_alignment(tree, n_sites=40, rng=9)
+        b = evolve_alignment(tree, n_sites=40, rng=9)
+        assert a == b
+
+
+class TestMutateAlignment:
+    def test_rate_zero_identity(self, rng):
+        tree = yule_tree(4, rng)
+        alignment = evolve_alignment(tree, n_sites=30, rng=rng)
+        assert mutate_alignment(alignment, 0.0, rng) == alignment
+
+    def test_rate_changes_sequences(self, rng):
+        tree = yule_tree(4, rng)
+        alignment = evolve_alignment(tree, n_sites=200, rng=rng)
+        mutated = mutate_alignment(alignment, 0.5, rng)
+        assert mutated != alignment
+        assert mutated.taxa == alignment.taxa
+
+    def test_bad_rate_rejected(self, rng):
+        tree = yule_tree(3, rng)
+        alignment = evolve_alignment(tree, n_sites=10, rng=rng)
+        with pytest.raises(ValueError):
+            mutate_alignment(alignment, 1.5, rng)

@@ -1,0 +1,93 @@
+"""Unit tests for the synthetic TreeBASE corpus."""
+
+from repro.generate.treebase import (
+    TREEBASE_ALPHABET_SIZE,
+    synthetic_study,
+    synthetic_treebase_corpus,
+)
+from repro.trees.validate import check_tree
+
+
+class TestStudy:
+    def test_tree_count_and_validity(self, rng):
+        study = synthetic_study(
+            "S1", [f"t{i}" for i in range(60)], num_trees=4,
+            min_nodes=20, max_nodes=40, rng=rng,
+        )
+        assert len(study.trees) == 4
+        for tree in study.trees:
+            check_tree(tree)
+            assert 20 <= len(tree) <= 40 + 8  # target + final expansion
+
+    def test_leaves_drawn_from_pool(self, rng):
+        pool = [f"t{i}" for i in range(200)]
+        study = synthetic_study(
+            "S1", pool, num_trees=3, min_nodes=20, max_nodes=30, rng=rng,
+        )
+        for tree in study.trees:
+            assert tree.leaf_labels() <= set(pool)
+
+    def test_children_bounds(self, rng):
+        study = synthetic_study(
+            "S1", [f"t{i}" for i in range(200)], num_trees=3,
+            min_nodes=50, max_nodes=80, min_children=2, max_children=9,
+            rng=rng,
+        )
+        for tree in study.trees:
+            for node in tree.internal_nodes():
+                assert 2 <= node.degree <= 9
+
+    def test_binary_bias(self, rng):
+        study = synthetic_study(
+            "S1", [f"t{i}" for i in range(400)], num_trees=5,
+            min_nodes=80, max_nodes=120, binary_bias=0.8, rng=rng,
+        )
+        internal = [
+            node.degree
+            for tree in study.trees
+            for node in tree.internal_nodes()
+        ]
+        binary_fraction = sum(1 for d in internal if d == 2) / len(internal)
+        assert binary_fraction > 0.6  # "most internal nodes have 2 children"
+
+    def test_tree_names_carry_study_id(self, rng):
+        study = synthetic_study(
+            "S7", [f"t{i}" for i in range(50)], num_trees=2,
+            min_nodes=10, max_nodes=15, rng=rng,
+        )
+        assert all(tree.name.startswith("S7_") for tree in study.trees)
+
+
+class TestCorpus:
+    def test_total_tree_count(self, rng):
+        corpus = synthetic_treebase_corpus(
+            num_trees=25, trees_per_study=4, min_nodes=10, max_nodes=20,
+            rng=rng,
+        )
+        total = sum(len(study.trees) for study in corpus)
+        assert total == 25
+        # 25 trees at 4 per study: 6 full studies + 1 partial.
+        assert len(corpus) == 7
+
+    def test_paper_statistics_constants(self):
+        assert TREEBASE_ALPHABET_SIZE == 18_870
+
+    def test_studies_share_taxa_within_not_across(self, rng):
+        corpus = synthetic_treebase_corpus(
+            num_trees=8, trees_per_study=4, min_nodes=30, max_nodes=40,
+            alphabet_size=2000, rng=rng,
+        )
+        first, second = corpus[0], corpus[1]
+        # Within a study, trees draw from one pool.
+        pool = set(first.taxa)
+        for tree in first.trees:
+            assert tree.leaf_labels() <= pool
+        # Different studies use different slices of the namespace.
+        assert set(first.taxa).isdisjoint(set(second.taxa))
+
+    def test_namespace_recycles_when_exhausted(self, rng):
+        corpus = synthetic_treebase_corpus(
+            num_trees=12, trees_per_study=2, min_nodes=10, max_nodes=20,
+            alphabet_size=250, rng=rng,  # forces recycling
+        )
+        assert sum(len(study.trees) for study in corpus) == 12

@@ -1,0 +1,161 @@
+"""Unit tests for the Alignment type and its I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlignmentError
+from repro.parsimony.alignment import BASE_BITS, Alignment
+
+
+class TestConstruction:
+    def test_from_dict_sorts_taxa(self):
+        alignment = Alignment.from_dict({"b": "ACGT", "a": "TGCA"})
+        assert alignment.taxa == ("a", "b")
+        assert alignment.sequence_of("a") == "TGCA"
+
+    def test_ragged_rejected(self):
+        with pytest.raises(AlignmentError, match="length"):
+            Alignment(("a", "b"), ("ACGT", "ACG"))
+
+    def test_duplicate_taxa_rejected(self):
+        with pytest.raises(AlignmentError, match="duplicate"):
+            Alignment(("a", "a"), ("ACGT", "ACGT"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlignmentError, match="empty"):
+            Alignment((), ())
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(AlignmentError, match="invalid character"):
+            Alignment(("a",), ("AC!T",))
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(AlignmentError):
+            Alignment(("a", "b"), ("ACGT",))
+
+    def test_iupac_and_gaps_accepted(self):
+        alignment = Alignment(("a",), ("ACGTRYSWKMBDHVN-?.",))
+        assert alignment.n_sites == 18
+
+
+class TestViews:
+    def setup_method(self):
+        self.alignment = Alignment.from_dict(
+            {"a": "ACGT", "b": "AGGT", "c": "ACGA"}
+        )
+
+    def test_shapes(self):
+        assert self.alignment.n_taxa == 3
+        assert self.alignment.n_sites == 4
+        assert len(self.alignment) == 3
+
+    def test_site(self):
+        assert self.alignment.site(1) == "CGC"
+
+    def test_iteration(self):
+        assert dict(self.alignment)["b"] == "AGGT"
+
+    def test_unknown_taxon(self):
+        with pytest.raises(AlignmentError, match="unknown taxon"):
+            self.alignment.sequence_of("zzz")
+
+    def test_restrict_sites(self):
+        sub = self.alignment.restrict_sites(1, 3)
+        assert sub.sequence_of("a") == "CG"
+        assert sub.taxa == self.alignment.taxa
+
+    def test_restrict_sites_bad_range(self):
+        with pytest.raises(AlignmentError):
+            self.alignment.restrict_sites(3, 1)
+        with pytest.raises(AlignmentError):
+            self.alignment.restrict_sites(0, 99)
+
+    def test_restrict_taxa(self):
+        sub = self.alignment.restrict_taxa(["c", "a"])
+        assert sub.taxa == ("a", "c")
+
+    def test_restrict_taxa_unknown(self):
+        with pytest.raises(AlignmentError, match="unknown taxa"):
+            self.alignment.restrict_taxa(["a", "zzz"])
+
+
+class TestEncoding:
+    def test_shape_and_dtype(self):
+        alignment = Alignment.from_dict({"a": "ACGT", "b": "NNNN"})
+        matrix = alignment.encoded()
+        assert matrix.shape == (2, 4)
+        assert matrix.dtype == np.uint8
+
+    def test_base_bits(self):
+        alignment = Alignment.from_dict({"a": "ACGT-"})
+        assert list(alignment.encoded()[0]) == [1, 2, 4, 8, 15]
+
+    def test_iupac_bit_unions(self):
+        assert BASE_BITS["R"] == BASE_BITS["A"] | BASE_BITS["G"]
+        assert BASE_BITS["Y"] == BASE_BITS["C"] | BASE_BITS["T"]
+        assert BASE_BITS["N"] == 15
+
+    def test_lowercase_accepted(self):
+        alignment = Alignment(("a",), ("acgt",))
+        assert list(alignment.encoded()[0]) == [1, 2, 4, 8]
+
+
+class TestFasta:
+    def test_round_trip(self):
+        alignment = Alignment.from_dict({"tax1": "ACGTACGT", "tax2": "TTTTACGT"})
+        assert Alignment.from_fasta(alignment.to_fasta()) == alignment
+
+    def test_wrapped_sequences(self):
+        text = ">a\nACG\nTAC\n>b\nTTT\nTTT\n"
+        alignment = Alignment.from_fasta(text)
+        assert alignment.sequence_of("a") == "ACGTAC"
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlignmentError, match="no FASTA records"):
+            Alignment.from_fasta("")
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(AlignmentError, match="before first"):
+            Alignment.from_fasta("ACGT\n>a\nACGT\n")
+
+    def test_duplicate_record_rejected(self):
+        with pytest.raises(AlignmentError, match="duplicate"):
+            Alignment.from_fasta(">a\nAC\n>a\nGT\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(AlignmentError, match="empty name"):
+            Alignment.from_fasta(">\nACGT\n")
+
+    def test_wrap_width(self):
+        alignment = Alignment.from_dict({"a": "A" * 100})
+        lines = alignment.to_fasta(width=30).splitlines()
+        assert max(len(line) for line in lines[1:]) == 30
+
+
+class TestPhylip:
+    def test_round_trip(self):
+        alignment = Alignment.from_dict({"Mus_m": "ACGT", "Mus_s": "TTTT"})
+        assert Alignment.from_phylip(alignment.to_phylip()) == alignment
+
+    def test_header_mismatch_taxa(self):
+        with pytest.raises(AlignmentError, match="promises"):
+            Alignment.from_phylip("3 4\na ACGT\nb ACGT\n")
+
+    def test_header_mismatch_sites(self):
+        with pytest.raises(AlignmentError, match="sites"):
+            Alignment.from_phylip("1 5\na ACGT\n")
+
+    def test_bad_header(self):
+        with pytest.raises(AlignmentError, match="header"):
+            Alignment.from_phylip("not a header\na ACGT\n")
+        with pytest.raises(AlignmentError, match="non-numeric"):
+            Alignment.from_phylip("x y\na ACGT\n")
+
+    def test_empty(self):
+        with pytest.raises(AlignmentError, match="empty"):
+            Alignment.from_phylip("")
+
+    def test_sequence_with_spaces(self):
+        alignment = Alignment.from_phylip("1 8\ntaxon AC GT ACGT")
+        assert alignment.n_sites == 8
+        assert alignment.sequence_of("taxon") == "ACGTACGT"

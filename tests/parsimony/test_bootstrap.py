@@ -1,0 +1,127 @@
+"""Unit tests for bootstrap resampling and clade support."""
+
+import random
+
+import pytest
+
+from repro.generate.phylo import yule_tree
+from repro.generate.sequences import assign_branch_lengths, evolve_alignment
+from repro.parsimony.alignment import Alignment
+from repro.parsimony.bootstrap import (
+    annotate_support,
+    bootstrap_alignment,
+    bootstrap_trees,
+    cluster_support,
+)
+from repro.trees.bipartition import nontrivial_clusters
+from repro.trees.newick import parse_newick
+from repro.trees.validate import check_tree
+
+
+class TestBootstrapAlignment:
+    def test_shape_preserved(self, rng):
+        alignment = Alignment.from_dict({"a": "ACGTAC", "b": "TTGGCC"})
+        replicate = bootstrap_alignment(alignment, rng)
+        assert replicate.taxa == alignment.taxa
+        assert replicate.n_sites == alignment.n_sites
+
+    def test_columns_are_resampled_jointly(self, rng):
+        # Every replicate column must be an original column (taxa stay
+        # aligned site-wise).
+        alignment = Alignment.from_dict({"a": "AAACCC", "b": "GGGTTT"})
+        originals = {alignment.site(i) for i in range(alignment.n_sites)}
+        for _ in range(10):
+            replicate = bootstrap_alignment(alignment, rng)
+            for position in range(replicate.n_sites):
+                assert replicate.site(position) in originals
+
+    def test_deterministic_with_seed(self):
+        alignment = Alignment.from_dict({"a": "ACGTACGT", "b": "TTTTCCCC"})
+        assert bootstrap_alignment(alignment, 5) == bootstrap_alignment(
+            alignment, 5
+        )
+
+    def test_resampling_varies(self):
+        alignment = Alignment.from_dict({"a": "ACGTACGTAC", "b": "TGCATGCATG"})
+        replicates = {
+            bootstrap_alignment(alignment, seed).sequences
+            for seed in range(10)
+        }
+        assert len(replicates) > 1
+
+
+class TestBootstrapTrees:
+    def test_replicate_count_and_validity(self, rng):
+        reference = yule_tree(6, rng)
+        assign_branch_lengths(reference, mean=0.1, rng=rng)
+        alignment = evolve_alignment(reference, n_sites=80, rng=rng)
+        trees = bootstrap_trees(alignment, replicates=4, rng=rng, n_starts=1)
+        assert len(trees) == 4
+        for tree in trees:
+            check_tree(tree)
+            assert tree.leaf_labels() == set(alignment.taxa)
+
+    def test_bad_replicates(self, rng):
+        alignment = Alignment.from_dict({"a": "AC", "b": "GT"})
+        with pytest.raises(ValueError):
+            bootstrap_trees(alignment, replicates=0, rng=rng)
+
+
+class TestClusterSupport:
+    def test_unanimous_support(self):
+        reference = parse_newick("((a,b),(c,d));")
+        replicates = [parse_newick("((b,a),(d,c));")] * 5
+        support = cluster_support(reference, replicates)
+        assert all(value == 1.0 for value in support.values())
+
+    def test_split_support(self):
+        reference = parse_newick("((a,b),(c,d));")
+        replicates = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,c),(b,d));"),
+        ]
+        support = cluster_support(reference, replicates)
+        assert support[frozenset({"a", "b"})] == 0.5
+
+    def test_empty_replicates_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_support(parse_newick("((a,b),c);"), [])
+
+    def test_strong_signal_gives_high_support(self, rng):
+        from repro.trees.rooting import outgroup_root
+
+        generator = random.Random(8)
+        reference = yule_tree(6, generator)
+        assign_branch_lengths(reference, mean=0.08, rng=generator)
+        alignment = evolve_alignment(reference, n_sites=400, rng=generator)
+        # Rooted-clade support requires consistent rooting: root the
+        # reference and every replicate on the same taxon.
+        outgroup = sorted(reference.leaf_labels())[0]
+        rooted_reference = outgroup_root(reference, outgroup)
+        replicates = bootstrap_trees(
+            alignment, replicates=5, rng=generator, n_starts=1,
+            outgroup=outgroup,
+        )
+        support = cluster_support(rooted_reference, replicates)
+        # With 400 clean sites, most reference clades recur in most
+        # replicates.
+        assert sum(support.values()) / len(support) > 0.5
+
+
+class TestAnnotateSupport:
+    def test_labels_are_percentages(self):
+        reference = parse_newick("((a,b),(c,d));")
+        replicates = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,c),(b,d));"),
+        ]
+        annotated = annotate_support(reference, replicates)
+        internal_labels = {
+            node.label
+            for node in annotated.internal_nodes()
+            if node.label is not None
+        }
+        assert internal_labels == {"50"}
+        # Original untouched; leaves untouched.
+        assert all(n.label is None for n in reference.internal_nodes())
+        assert annotated.leaf_labels() == reference.leaf_labels()

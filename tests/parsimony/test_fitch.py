@@ -1,0 +1,170 @@
+"""Unit tests for the Fitch-Hartigan parsimony scorer."""
+
+import random
+
+import pytest
+
+from repro.errors import ParsimonyError
+from repro.parsimony.alignment import Alignment
+from repro.parsimony.fitch import fitch_score, site_scores
+from repro.trees.newick import parse_newick
+
+
+def brute_force_score(tree, alignment):
+    """Minimum changes by trying every internal state assignment."""
+    from itertools import product
+
+    nodes = list(tree.postorder())
+    internals = [n for n in nodes if not n.is_leaf]
+    total = 0
+    for site in range(alignment.n_sites):
+        leaf_state = {
+            n.node_id: alignment.sequence_of(n.label)[site]
+            for n in nodes
+            if n.is_leaf
+        }
+        best = None
+        for combo in product("ACGT", repeat=len(internals)):
+            state = dict(leaf_state)
+            for node, base in zip(internals, combo):
+                state[node.node_id] = base
+            changes = sum(
+                1
+                for node in nodes
+                if node.parent is not None
+                and state[node.node_id] != state[node.parent.node_id]
+            )
+            if best is None or changes < best:
+                best = changes
+        total += best
+    return total
+
+
+class TestKnownScores:
+    def test_identical_leaves_zero(self):
+        tree = parse_newick("((a,b),(c,d));")
+        alignment = Alignment.from_dict({t: "AAAA" for t in "abcd"})
+        assert fitch_score(tree, alignment) == 0
+
+    def test_single_change(self):
+        tree = parse_newick("((a,b),(c,d));")
+        alignment = Alignment.from_dict(
+            {"a": "A", "b": "A", "c": "A", "d": "T"}
+        )
+        assert fitch_score(tree, alignment) == 1
+
+    def test_classic_fitch_example(self):
+        # One site, ((a,b),(c,d)) with states A,C,A,C: 2 changes.
+        tree = parse_newick("((a,b),(c,d));")
+        alignment = Alignment.from_dict(
+            {"a": "A", "b": "C", "c": "A", "d": "C"}
+        )
+        assert fitch_score(tree, alignment) == 2
+
+    def test_per_site_scores_sum(self):
+        tree = parse_newick("((a,b),(c,d));")
+        alignment = Alignment.from_dict(
+            {"a": "AAC", "b": "ATC", "c": "TAC", "d": "TTG"}
+        )
+        per_site = site_scores(tree, alignment)
+        assert per_site.sum() == fitch_score(tree, alignment)
+        assert len(per_site) == 3
+
+    def test_ambiguity_codes_are_free(self):
+        tree = parse_newick("((a,b),(c,d));")
+        alignment = Alignment.from_dict(
+            {"a": "A", "b": "N", "c": "A", "d": "-"}
+        )
+        assert fitch_score(tree, alignment) == 0
+
+    def test_multifurcation_hartigan(self):
+        # Root with 4 leaf children A,A,C,G: best root state A -> 2.
+        tree = parse_newick("(a,b,c,d);")
+        alignment = Alignment.from_dict(
+            {"a": "A", "b": "A", "c": "C", "d": "G"}
+        )
+        assert fitch_score(tree, alignment) == 2
+
+    def test_unary_node_free(self):
+        tree = parse_newick("((a)x,b);")
+        alignment = Alignment.from_dict({"a": "A", "b": "T"})
+        assert fitch_score(tree, alignment) == 1
+
+
+class TestAgainstBruteForce:
+    def test_random_binary_trees(self, rng):
+        from repro.generate.phylo import yule_tree
+        from repro.generate.sequences import evolve_alignment
+
+        for _ in range(6):
+            taxa_count = rng.randint(3, 6)
+            tree = yule_tree(taxa_count, rng)
+            alignment = evolve_alignment(tree, n_sites=5, rng=rng,
+                                         default_branch_length=0.5)
+            assert fitch_score(tree, alignment) == brute_force_score(
+                tree, alignment
+            )
+
+    def test_random_multifurcating_trees(self, rng):
+        from repro.generate.treebase import synthetic_study
+
+        for _ in range(4):
+            study = synthetic_study(
+                "S", [f"t{i}" for i in range(30)], num_trees=1,
+                min_nodes=6, max_nodes=9, min_children=2, max_children=4,
+                binary_bias=0.3, rng=rng,
+            )
+            tree = study.trees[0]
+            taxa = sorted(tree.leaf_labels())
+            alignment = Alignment.from_dict(
+                {t: "".join(rng.choice("ACGT") for _ in range(4)) for t in taxa}
+            )
+            assert fitch_score(tree, alignment) == brute_force_score(
+                tree, alignment
+            )
+
+
+class TestScoreProperties:
+    def test_invariant_under_leaf_permutation_of_identical_columns(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        tree = yule_tree(6, rng)
+        taxa = sorted(tree.leaf_labels())
+        alignment = Alignment.from_dict({t: "A" for t in taxa})
+        assert fitch_score(tree, alignment) == 0
+
+    def test_score_bounded_by_sites_times_leaves(self, rng):
+        from repro.generate.phylo import yule_tree
+        from repro.generate.sequences import evolve_alignment
+
+        tree = yule_tree(8, rng)
+        alignment = evolve_alignment(tree, n_sites=20, rng=rng)
+        score = fitch_score(tree, alignment)
+        assert 0 <= score <= 20 * 8
+
+
+class TestValidation:
+    def test_taxa_mismatch(self):
+        tree = parse_newick("((a,b),c);")
+        alignment = Alignment.from_dict({"a": "A", "b": "A", "z": "A"})
+        with pytest.raises(ParsimonyError, match="disagree"):
+            fitch_score(tree, alignment)
+
+    def test_unlabeled_leaf(self):
+        tree = parse_newick("((a,),c);")
+        alignment = Alignment.from_dict({"a": "A", "c": "A"})
+        with pytest.raises(ParsimonyError, match="unlabeled"):
+            fitch_score(tree, alignment)
+
+    def test_duplicate_leaves(self):
+        tree = parse_newick("(a,a);")
+        alignment = Alignment.from_dict({"a": "A"})
+        with pytest.raises(ParsimonyError, match="duplicate"):
+            fitch_score(tree, alignment)
+
+    def test_empty_tree(self):
+        from repro.trees.tree import Tree
+
+        alignment = Alignment.from_dict({"a": "A"})
+        with pytest.raises(ParsimonyError, match="empty"):
+            fitch_score(Tree(), alignment)

@@ -1,0 +1,102 @@
+"""Unit tests for the parsimony tree search (dnapars substitute)."""
+
+import pytest
+
+from repro.generate.phylo import yule_tree
+from repro.generate.sequences import assign_branch_lengths, evolve_alignment
+from repro.parsimony.alignment import Alignment
+from repro.parsimony.fitch import fitch_score
+from repro.parsimony.search import equally_parsimonious_trees, parsimony_search
+from repro.trees.bipartition import nontrivial_clusters
+from repro.trees.validate import check_tree, is_binary
+
+
+def small_alignment(rng, taxa_count=7, sites=60, mean=0.15):
+    reference = yule_tree(taxa_count, rng)
+    assign_branch_lengths(reference, mean=mean, rng=rng)
+    return reference, evolve_alignment(reference, n_sites=sites, rng=rng)
+
+
+class TestSearch:
+    def test_returns_valid_binary_trees_over_taxa(self, rng):
+        _, alignment = small_alignment(rng)
+        result = parsimony_search(alignment, rng=rng, n_starts=2)
+        assert result.trees
+        for tree in result.trees:
+            check_tree(tree)
+            assert is_binary(tree)
+            assert tree.leaf_labels() == set(alignment.taxa)
+
+    def test_all_returned_trees_have_best_score(self, rng):
+        _, alignment = small_alignment(rng)
+        result = parsimony_search(alignment, rng=rng, n_starts=3)
+        for tree in result.trees:
+            assert fitch_score(tree, alignment) == result.best_score
+
+    def test_trees_are_distinct_topologies(self, rng):
+        _, alignment = small_alignment(rng)
+        result = parsimony_search(alignment, rng=rng, n_starts=3)
+        keys = {frozenset(nontrivial_clusters(tree)) for tree in result.trees}
+        assert len(keys) == len(result.trees)
+
+    def test_search_beats_random_tree(self, rng):
+        _, alignment = small_alignment(rng)
+        result = parsimony_search(alignment, rng=rng, n_starts=3)
+        random_tree = yule_tree(sorted(alignment.taxa), rng)
+        assert result.best_score <= fitch_score(random_tree, alignment)
+
+    def test_clean_signal_recovers_reference(self, rng):
+        # Long alignment, short branches: the reference topology (or an
+        # equally good one) should be found with matching score.
+        reference, alignment = small_alignment(
+            rng, taxa_count=6, sites=400, mean=0.05
+        )
+        result = parsimony_search(alignment, rng=rng, n_starts=4)
+        assert result.best_score <= fitch_score(reference, alignment)
+
+    def test_max_trees_cap(self, rng):
+        _, alignment = small_alignment(rng, sites=20, mean=0.4)
+        result = parsimony_search(alignment, rng=rng, n_starts=3, max_trees=3)
+        assert len(result.trees) <= 3
+
+    def test_pool_is_sorted_best_first(self, rng):
+        _, alignment = small_alignment(rng)
+        result = parsimony_search(alignment, rng=rng, n_starts=2)
+        scores = [score for score, _tree in result.pool]
+        assert scores == sorted(scores)
+        assert scores[0] == result.best_score
+
+    def test_evaluations_counted(self, rng):
+        _, alignment = small_alignment(rng)
+        result = parsimony_search(alignment, rng=rng, n_starts=1)
+        assert result.evaluations >= len(result.pool)
+
+
+class TestEquallyParsimonious:
+    def test_requested_count_returned(self, rng):
+        _, alignment = small_alignment(rng, sites=30, mean=0.3)
+        trees = equally_parsimonious_trees(alignment, 8, rng=rng)
+        assert len(trees) == 8
+        keys = {frozenset(nontrivial_clusters(tree)) for tree in trees}
+        assert len(keys) == 8
+
+    def test_trees_sorted_by_score(self, rng):
+        from repro.parsimony.fitch import fitch_score as score
+
+        _, alignment = small_alignment(rng, sites=30, mean=0.3)
+        trees = equally_parsimonious_trees(alignment, 10, rng=rng)
+        scores = [score(tree, alignment) for tree in trees]
+        # The selection prefers ties first, then widens minimally: the
+        # first tree must be optimal among those returned.
+        assert min(scores) == scores[0]
+
+    def test_bad_count_rejected(self, rng):
+        _, alignment = small_alignment(rng)
+        with pytest.raises(ValueError):
+            equally_parsimonious_trees(alignment, 0, rng=rng)
+
+    def test_two_taxa_edge_case(self, rng):
+        alignment = Alignment.from_dict({"a": "ACGT", "b": "ACGA"})
+        trees = equally_parsimonious_trees(alignment, 1, rng=rng)
+        assert len(trees) == 1
+        assert trees[0].leaf_labels() == {"a", "b"}

@@ -1,0 +1,76 @@
+"""Hypothesis strategies for trees, forests and free trees."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.trees.tree import Tree
+
+LABELS = st.one_of(st.none(), st.sampled_from(list("abcdefg")))
+
+
+@st.composite
+def trees(draw, max_size: int = 24, labels=LABELS) -> Tree:
+    """A random rooted tree built from a shrinkable parent array.
+
+    ``parents[i]`` is drawn from ``0 .. i-1``, so shrinking removes
+    nodes from the end and pulls the tree toward a star, both of which
+    are meaningful minimisations.
+    """
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    parents = [None] + [
+        draw(st.integers(min_value=0, max_value=i - 1))
+        for i in range(1, size)
+    ]
+    node_labels = [draw(labels) for _ in range(size)]
+    tree = Tree()
+    nodes = [tree.add_root(label=node_labels[0])]
+    for i in range(1, size):
+        nodes.append(
+            tree.add_child(nodes[parents[i]], label=node_labels[i])
+        )
+    return tree
+
+
+@st.composite
+def leaf_labeled_trees(draw, min_taxa: int = 2, max_taxa: int = 8) -> Tree:
+    """A random phylogeny: unique leaf labels, unlabeled internals."""
+    n_taxa = draw(st.integers(min_value=min_taxa, max_value=max_taxa))
+    taxa = [f"t{i}" for i in range(n_taxa)]
+    # Random binary topology from a shrinkable merge order.
+    fragments: list = [("leaf", taxon) for taxon in taxa]
+    while len(fragments) > 1:
+        i = draw(st.integers(min_value=0, max_value=len(fragments) - 1))
+        first = fragments.pop(i)
+        j = draw(st.integers(min_value=0, max_value=len(fragments) - 1))
+        second = fragments.pop(j)
+        fragments.append(("join", first, second))
+    tree = Tree()
+    root = tree.add_root()
+    stack = [(fragments[0], root)]
+    while stack:
+        spec, node = stack.pop()
+        if spec[0] == "leaf":
+            node.label = spec[1]
+        else:
+            stack.append((spec[1], tree.add_child(node)))
+            stack.append((spec[2], tree.add_child(node)))
+    if n_taxa == 1:
+        root.label = taxa[0]
+    return tree
+
+
+@st.composite
+def same_taxa_profiles(draw, min_trees: int = 1, max_trees: int = 5):
+    """A list of leaf-labeled trees over one shared taxon set."""
+    n_taxa = draw(st.integers(min_value=2, max_value=7))
+    count = draw(st.integers(min_value=min_trees, max_value=max_trees))
+    profile = []
+    for _ in range(count):
+        tree = draw(leaf_labeled_trees(min_taxa=n_taxa, max_taxa=n_taxa))
+        profile.append(tree)
+    return profile
+
+
+maxdists = st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0, 2.5])
+gaps = st.integers(min_value=0, max_value=3)

@@ -1,0 +1,106 @@
+"""Property-based tests for triples, BUILD and supertrees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.supertree import build_supertree
+from repro.trees.bipartition import robinson_foulds
+from repro.trees.build import build_from_triples, tree_triples
+from repro.trees.validate import check_tree, is_leaf_labeled
+
+from tests.property.strategies import leaf_labeled_trees
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=leaf_labeled_trees(min_taxa=3, max_taxa=8))
+def test_triples_identify_binary_trees(tree):
+    """BUILD on a tree's own triples reconstructs the tree."""
+    rebuilt = build_from_triples(tree.leaf_labels(), list(tree_triples(tree)))
+    assert robinson_foulds(rebuilt, tree) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=leaf_labeled_trees(min_taxa=3, max_taxa=8), data=st.data())
+def test_build_displays_every_admitted_triple(tree, data):
+    triples = list(tree_triples(tree))
+    subset_size = data.draw(
+        st.integers(min_value=0, max_value=len(triples))
+    )
+    subset = triples[:subset_size]
+    rebuilt = build_from_triples(tree.leaf_labels(), subset)
+    check_tree(rebuilt)
+    displayed = set(tree_triples(rebuilt))
+    for triple in subset:
+        assert triple in displayed
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    first=leaf_labeled_trees(min_taxa=3, max_taxa=7),
+    second=leaf_labeled_trees(min_taxa=3, max_taxa=7),
+)
+def test_supertree_always_valid_and_spanning(first, second):
+    result = build_supertree([first, second])
+    check_tree(result.tree)
+    assert is_leaf_labeled(result.tree)
+    assert result.tree.leaf_labels() == (
+        first.leaf_labels() | second.leaf_labels()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=leaf_labeled_trees(min_taxa=3, max_taxa=8))
+def test_supertree_of_one_tree_is_lossless(tree):
+    result = build_supertree([tree])
+    assert robinson_foulds(result.tree, tree) == 0.0
+    assert result.conflict_count == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=leaf_labeled_trees(min_taxa=3, max_taxa=8))
+def test_supertree_admitted_triples_displayed(tree):
+    result = build_supertree([tree, tree])
+    displayed = set(tree_triples(result.tree))
+    for triple, _weight in result.admitted:
+        assert triple in displayed
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=leaf_labeled_trees(min_taxa=3, max_taxa=8), data=st.data())
+def test_outgroup_rooting_properties(tree, data):
+    """Outgroup rooting keeps taxa and puts the outgroup at the root."""
+    from repro.trees.rooting import outgroup_root
+
+    taxa = sorted(tree.leaf_labels())
+    outgroup = data.draw(st.sampled_from(taxa))
+    rooted = outgroup_root(tree, outgroup)
+    check_tree(rooted)
+    assert rooted.leaf_labels() == set(taxa)
+    root_child_labels = {child.label for child in rooted.root.children}
+    assert outgroup in root_child_labels
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=leaf_labeled_trees(min_taxa=2, max_taxa=8))
+def test_midpoint_rooting_properties(tree):
+    """Midpoint rooting keeps taxa and yields a valid tree."""
+    from repro.trees.rooting import midpoint_root
+
+    rooted = midpoint_root(tree)
+    check_tree(rooted)
+    assert rooted.leaf_labels() == tree.leaf_labels()
+
+
+@settings(max_examples=30, deadline=None)
+@given(forest=st.lists(leaf_labeled_trees(), min_size=1, max_size=3))
+def test_nexus_round_trip_of_phylogenies(forest):
+    """write_nexus ∘ parse_nexus preserves every tree's identity."""
+    from repro.trees.nexus import parse_nexus, write_nexus
+
+    for index, tree in enumerate(forest):
+        tree.name = f"t{index}"
+    restored = parse_nexus(write_nexus(list(forest)))
+    assert len(restored) == len(forest)
+    for original, back in zip(forest, restored):
+        assert back.isomorphic_to(original)
+        assert back.name == original.name

@@ -1,0 +1,85 @@
+"""Property-based tests for tree distances and the similarity score."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import DistanceMode, pairset_distance, tree_distance
+from repro.core.pairset import CousinPairSet
+from repro.core.similarity import pairset_similarity
+
+from tests.property.strategies import trees
+
+MODES = st.sampled_from(list(DistanceMode))
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=trees(), mode=MODES)
+def test_identity(tree, mode):
+    assert tree_distance(tree, tree, mode=mode) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(first=trees(), second=trees(), mode=MODES)
+def test_symmetry_and_range(first, second, mode):
+    forward = tree_distance(first, second, mode=mode)
+    assert forward == tree_distance(second, first, mode=mode)
+    assert 0.0 <= forward <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(first=trees(), second=trees())
+def test_mode_agreement_implications(first, second):
+    """Agreement at a finer granularity forces agreement at coarser
+    ones: dist_occur == 0 implies every other distance is 0, and
+    dist == 0 implies plain == 0.  (Pointwise *ordering* between modes
+    does not hold in general — Jaccard ratios are not monotone under
+    refinement — so only these implications are claimed.)"""
+    sets = [CousinPairSet.from_tree(t) for t in (first, second)]
+    plain = pairset_distance(*sets, DistanceMode.PLAIN)
+    dist = pairset_distance(*sets, DistanceMode.DIST)
+    occur = pairset_distance(*sets, DistanceMode.OCCUR)
+    dist_occur = pairset_distance(*sets, DistanceMode.DIST_OCCUR)
+    if dist_occur == 0.0:
+        assert dist == 0.0 and occur == 0.0 and plain == 0.0
+    if dist == 0.0:
+        assert plain == 0.0
+    if occur == 0.0:
+        assert plain == 0.0
+    # plain == 0 exactly when the label-pair sets coincide.
+    assert (plain == 0.0) == (sets[0].label_pairs() == sets[1].label_pairs())
+
+
+@settings(max_examples=40, deadline=None)
+@given(first=trees(), second=trees())
+def test_similarity_bounds(first, second):
+    left = CousinPairSet.from_tree(first)
+    right = CousinPairSet.from_tree(second)
+    value = pairset_similarity(left, right)
+    shared = len(left.label_pairs() & right.label_pairs())
+    assert 0.0 <= value <= shared
+    # Each shared pair contributes at least 1/(1 + maxdist gap) > 0.
+    if shared:
+        assert value > 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=trees())
+def test_self_similarity_counts_label_pairs(tree):
+    pair_set = CousinPairSet.from_tree(tree)
+    assert pairset_similarity(pair_set, pair_set) == len(
+        pair_set.label_pairs()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(first=trees(), second=trees(), third=trees())
+def test_plain_mode_is_jaccard_metric(first, second, third):
+    """PLAIN reduces to Jaccard distance on label-pair sets, which is a
+    true metric: verify the triangle inequality."""
+    a = CousinPairSet.from_tree(first)
+    b = CousinPairSet.from_tree(second)
+    c = CousinPairSet.from_tree(third)
+    d_ab = pairset_distance(a, b, DistanceMode.PLAIN)
+    d_bc = pairset_distance(b, c, DistanceMode.PLAIN)
+    d_ac = pairset_distance(a, c, DistanceMode.PLAIN)
+    assert d_ac <= d_ab + d_bc + 1e-9

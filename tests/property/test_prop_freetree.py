@@ -1,0 +1,92 @@
+"""Property-based tests for free-tree mining (Section 6)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freetree import FreeTree, mine_free_tree, mine_free_tree_rooted
+
+from tests.property.strategies import maxdists, trees
+
+
+def to_graph(tree) -> FreeTree:
+    return FreeTree.from_rooted(tree)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=trees(), maxdist=maxdists)
+def test_rooted_construction_matches_bfs(tree, maxdist):
+    graph = to_graph(tree)
+    expected = mine_free_tree(graph, maxdist=maxdist)
+    assert mine_free_tree_rooted(graph, maxdist=maxdist) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=trees(max_size=14), maxdist=maxdists,
+       data=st.data())
+def test_rooting_edge_choice_irrelevant(tree, maxdist, data):
+    graph = to_graph(tree)
+    edges = list(graph.edges())
+    if not edges:
+        return
+    edge = data.draw(st.sampled_from(edges))
+    assert mine_free_tree_rooted(graph, maxdist=maxdist, edge=edge) == (
+        mine_free_tree(graph, maxdist=maxdist)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=trees(), maxdist=maxdists)
+def test_item_invariants(tree, maxdist):
+    for item in mine_free_tree(to_graph(tree), maxdist=maxdist):
+        assert 0 <= item.distance <= maxdist
+        assert (2 * item.distance).is_integer()
+        assert item.label_a <= item.label_b
+        assert item.occurrences >= 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=trees(max_size=16))
+def test_brute_force_path_lengths(tree):
+    """Items match an independent all-pairs shortest-path count."""
+    from collections import Counter, deque
+
+    graph = to_graph(tree)
+    nodes = list(graph.nodes())
+    expected: Counter = Counter()
+    for start in nodes:
+        if graph.label(start) is None:
+            continue
+        # BFS distances from start.
+        distances = {start: 0}
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for other in graph.neighbors(node):
+                if other not in distances:
+                    distances[other] = distances[node] + 1
+                    queue.append(other)
+        for other, edges in distances.items():
+            if other <= start or edges < 2 or edges > 5:
+                continue
+            other_label = graph.label(other)
+            if other_label is None:
+                continue
+            pair = tuple(sorted((graph.label(start), other_label)))
+            expected[(pair[0], pair[1], (edges - 2) / 2.0)] += 1
+    mined = {
+        item.key: item.occurrences
+        for item in mine_free_tree(graph, maxdist=1.5)
+    }
+    assert mined == dict(expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=trees(), maxdist=maxdists,
+       minoccur=st.integers(min_value=1, max_value=3))
+def test_minoccur_pure_filter(tree, maxdist, minoccur):
+    graph = to_graph(tree)
+    everything = mine_free_tree(graph, maxdist=maxdist)
+    filtered = mine_free_tree(graph, maxdist=maxdist, minoccur=minoccur)
+    assert filtered == [
+        item for item in everything if item.occurrences >= minoccur
+    ]

@@ -1,0 +1,108 @@
+"""Property-based tests for Newick serialisation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.newick import parse_forest, parse_newick, write_newick
+from repro.trees.validate import check_tree
+
+from tests.property.strategies import leaf_labeled_trees, trees
+
+# Labels exercising the quoting rules: spaces, quotes, parens, unicode.
+NASTY_LABELS = st.one_of(
+    st.none(),
+    st.text(
+        alphabet=st.characters(
+            blacklist_categories=("Cs",), blacklist_characters="\x00"
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(tree=trees(labels=NASTY_LABELS))
+def test_round_trip_preserves_unordered_identity(tree):
+    text = write_newick(tree)
+    reparsed = parse_newick(text)
+    check_tree(reparsed)
+    assert reparsed.canonical_form() == tree.canonical_form()
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=trees())
+def test_round_trip_without_lengths(tree):
+    text = write_newick(tree, include_lengths=False)
+    assert ";" in text
+    assert parse_newick(text).canonical_form() == tree.canonical_form()
+
+
+@settings(max_examples=30, deadline=None)
+@given(forest=st.lists(leaf_labeled_trees(), min_size=0, max_size=4))
+def test_forest_round_trip(forest):
+    text = "\n".join(write_newick(tree) for tree in forest)
+    reparsed = parse_forest(text)
+    assert len(reparsed) == len(forest)
+    for original, back in zip(forest, reparsed):
+        assert back.canonical_form() == original.canonical_form()
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=leaf_labeled_trees())
+def test_leaf_labels_survive(tree):
+    reparsed = parse_newick(write_newick(tree))
+    assert reparsed.leaf_labels() == tree.leaf_labels()
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=trees())
+def test_mining_commutes_with_serialisation(tree):
+    """Parsing back a written tree yields identical cousin pair items."""
+    from repro.core.single_tree import mine_tree
+
+    reparsed = parse_newick(write_newick(tree))
+    assert mine_tree(reparsed) == mine_tree(tree)
+
+
+@settings(max_examples=150, deadline=None)
+@given(text=st.text(max_size=60))
+def test_parser_total_on_arbitrary_input(text):
+    """Fuzz: the parser either returns a valid tree or raises
+    NewickError — never any other exception."""
+    from repro.errors import NewickError
+
+    try:
+        tree = parse_newick(text)
+    except NewickError:
+        return
+    check_tree(tree)
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=st.text(alphabet="(),;ab'[]: \t0.1", max_size=40))
+def test_parser_total_on_grammar_shaped_input(text):
+    """Fuzz with grammar-heavy alphabets (parens, quotes, comments)."""
+    from repro.errors import NewickError
+
+    try:
+        trees = parse_forest(text)
+    except NewickError:
+        return
+    for tree in trees:
+        check_tree(tree)
+
+
+@settings(max_examples=100, deadline=None)
+@given(text=st.text(alphabet="#NEXUSBEGINTRESD;()ab,12'[]= \n", max_size=80))
+def test_nexus_parser_total(text):
+    """Fuzz: NEXUS parsing fails only with NewickError."""
+    from repro.errors import NewickError
+    from repro.trees.nexus import parse_nexus
+
+    try:
+        trees = parse_nexus(text)
+    except NewickError:
+        return
+    for tree in trees:
+        check_tree(tree)

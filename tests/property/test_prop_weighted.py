@@ -1,0 +1,81 @@
+"""Property-based tests for weighted mining and the UpDown distance."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.single_tree import mine_tree
+from repro.core.treerank import treerank_score, updown_distance, updown_matrix
+from repro.core.weighted import enumerate_weighted_pairs, mine_tree_weighted
+
+from tests.property.strategies import leaf_labeled_trees, maxdists, trees
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=trees(), maxdist=maxdists)
+def test_weighted_projection_matches_unweighted(tree, maxdist):
+    weighted = mine_tree_weighted(tree, maxdist=maxdist)
+    projected = {
+        (item.label_a, item.label_b, item.distance): item.occurrences
+        for item in weighted
+    }
+    expected = {
+        item.key: item.occurrences for item in mine_tree(tree, maxdist)
+    }
+    assert projected == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=trees(), maxdist=maxdists)
+def test_weighted_span_statistics_consistent(tree, maxdist):
+    for item in mine_tree_weighted(tree, maxdist=maxdist):
+        assert item.min_span <= item.mean_span <= item.max_span
+        assert item.min_span >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=trees(), threshold=st.floats(min_value=0.5, max_value=8))
+def test_max_span_is_a_pure_filter(tree, threshold):
+    everything = list(enumerate_weighted_pairs(tree, maxdist=2.0))
+    capped = list(
+        enumerate_weighted_pairs(tree, maxdist=2.0, max_span=threshold)
+    )
+    assert capped == [pair for pair in everything if pair.span <= threshold]
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=trees())
+def test_default_length_scales_spans(tree):
+    """Doubling the default edge length doubles every span (no tree in
+    the strategy carries explicit lengths)."""
+    base = list(enumerate_weighted_pairs(tree, default_length=1.0))
+    double = list(enumerate_weighted_pairs(tree, default_length=2.0))
+    assert len(base) == len(double)
+    for one, two in zip(base, double):
+        assert two.span == 2 * one.span
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=leaf_labeled_trees(min_taxa=2, max_taxa=7))
+def test_updown_self_distance_zero(tree):
+    assert updown_distance(tree, tree) == 0.0
+    assert treerank_score(tree, tree) == 100.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    first=leaf_labeled_trees(min_taxa=2, max_taxa=7),
+    second=leaf_labeled_trees(min_taxa=2, max_taxa=7),
+)
+def test_updown_symmetry_and_range(first, second):
+    forward = updown_distance(first, second)
+    assert forward == updown_distance(second, first)
+    assert 0.0 <= forward <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree=leaf_labeled_trees(min_taxa=2, max_taxa=7))
+def test_updown_matrix_entry_symmetry(tree):
+    matrix = updown_matrix(tree)
+    for (label_a, label_b), (up, down) in matrix.items():
+        assert matrix[(label_b, label_a)] == (down, up)
+        assert up + down >= 1

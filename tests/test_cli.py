@@ -1,0 +1,278 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets.seed_plants import SEED_PLANT_NEWICKS
+from repro.trees.newick import parse_newick
+
+
+@pytest.fixture
+def forest_file(tmp_path):
+    path = tmp_path / "forest.nwk"
+    path.write_text("((a,b),(c,d));\n((a,b),(c,e));\n", encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def seed_plants_file(tmp_path):
+    path = tmp_path / "seed.nwk"
+    path.write_text("\n".join(SEED_PLANT_NEWICKS), encoding="utf-8")
+    return str(path)
+
+
+class TestMine:
+    def test_prints_items_per_tree(self, forest_file, capsys):
+        assert main(["mine", forest_file]) == 0
+        out = capsys.readouterr().out
+        assert "tree_0" in out and "tree_1" in out
+        assert "(a, b) at distance 0 (siblings) x1" in out
+
+    def test_maxdist_flag(self, forest_file, capsys):
+        main(["mine", forest_file, "--maxdist", "0"])
+        out = capsys.readouterr().out
+        assert "first cousins" not in out
+
+
+class TestFrequent:
+    def test_default_minsup(self, forest_file, capsys):
+        assert main(["frequent", forest_file]) == 0
+        out = capsys.readouterr().out
+        assert "(a, b)" in out
+        assert "support 2" in out
+        assert "(c, d)" not in out  # only in one tree
+
+    def test_ignore_distance(self, forest_file, capsys):
+        assert main(["frequent", forest_file, "--ignore-distance"]) == 0
+        out = capsys.readouterr().out
+        assert "any distance" in out
+
+
+class TestSupport:
+    def test_with_distance(self, seed_plants_file, capsys):
+        code = main([
+            "support", seed_plants_file,
+            "--pair", "Gnetum", "Welwitschia", "--distance", "0",
+        ])
+        assert code == 0
+        assert "support of (Gnetum, Welwitschia) at distance 0: 4" in (
+            capsys.readouterr().out
+        )
+
+    def test_any_distance(self, seed_plants_file, capsys):
+        main(["support", seed_plants_file, "--pair", "Ephedra", "Ginkgoales"])
+        assert "any distance: 2" in capsys.readouterr().out
+
+
+class TestConsensus:
+    def test_outputs_newick(self, tmp_path, capsys):
+        path = tmp_path / "profile.nwk"
+        path.write_text("((a,b),(c,d));\n((a,b),(d,c));\n", encoding="utf-8")
+        assert main(["consensus", str(path), "--method", "strict"]) == 0
+        out = capsys.readouterr().out.strip()
+        tree = parse_newick(out)
+        assert tree.leaf_labels() == {"a", "b", "c", "d"}
+
+    def test_taxa_mismatch_is_clean_error(self, forest_file, capsys):
+        # The two trees differ in taxa (d vs e) -> ConsensusError -> 1.
+        assert main(["consensus", forest_file, "--method", "majority"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_score_flag(self, tmp_path, capsys):
+        path = tmp_path / "same.nwk"
+        path.write_text("((a,b),(c,d));\n((a,b),(c,d));\n", encoding="utf-8")
+        assert main(["consensus", str(path), "--score"]) == 0
+        captured = capsys.readouterr()
+        assert "average similarity score" in captured.err
+
+
+class TestDistance:
+    def test_zero_for_identical(self, tmp_path, capsys):
+        first = tmp_path / "a.nwk"
+        second = tmp_path / "b.nwk"
+        first.write_text("((a,b),(c,d));", encoding="utf-8")
+        second.write_text("((b,a),(d,c));", encoding="utf-8")
+        assert main(["distance", str(first), str(second)]) == 0
+        assert float(capsys.readouterr().out.strip()) == 0.0
+
+    def test_multi_tree_file_rejected(self, forest_file, tmp_path, capsys):
+        single = tmp_path / "one.nwk"
+        single.write_text("(a,b);", encoding="utf-8")
+        assert main(["distance", forest_file, str(single)]) == 2
+        assert "exactly one tree" in capsys.readouterr().err
+
+
+class TestKernel:
+    def test_selects_one_per_group(self, tmp_path, capsys):
+        first = tmp_path / "g1.nwk"
+        second = tmp_path / "g2.nwk"
+        first.write_text("((a,b),(c,d));\n((a,c),(b,d));\n", encoding="utf-8")
+        second.write_text("((a,b),(c,e));\n((a,e),(b,c));\n", encoding="utf-8")
+        assert main(["kernel", str(first), str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "average pairwise distance" in out
+        assert str(first) in out and str(second) in out
+
+    def test_single_group_rejected(self, forest_file, capsys):
+        assert main(["kernel", forest_file]) == 2
+        assert "two group files" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    def test_missing_file(self, capsys):
+        assert main(["mine", "/does/not/exist.nwk"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_newick(self, tmp_path, capsys):
+        path = tmp_path / "bad.nwk"
+        path.write_text("((a,b;", encoding="utf-8")
+        assert main(["mine", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_mining_params(self, forest_file, capsys):
+        assert main(["mine", forest_file, "--maxdist", "-3"]) == 1
+        assert "maxdist" in capsys.readouterr().err
+
+
+class TestNexusInput:
+    def test_mine_reads_nexus(self, tmp_path, capsys):
+        path = tmp_path / "trees.nex"
+        path.write_text(
+            "#NEXUS\nBEGIN TREES;\n"
+            "TRANSLATE 1 alpha, 2 beta;\n"
+            "TREE t = [&R] (1,2);\nEND;\n",
+            encoding="utf-8",
+        )
+        assert main(["mine", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "(alpha, beta) at distance 0" in out
+
+
+class TestTreerank:
+    def test_ranks_identical_first(self, tmp_path, capsys):
+        query = tmp_path / "q.nwk"
+        db = tmp_path / "db.nwk"
+        query.write_text("((a,b),(c,d));", encoding="utf-8")
+        db.write_text("((a,c),(b,d));\n((a,b),(c,d));\n", encoding="utf-8")
+        assert main(["treerank", str(query), str(db)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert "tree_1" in lines[0]
+        assert lines[0].strip().startswith("100.00")
+
+    def test_multi_tree_query_rejected(self, tmp_path, capsys):
+        query = tmp_path / "q.nwk"
+        query.write_text("(a,b);(c,d);", encoding="utf-8")
+        assert main(["treerank", str(query), str(query)]) == 2
+
+
+class TestCluster:
+    def test_clusters_and_medoids_printed(self, tmp_path, capsys):
+        path = tmp_path / "trees.nwk"
+        path.write_text(
+            "((a,b),(c,d));\n((a,b),(d,c));\n((x,y),(z,w));\n",
+            encoding="utf-8",
+        )
+        assert main(["cluster", str(path), "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster 0:" in out and "cluster 1:" in out
+        assert out.count("medoid:") == 2
+
+
+class TestSupertree:
+    def test_merges_overlapping_files(self, tmp_path, capsys):
+        first = tmp_path / "a.nwk"
+        second = tmp_path / "b.nwk"
+        first.write_text("((a,b),c);", encoding="utf-8")
+        second.write_text("((b,d),c);", encoding="utf-8")
+        assert main(["supertree", str(first), str(second)]) == 0
+        out = capsys.readouterr().out.strip()
+        tree = parse_newick(out)
+        assert tree.leaf_labels() == {"a", "b", "c", "d"}
+
+
+class TestExportFormats:
+    def test_mine_json(self, forest_file, capsys):
+        from repro.io import items_from_json
+
+        assert main(["mine", forest_file, "--format", "json"]) == 0
+        items = items_from_json(capsys.readouterr().out)
+        assert items
+        assert any(
+            (i.label_a, i.label_b, i.distance) == ("a", "b", 0.0)
+            for i in items
+        )
+
+    def test_mine_csv(self, forest_file, capsys):
+        from repro.io import items_from_csv
+
+        assert main(["mine", forest_file, "--format", "csv"]) == 0
+        items = items_from_csv(capsys.readouterr().out)
+        assert items
+
+    def test_frequent_json(self, forest_file, capsys):
+        from repro.io import patterns_from_json
+
+        assert main(["frequent", forest_file, "--format", "json"]) == 0
+        patterns = patterns_from_json(capsys.readouterr().out)
+        assert all(p.support >= 2 for p in patterns)
+
+
+class TestFreeMining:
+    def test_free_flag_uses_path_distances(self, tmp_path, capsys):
+        # Rooted mining of (b)a; yields nothing (ancestor pair); free
+        # mining of the same 2-node path also yields nothing (adjacent),
+        # but a 3-node path gives the grandparent pair at distance 0.
+        path = tmp_path / "chain.nwk"
+        path.write_text("((b)x)a;", encoding="utf-8")
+        assert main(["mine", str(path)]) == 0
+        rooted_out = capsys.readouterr().out
+        assert "0 cousin pair item(s)" in rooted_out
+        assert main(["mine", str(path), "--free"]) == 0
+        free_out = capsys.readouterr().out
+        assert "(a, b) at distance 0" in free_out
+
+
+class TestReport:
+    def test_figure8_style_output(self, seed_plants_file, capsys):
+        assert main(["report", seed_plants_file]) == 0
+        out = capsys.readouterr().out
+        assert out.count("== tree_") == 4  # one window per phylogeny
+        assert "Legend:" in out
+        assert "Gnetum" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, forest_file):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "mine", forest_file],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "cousin pair item" in result.stdout
+
+
+class TestDiff:
+    def test_snapshot_delta(self, tmp_path, capsys):
+        old = tmp_path / "old.nwk"
+        new = tmp_path / "new.nwk"
+        old.write_text("(a,b);\n(a,b);\n", encoding="utf-8")
+        new.write_text("(a,b);\n(a,b);\n(c,d);\n(c,d);\n", encoding="utf-8")
+        assert main(["diff", str(old), str(new)]) == 0
+        out = capsys.readouterr().out
+        assert "1 gained" in out
+        assert "+ (c, d)" in out
+
+
+class TestMaxHeightFlag:
+    def test_mine_with_horizontal_limit(self, tmp_path, capsys):
+        path = tmp_path / "t.nwk"
+        path.write_text("((a,b),(c,d));", encoding="utf-8")
+        assert main(["mine", str(path), "--max-height", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "siblings" in out
+        assert "first cousins" not in out

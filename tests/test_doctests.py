@@ -1,0 +1,29 @@
+"""Run the doctest examples embedded in docstrings.
+
+Keeps the documentation honest: every ``>>>`` example in the listed
+modules must execute and produce exactly the shown output.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.cousins
+import repro.trees.drawing
+import repro.trees.tree
+
+MODULES = [
+    repro,
+    repro.core.cousins,
+    repro.trees.drawing,
+    repro.trees.tree,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+    # At least repro and cousins carry examples; empty modules pass
+    # trivially, which is fine — the parametrisation documents intent.

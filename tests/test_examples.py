@@ -1,0 +1,33 @@
+"""Smoke tests: every bundled example must run cleanly."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+# consensus_quality runs a full parsimony search; give it a small budget.
+_ARGS = {"consensus_quality.py": ["6"]}
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script), *_ARGS.get(script.name, [])],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLES}
+    assert {"quickstart.py", "seed_plants_cooccurrence.py",
+            "consensus_quality.py", "kernel_trees.py",
+            "free_tree_mining.py"} <= names

@@ -1,0 +1,98 @@
+"""Cross-subsystem integration tests.
+
+Each test wires several subsystems together the way the paper's
+experiments do, at reduced scale.
+"""
+
+import random
+
+from repro.apps.consensus_quality import score_methods
+from repro.apps.cooccurrence import find_cooccurring_patterns
+from repro.apps.supertree import build_supertree
+from repro.core.kernel import find_kernel_trees
+from repro.core.multi_tree import mine_forest
+from repro.core.single_tree import mine_tree
+from repro.datasets.ascomycetes import ascomycete_groups
+from repro.datasets.seed_plants import seed_plant_trees
+from repro.generate.sequences import assign_branch_lengths, evolve_alignment
+from repro.generate.phylo import yule_tree
+from repro.generate.treebase import synthetic_treebase_corpus
+from repro.parsimony.fitch import fitch_score
+from repro.parsimony.search import parsimony_search
+from repro.trees.nexus import parse_nexus, write_nexus
+from repro.trees.validate import check_tree
+
+
+class TestCorpusMiningPipeline:
+    """Generator -> Multiple_Tree_Mining -> verifiable support."""
+
+    def test_supports_are_verifiable_by_remining(self):
+        corpus = synthetic_treebase_corpus(
+            num_trees=12, trees_per_study=4, min_nodes=20, max_nodes=40,
+            alphabet_size=500, rng=random.Random(5),
+        )
+        trees = [tree for study in corpus for tree in study.trees]
+        frequent = mine_forest(trees, minsup=2)
+        assert frequent
+        for pattern in frequent[:20]:
+            for position in pattern.tree_indexes:
+                items = mine_tree(trees[position])
+                keys = {
+                    (item.label_a, item.label_b, item.distance)
+                    for item in items
+                }
+                assert (
+                    pattern.label_a, pattern.label_b, pattern.distance
+                ) in keys
+
+    def test_study_level_reports(self):
+        corpus = synthetic_treebase_corpus(
+            num_trees=8, trees_per_study=4, min_nodes=20, max_nodes=40,
+            rng=random.Random(9),
+        )
+        for study in corpus:
+            report = find_cooccurring_patterns(study.trees)
+            for pattern, spots in zip(report.patterns, report.occurrences):
+                assert set(spots) == set(pattern.tree_indexes)
+
+
+class TestParsimonyToConsensusPipeline:
+    """Sequences -> search -> ties -> five consensus methods -> scores."""
+
+    def test_end_to_end(self):
+        rng = random.Random(17)
+        reference = yule_tree(8, rng)
+        assign_branch_lengths(reference, mean=0.15, rng=rng)
+        alignment = evolve_alignment(reference, n_sites=120, rng=rng)
+        search = parsimony_search(alignment, rng=rng, n_starts=3)
+        assert search.trees
+        for tree in search.trees:
+            assert fitch_score(tree, alignment) == search.best_score
+        scores = score_methods(search.trees)
+        assert set(scores) == {
+            "strict", "majority", "semistrict", "adams", "nelson"
+        }
+        assert scores["majority"] >= scores["strict"] - 1e-9
+
+
+class TestKernelToSupertreePipeline:
+    """Groups -> kernels -> triples -> BUILD supertree."""
+
+    def test_end_to_end(self):
+        groups = ascomycete_groups(3, trees_per_group=4, rng=21)
+        kernels = find_kernel_trees(groups)
+        result = build_supertree(list(kernels.trees))
+        check_tree(result.tree)
+        union = set().union(*(tree.leaf_labels() for tree in kernels.trees))
+        assert result.tree.leaf_labels() == union
+
+
+class TestNexusInterchange:
+    """Datasets survive a NEXUS round trip with identical mining output."""
+
+    def test_seed_plants_via_nexus(self):
+        trees = seed_plant_trees()
+        restored = parse_nexus(write_nexus(trees))
+        original_patterns = mine_forest(trees, minsup=2)
+        restored_patterns = mine_forest(restored, minsup=2)
+        assert original_patterns == restored_patterns

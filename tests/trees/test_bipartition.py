@@ -1,0 +1,154 @@
+"""Unit tests for clusters, compatibility, RF distance and realisation."""
+
+import pytest
+
+from repro.errors import ConsensusError, TreeError
+from repro.trees.bipartition import (
+    all_compatible,
+    cluster_counts,
+    clusters,
+    compatible,
+    compatible_with_tree,
+    nontrivial_clusters,
+    robinson_foulds,
+    tree_from_clusters,
+)
+from repro.trees.newick import parse_newick
+
+
+def fs(*items):
+    return frozenset(items)
+
+
+class TestClusters:
+    def test_balanced_four(self):
+        tree = parse_newick("((a,b),(c,d));")
+        assert clusters(tree) == {
+            fs("a"), fs("b"), fs("c"), fs("d"),
+            fs("a", "b"), fs("c", "d"), fs("a", "b", "c", "d"),
+        }
+
+    def test_nontrivial_excludes_singletons_and_full(self):
+        tree = parse_newick("((a,b),(c,d));")
+        assert nontrivial_clusters(tree) == {fs("a", "b"), fs("c", "d")}
+
+    def test_star_has_no_nontrivial(self, star_tree):
+        assert nontrivial_clusters(star_tree) == set()
+
+    def test_unlabeled_leaf_rejected(self):
+        tree = parse_newick("((a,b),);")
+        with pytest.raises(TreeError, match="unlabeled"):
+            clusters(tree)
+
+    def test_duplicate_leaf_rejected(self):
+        tree = parse_newick("((a,b),a);")
+        with pytest.raises(TreeError, match="duplicate"):
+            clusters(tree)
+
+    def test_cluster_counts(self):
+        trees = [parse_newick("((a,b),(c,d));"), parse_newick("((a,b),c,d);")]
+        counts = cluster_counts(trees)
+        assert counts[fs("a", "b")] == 2
+        assert counts[fs("c", "d")] == 1
+
+
+class TestCompatibility:
+    def test_disjoint_compatible(self):
+        assert compatible(fs("a", "b"), fs("c", "d"))
+
+    def test_nested_compatible(self):
+        assert compatible(fs("a", "b"), fs("a", "b", "c"))
+
+    def test_crossing_incompatible(self):
+        assert not compatible(fs("a", "b"), fs("b", "c"))
+
+    def test_all_compatible(self):
+        family = [fs("a", "b"), fs("a", "b", "c"), fs("d", "e")]
+        assert all_compatible(family)
+        assert not all_compatible(family + [fs("c", "d")])
+
+    def test_compatible_with_tree(self):
+        tree = parse_newick("((a,b),(c,d));")
+        assert compatible_with_tree(fs("a", "b", "c", "d"), tree)
+        assert compatible_with_tree(fs("c", "d"), tree)
+        assert not compatible_with_tree(fs("b", "c"), tree)
+
+
+class TestRobinsonFoulds:
+    def test_identical_trees(self):
+        a = parse_newick("((a,b),(c,d));")
+        b = parse_newick("((b,a),(d,c));")
+        assert robinson_foulds(a, b) == 0.0
+
+    def test_maximally_different(self):
+        a = parse_newick("((a,b),(c,d));")
+        b = parse_newick("((a,c),(b,d));")
+        assert robinson_foulds(a, b) == 4.0
+        assert robinson_foulds(a, b, normalized=True) == 1.0
+
+    def test_star_vs_resolved(self):
+        star = parse_newick("(a,b,c,d);")
+        resolved = parse_newick("((a,b),(c,d));")
+        assert robinson_foulds(star, resolved) == 2.0
+
+    def test_different_taxa_rejected(self):
+        a = parse_newick("((a,b),c);")
+        b = parse_newick("((a,b),d);")
+        with pytest.raises(ConsensusError, match="identical taxa"):
+            robinson_foulds(a, b)
+
+    def test_symmetric(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        for _ in range(5):
+            a = yule_tree(8, rng)
+            b = yule_tree(8, rng)
+            assert robinson_foulds(a, b) == robinson_foulds(b, a)
+
+
+class TestTreeFromClusters:
+    def test_round_trip(self):
+        tree = parse_newick("((a,b),((c,d),e));")
+        rebuilt = tree_from_clusters(
+            tree.leaf_labels(), nontrivial_clusters(tree)
+        )
+        assert nontrivial_clusters(rebuilt) == nontrivial_clusters(tree)
+        assert rebuilt.leaf_labels() == tree.leaf_labels()
+
+    def test_empty_family_gives_star(self):
+        tree = tree_from_clusters({"a", "b", "c"}, [])
+        assert tree.root.degree == 3
+        assert nontrivial_clusters(tree) == set()
+
+    def test_singletons_and_full_ignored(self):
+        tree = tree_from_clusters(
+            {"a", "b", "c"}, [fs("a"), fs("a", "b", "c"), fs("b", "c")]
+        )
+        assert nontrivial_clusters(tree) == {fs("b", "c")}
+
+    def test_incompatible_family_rejected(self):
+        with pytest.raises(ConsensusError, match="laminar"):
+            tree_from_clusters({"a", "b", "c"}, [fs("a", "b"), fs("b", "c")])
+
+    def test_unknown_taxa_rejected(self):
+        with pytest.raises(ConsensusError, match="unknown taxa"):
+            tree_from_clusters({"a", "b"}, [fs("a", "z")])
+
+    def test_empty_taxa_rejected(self):
+        with pytest.raises(ConsensusError, match="empty taxon set"):
+            tree_from_clusters([], [])
+
+    def test_nested_chain(self):
+        family = [fs("a", "b"), fs("a", "b", "c"), fs("a", "b", "c", "d")]
+        tree = tree_from_clusters({"a", "b", "c", "d", "e"}, family)
+        assert nontrivial_clusters(tree) == set(family)
+
+    def test_random_round_trips(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        for _ in range(10):
+            tree = yule_tree(10, rng)
+            rebuilt = tree_from_clusters(
+                tree.leaf_labels(), nontrivial_clusters(tree)
+            )
+            assert robinson_foulds(tree, rebuilt) == 0.0

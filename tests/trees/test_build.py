@@ -1,0 +1,132 @@
+"""Unit tests for rooted triples and the BUILD algorithm."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees.build import BuildConflict, Triple, build_from_triples, tree_triples
+from repro.trees.newick import parse_newick
+from repro.trees.validate import check_tree
+
+
+class TestTriple:
+    def test_pair_normalised(self):
+        assert Triple.make("z", "a", "m") == Triple.make("a", "z", "m")
+        triple = Triple.make("z", "a", "m")
+        assert (triple.a, triple.b, triple.c) == ("a", "z", "m")
+
+    def test_distinct_taxa_required(self):
+        with pytest.raises(ValueError):
+            Triple.make("a", "a", "b")
+
+    def test_taxa_set(self):
+        assert Triple.make("a", "b", "c").taxa == frozenset("abc")
+
+
+class TestTreeTriples:
+    def test_three_leaf_resolved(self):
+        tree = parse_newick("((a,b),c);")
+        assert set(tree_triples(tree)) == {Triple.make("a", "b", "c")}
+
+    def test_three_leaf_star_unresolved(self):
+        tree = parse_newick("(a,b,c);")
+        assert set(tree_triples(tree)) == set()
+
+    def test_balanced_four(self):
+        tree = parse_newick("((a,b),(c,d));")
+        assert set(tree_triples(tree)) == {
+            Triple.make("a", "b", "c"),
+            Triple.make("a", "b", "d"),
+            Triple.make("c", "d", "a"),
+            Triple.make("c", "d", "b"),
+        }
+
+    def test_count_for_binary_tree(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        tree = yule_tree(7, rng)
+        # A fully resolved tree displays one triple per taxon triple.
+        assert len(list(tree_triples(tree))) == 7 * 6 * 5 // 6
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(TreeError, match="unique"):
+            list(tree_triples(parse_newick("((a,a),c);")))
+
+    def test_fewer_than_three_leaves(self):
+        assert list(tree_triples(parse_newick("(a,b);"))) == []
+
+
+class TestBuild:
+    def test_single_triple(self):
+        tree = build_from_triples("abc", [Triple.make("a", "b", "c")])
+        assert set(tree_triples(tree)) == {Triple.make("a", "b", "c")}
+
+    def test_round_trip_recovers_binary_tree(self, rng):
+        from repro.generate.phylo import yule_tree
+        from repro.trees.bipartition import robinson_foulds
+
+        for _ in range(5):
+            tree = yule_tree(8, rng)
+            rebuilt = build_from_triples(
+                tree.leaf_labels(), list(tree_triples(tree))
+            )
+            assert robinson_foulds(rebuilt, tree) == 0.0
+
+    def test_unconstrained_taxa_attach_high(self):
+        tree = build_from_triples("abcx", [Triple.make("a", "b", "c")])
+        check_tree(tree)
+        assert tree.leaf_labels() == {"a", "b", "c", "x"}
+        # All triples of the output must include the input triple and
+        # must not contradict it.
+        assert Triple.make("a", "b", "c") in set(tree_triples(tree))
+
+    def test_conflicting_triples_raise(self):
+        with pytest.raises(BuildConflict):
+            build_from_triples(
+                "abc",
+                [Triple.make("a", "b", "c"), Triple.make("b", "c", "a")],
+            )
+
+    def test_cyclic_conflict_raises(self):
+        with pytest.raises(BuildConflict):
+            build_from_triples(
+                "abcd",
+                [
+                    Triple.make("a", "b", "c"),
+                    Triple.make("c", "d", "b"),
+                    Triple.make("b", "c", "a"),
+                    Triple.make("a", "d", "c"),
+                    Triple.make("b", "d", "a"),
+                    Triple.make("a", "c", "d"),
+                ],
+            )
+
+    def test_empty_triples_give_star(self):
+        tree = build_from_triples("abcd", [])
+        assert tree.root.degree == 4
+
+    def test_two_taxa(self):
+        tree = build_from_triples("ab", [])
+        assert tree.leaf_labels() == {"a", "b"}
+
+    def test_single_taxon(self):
+        tree = build_from_triples("a", [])
+        assert len(tree) == 1
+        assert tree.root.label == "a"
+
+    def test_unknown_taxa_rejected(self):
+        with pytest.raises(TreeError, match="unknown taxa"):
+            build_from_triples("ab", [Triple.make("a", "b", "z")])
+
+    def test_empty_taxa_rejected(self):
+        with pytest.raises(TreeError, match="empty"):
+            build_from_triples([], [])
+
+    def test_output_displays_all_triples(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        tree = yule_tree(6, rng)
+        triples = list(tree_triples(tree))[::2]  # a sparse subset
+        rebuilt = build_from_triples(tree.leaf_labels(), triples)
+        displayed = set(tree_triples(rebuilt))
+        for triple in triples:
+            assert triple in displayed

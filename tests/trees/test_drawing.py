@@ -1,0 +1,93 @@
+"""Unit tests for tree rendering with pattern highlights."""
+
+from repro.apps.cooccurrence import find_cooccurring_patterns
+from repro.datasets.seed_plants import seed_plant_trees
+from repro.trees.drawing import (
+    MARKERS,
+    render_pattern_report,
+    render_tree,
+    render_with_highlights,
+)
+from repro.trees.newick import parse_newick
+from repro.trees.tree import Tree
+
+from tests.conftest import make_random_tree
+
+
+class TestRenderTree:
+    def test_every_node_on_its_own_line(self, rng):
+        for _ in range(10):
+            tree = make_random_tree(rng, max_size=20)
+            rendered = render_tree(tree)
+            assert rendered.count("\n") + 1 == len(tree)
+
+    def test_leaves_appear_with_labels(self):
+        rendered = render_tree(parse_newick("((a,b),c);"))
+        for label in "abc":
+            assert label in rendered
+
+    def test_internal_labels_shown(self):
+        rendered = render_tree(parse_newick("((a,b)x,c);"))
+        assert "x┐" in rendered
+
+    def test_empty_tree(self):
+        assert "empty" in render_tree(Tree())
+
+    def test_single_node(self):
+        assert render_tree(parse_newick("solo;")) == "solo"
+
+    def test_deep_tree_falls_back_to_ascii(self):
+        tree = Tree()
+        node = tree.add_root(label="r")
+        for i in range(1200):
+            node = tree.add_child(node, label=f"n{i}")
+        rendered = render_tree(tree)  # must not blow the stack
+        assert rendered
+
+
+class TestHighlights:
+    def test_marker_wraps_label(self):
+        tree = parse_newick("((a,b),c);")
+        leaf_a = next(n for n in tree.leaves() if n.label == "a")
+        rendered = render_with_highlights(tree, {leaf_a.node_id: "*"})
+        assert "*a*" in rendered
+        assert "*b*" not in rendered
+
+    def test_unlabeled_highlight_shows_id(self):
+        tree = parse_newick("((a,b),);")
+        unlabeled = next(n for n in tree.leaves() if n.label is None)
+        rendered = render_with_highlights(tree, {unlabeled.node_id: "+"})
+        assert f"+(#{unlabeled.node_id})+" in rendered
+
+
+class TestPatternReport:
+    def test_figure8_presentation(self):
+        report = find_cooccurring_patterns(seed_plant_trees())
+        rendered = render_pattern_report(report, max_patterns=2)
+        # One window per tree plus a legend.
+        assert rendered.count("== seed_plants_") == 4
+        assert "Legend:" in rendered
+        # The top two patterns get the first two markers.
+        assert MARKERS[0] in rendered and MARKERS[1] in rendered
+
+    def test_gnetum_welwitschia_marked_in_all_windows(self):
+        report = find_cooccurring_patterns(seed_plant_trees())
+        position = next(
+            i for i, p in enumerate(report.patterns)
+            if (p.label_a, p.label_b, p.distance)
+            == ("Gnetum", "Welwitschia", 0.0)
+        )
+        # Re-order so the target pattern gets marker 0.
+        report.patterns.insert(0, report.patterns.pop(position))
+        report.occurrences.insert(0, report.occurrences.pop(position))
+        rendered = render_pattern_report(report, max_patterns=1)
+        marker = MARKERS[0]
+        assert rendered.count(f"{marker}Gnetum{marker}") == 4
+        assert rendered.count(f"{marker}Welwitschia{marker}") == 4
+
+    def test_empty_report(self):
+        report = find_cooccurring_patterns(
+            [parse_newick("(a,b);"), parse_newick("(x,y);")]
+        )
+        rendered = render_pattern_report(report)
+        assert "Legend:" in rendered

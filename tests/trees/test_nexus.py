@@ -1,0 +1,118 @@
+"""Unit tests for NEXUS tree I/O."""
+
+import pytest
+
+from repro.errors import NewickError
+from repro.trees.newick import parse_newick
+from repro.trees.nexus import parse_nexus, read_nexus_file, write_nexus
+
+SAMPLE = """#NEXUS
+[ TreeBASE-style sample ]
+BEGIN TAXA;
+    DIMENSIONS NTAX=3;
+END;
+BEGIN TREES;
+    TRANSLATE
+        1 Gnetum,
+        2 Welwitschia,
+        3 'Outgroup to Seed Plants';
+    TREE tree_1 = [&R] ((1,2),3);
+    TREE tree_2 = ((2,1),3);
+END;
+"""
+
+
+class TestParse:
+    def test_two_trees_with_translate(self):
+        trees = parse_nexus(SAMPLE)
+        assert len(trees) == 2
+        assert trees[0].name == "tree_1"
+        assert trees[0].leaf_labels() == {
+            "Gnetum", "Welwitschia", "Outgroup to Seed Plants"
+        }
+
+    def test_trees_are_isomorphic_after_translate(self):
+        trees = parse_nexus(SAMPLE)
+        assert trees[0].isomorphic_to(trees[1])
+
+    def test_without_translate(self):
+        text = "#NEXUS\nBEGIN TREES;\nTREE t = ((a,b),c);\nEND;\n"
+        (tree,) = parse_nexus(text)
+        assert tree.leaf_labels() == {"a", "b", "c"}
+
+    def test_case_insensitive_keywords(self):
+        text = "#nexus\nbegin trees;\ntree T = (a,b);\nend;\n"
+        assert len(parse_nexus(text)) == 1
+
+    def test_rooting_annotations_ignored(self):
+        text = "#NEXUS\nBEGIN TREES;\nTREE t = [&U] (a,(b,c));\nEND;\n"
+        (tree,) = parse_nexus(text)
+        assert tree.leaf_labels() == {"a", "b", "c"}
+
+    def test_missing_header(self):
+        with pytest.raises(NewickError, match="#NEXUS"):
+            parse_nexus("BEGIN TREES;\nTREE t = (a,b);\nEND;\n")
+
+    def test_missing_trees_block(self):
+        with pytest.raises(NewickError, match="TREES block"):
+            parse_nexus("#NEXUS\nBEGIN TAXA;\nEND;\n")
+
+    def test_empty_trees_block(self):
+        with pytest.raises(NewickError, match="no TREE statements"):
+            parse_nexus("#NEXUS\nBEGIN TREES;\nEND;\n")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(NewickError, match="comment"):
+            parse_nexus("#NEXUS [oops\nBEGIN TREES;\nTREE t=(a,b);\nEND;")
+
+    def test_malformed_translate(self):
+        text = "#NEXUS\nBEGIN TREES;\nTRANSLATE 1;\nTREE t = (1,1);\nEND;\n"
+        with pytest.raises(NewickError, match="TRANSLATE"):
+            parse_nexus(text)
+
+    def test_multiple_blocks(self):
+        text = (
+            "#NEXUS\n"
+            "BEGIN TREES;\nTREE a = (x,y);\nEND;\n"
+            "BEGIN TREES;\nTREE b = (p,q);\nEND;\n"
+        )
+        trees = parse_nexus(text)
+        assert [tree.name for tree in trees] == ["a", "b"]
+
+
+class TestWrite:
+    def test_round_trip_with_translate(self):
+        originals = [
+            parse_newick("((Gnetum,Welwitschia),Ephedra);", name="t1"),
+            parse_newick("((Gnetum,Ephedra),Welwitschia);", name="t2"),
+        ]
+        text = write_nexus(originals)
+        back = parse_nexus(text)
+        assert len(back) == 2
+        for original, restored in zip(originals, back):
+            assert restored.isomorphic_to(original)
+            assert restored.name == original.name
+
+    def test_round_trip_without_translate(self):
+        originals = [parse_newick("((a,b),c);", name="only")]
+        back = parse_nexus(write_nexus(originals, translate=False))
+        assert back[0].isomorphic_to(originals[0])
+
+    def test_quoted_taxa_survive(self):
+        tree = parse_newick("(('Outgroup to Seed Plants',b),c);")
+        back = parse_nexus(write_nexus([tree]))
+        assert "Outgroup to Seed Plants" in back[0].leaf_labels()
+
+    def test_file_round_trip(self, tmp_path):
+        trees = [parse_newick("((a,b),(c,d));", name="t")]
+        path = tmp_path / "trees.nex"
+        path.write_text(write_nexus(trees), encoding="utf-8")
+        assert read_nexus_file(str(path))[0].isomorphic_to(trees[0])
+
+    def test_lengths_survive(self):
+        tree = parse_newick("((a:1.5,b:2):0.5,c:3);", name="t")
+        back = parse_nexus(write_nexus([tree]))[0]
+        lengths = sorted(
+            node.length for node in back.preorder() if node.length is not None
+        )
+        assert lengths == [0.5, 1.5, 2.0, 3.0]

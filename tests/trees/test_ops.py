@@ -1,0 +1,162 @@
+"""Unit tests for structural tree operations."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees.newick import parse_newick, write_newick
+from repro.trees.ops import (
+    collapse_unary,
+    copy_tree,
+    parent_list,
+    relabel,
+    restrict_to_taxa,
+    tree_from_parent_list,
+)
+from repro.trees.validate import check_tree
+
+from tests.conftest import make_random_tree
+
+
+class TestCopy:
+    def test_deep_copy_is_isomorphic_and_independent(self, small_tree):
+        duplicate = copy_tree(small_tree)
+        assert duplicate.isomorphic_to(small_tree)
+        assert duplicate is not small_tree
+        duplicate.add_child(duplicate.root, label="new")
+        assert not duplicate.isomorphic_to(small_tree)
+
+    def test_preserves_ids_labels_lengths(self):
+        tree = parse_newick("((a:1,b:2)x:3,c:4);")
+        duplicate = copy_tree(tree)
+        for node in tree.preorder():
+            twin = duplicate.node(node.node_id)
+            assert twin.label == node.label
+            assert twin.length == node.length
+
+    def test_copy_empty(self):
+        from repro.trees.tree import Tree
+
+        assert len(copy_tree(Tree())) == 0
+
+    def test_random_copies_valid(self, rng):
+        for _ in range(10):
+            tree = make_random_tree(rng)
+            check_tree(copy_tree(tree))
+
+
+class TestRelabel:
+    def test_dict_mapping(self, small_tree):
+        result = relabel(small_tree, {"a": "A"})
+        assert "A" in result.labels()
+        assert "a" not in result.labels()
+        # Original untouched.
+        assert "a" in small_tree.labels()
+
+    def test_callable_mapping(self, small_tree):
+        result = relabel(small_tree, str.upper)
+        assert {label for label in result.labels()} == {
+            label.upper() for label in small_tree.labels()
+        }
+
+    def test_missing_drop(self, small_tree):
+        result = relabel(small_tree, {"a": "A"}, missing="drop")
+        assert result.labels() == {"A"}
+
+    def test_missing_error(self, small_tree):
+        with pytest.raises(TreeError, match="no mapping"):
+            relabel(small_tree, {"a": "A"}, missing="error")
+
+    def test_invalid_policy(self, small_tree):
+        with pytest.raises(ValueError):
+            relabel(small_tree, {}, missing="bogus")
+
+
+class TestRestrict:
+    def test_basic_restriction(self):
+        tree = parse_newick("((a,b),((c,d),e));")
+        result = restrict_to_taxa(tree, {"a", "c", "d"})
+        assert result.leaf_labels() == {"a", "c", "d"}
+        check_tree(result)
+
+    def test_suppresses_unary(self):
+        tree = parse_newick("((a,b),((c,d),e));")
+        result = restrict_to_taxa(tree, {"a", "c", "e"})
+        # No internal node should have exactly one child.
+        assert all(node.degree != 1 for node in result.internal_nodes())
+
+    def test_induced_topology(self):
+        tree = parse_newick("((a,b),((c,d),e));")
+        result = restrict_to_taxa(tree, {"c", "d", "e"})
+        expected = parse_newick("((c,d),e);")
+        assert result.isomorphic_to(expected)
+
+    def test_missing_all_taxa_raises(self):
+        tree = parse_newick("(a,b);")
+        with pytest.raises(TreeError):
+            restrict_to_taxa(tree, {"z"})
+
+    def test_restrict_to_single_taxon(self):
+        tree = parse_newick("((a,b),c);")
+        result = restrict_to_taxa(tree, {"c"})
+        assert result.leaf_labels() == {"c"}
+        assert len(result) == 1
+
+    def test_branch_lengths_merge(self):
+        tree = parse_newick("((a:1,b:1):2,c:5);")
+        result = restrict_to_taxa(tree, {"a", "c"})
+        a_leaf = next(n for n in result.leaves() if n.label == "a")
+        assert a_leaf.length == 3.0  # 1 + 2 merged through the unary node
+
+    def test_original_untouched(self):
+        tree = parse_newick("((a,b),c);")
+        before = write_newick(tree)
+        restrict_to_taxa(tree, {"a", "c"})
+        assert write_newick(tree) == before
+
+
+class TestCollapseUnary:
+    def test_chain_collapses(self):
+        tree = parse_newick("(((a)));")
+        collapse_unary(tree)
+        assert len(tree) == 1
+        assert tree.root.label == "a"
+
+    def test_mixed(self):
+        tree = parse_newick("((a,b));")  # unary root above (a,b)
+        suppressed = collapse_unary(tree)
+        assert suppressed == 1
+        assert tree.root.degree == 2
+
+    def test_no_op_on_resolved(self):
+        tree = parse_newick("((a,b),c);")
+        assert collapse_unary(tree) == 0
+        assert len(tree) == 5
+
+
+class TestParentList:
+    def test_round_trip(self):
+        parents = [None, 0, 0, 1, 1]
+        labels = [None, None, "c", "a", "b"]
+        tree = tree_from_parent_list(parents, labels)
+        assert parent_list(tree) == parents
+        assert tree.node(2).label == "c"
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(TreeError, match="exactly one root"):
+            tree_from_parent_list([None, None])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TreeError, match="cycle|unreachable"):
+            tree_from_parent_list([None, 2, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TreeError, match="out of range"):
+            tree_from_parent_list([None, 9])
+
+    def test_parent_list_requires_compact_ids(self):
+        from repro.trees.tree import Tree
+
+        tree = Tree()
+        tree.add_root(node_id=5)
+        with pytest.raises(TreeError, match="compact"):
+            parent_list(tree)

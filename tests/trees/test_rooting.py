@@ -1,0 +1,136 @@
+"""Unit tests for outgroup and midpoint rooting."""
+
+import pytest
+
+from repro.core.freetree import FreeTree
+from repro.errors import TreeError
+from repro.trees.newick import parse_newick
+from repro.trees.rooting import midpoint_root, outgroup_root, reroot_on_edge
+from repro.trees.validate import check_tree
+
+
+class TestRerootOnEdge:
+    def test_same_as_freetree_rooting(self):
+        tree = parse_newick("((a,b),c);")
+        graph = FreeTree.from_rooted(tree)
+        edge = next(iter(graph.edges()))
+        rooted = reroot_on_edge(graph, edge, name="rerooted")
+        check_tree(rooted)
+        assert rooted.name == "rerooted"
+        assert rooted.leaf_labels() >= {"a", "b", "c"}
+
+    def test_accepts_rooted_tree_input(self):
+        tree = parse_newick("((a,b),c);")
+        graph = FreeTree.from_rooted(tree)
+        edge = next(iter(graph.edges()))
+        assert reroot_on_edge(tree, edge).leaf_labels() >= {"a", "b", "c"}
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TreeError, match="expected a Tree or FreeTree"):
+            reroot_on_edge("not a tree", (0, 1))
+
+
+class TestOutgroupRoot:
+    def test_single_outgroup_becomes_root_child(self):
+        tree = parse_newick("((a,b),(c,out));")
+        rooted = outgroup_root(tree, "out")
+        check_tree(rooted)
+        root_child_labels = {child.label for child in rooted.root.children}
+        assert "out" in root_child_labels
+
+    def test_mining_unaffected_by_free_semantics(self):
+        # Rooting changes rooted-miner results by design; unrooting a
+        # rooted result (suppressing the binary root) must recover the
+        # same free tree, hence identical free-tree items.
+        from repro.core.freetree import mine_free_tree
+
+        tree = parse_newick("((a,b),(c,out));")
+        before = mine_free_tree(FreeTree.from_rooted(tree, suppress_root=True))
+        rooted = outgroup_root(tree, "out")
+        after = mine_free_tree(
+            FreeTree.from_rooted(rooted, suppress_root=True)
+        )
+        assert before == after
+
+    def test_clade_outgroup(self):
+        tree = parse_newick("(((o1,o2),a),(b,c));")
+        rooted = outgroup_root(tree, {"o1", "o2"})
+        check_tree(rooted)
+        # One of the root's child subtrees must contain exactly the
+        # outgroup taxa.
+        subtree_taxa = []
+        for child in rooted.root.children:
+            taxa = {
+                node.label
+                for node in rooted.preorder()
+                if node.label is not None
+                and (node is child or rooted.is_ancestor(child, node))
+            }
+            subtree_taxa.append(taxa)
+        assert {"o1", "o2"} in subtree_taxa
+
+    def test_non_clade_outgroup_rejected(self):
+        tree = parse_newick("((a,o1),(b,o2));")
+        with pytest.raises(TreeError, match="not a clade"):
+            outgroup_root(tree, {"o1", "o2"})
+
+    def test_missing_outgroup_rejected(self):
+        tree = parse_newick("(a,b);")
+        with pytest.raises(TreeError, match="not in tree"):
+            outgroup_root(tree, "zzz")
+
+    def test_empty_outgroup_rejected(self):
+        tree = parse_newick("(a,b);")
+        with pytest.raises(TreeError, match="empty outgroup"):
+            outgroup_root(tree, set())
+
+    def test_seed_plants_usage(self):
+        # The dataset's own outgroup taxon works as the rooting anchor.
+        from repro.datasets.seed_plants import seed_plant_trees
+
+        for tree in seed_plant_trees():
+            rooted = outgroup_root(tree, "Outgroup")
+            check_tree(rooted)
+            assert rooted.leaf_labels() == tree.leaf_labels()
+
+
+class TestMidpointRoot:
+    def test_unit_weights_balanced_caterpillar(self):
+        # Path a-b-c-d-e as a free tree: midpoint lands on the central
+        # edge, so both root subtrees have weighted height 2.
+        graph = FreeTree()
+        ids = [graph.add_node(label) for label in "abcde"]
+        for first, second in zip(ids, ids[1:]):
+            graph.add_edge(first, second)
+        rooted = midpoint_root(graph)
+        check_tree(rooted)
+        depths = {
+            node.label: rooted.depth(node)
+            for node in rooted.preorder()
+            if node.label
+        }
+        assert abs(depths["a"] - depths["e"]) <= 1
+
+    def test_branch_lengths_respected(self):
+        # One long pendant edge pulls the midpoint onto it.
+        tree = parse_newick("((a:1,b:1):1,c:10);")
+        rooted = midpoint_root(tree)
+        check_tree(rooted)
+        # c hangs directly off the new root (its edge contains the
+        # midpoint of the 12-unit a..c path).
+        root_child_labels = {child.label for child in rooted.root.children}
+        assert "c" in root_child_labels
+
+    def test_single_node(self):
+        graph = FreeTree()
+        graph.add_node("only")
+        rooted = midpoint_root(graph)
+        assert len(rooted) == 1
+
+    def test_taxa_preserved(self, rng):
+        from repro.generate.phylo import yule_tree
+
+        tree = yule_tree(9, rng)
+        rooted = midpoint_root(tree)
+        check_tree(rooted)
+        assert rooted.leaf_labels() == tree.leaf_labels()

@@ -1,0 +1,126 @@
+"""Unit tests for TreeIndex (the paper's preprocessing step)."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees.newick import parse_newick
+from repro.trees.traversal import TreeIndex
+from repro.trees.tree import Tree
+
+from tests.conftest import make_random_tree
+
+
+class TestDepths:
+    def test_matches_tree_depth(self, small_tree):
+        index = TreeIndex(small_tree)
+        for node in small_tree.preorder():
+            assert index.depth(node) == small_tree.depth(node)
+
+    def test_root_depth_zero(self, small_tree):
+        assert TreeIndex(small_tree).depth(small_tree.root) == 0
+
+
+class TestAncestry:
+    def test_is_ancestor_matches_slow_path(self, rng):
+        for _ in range(10):
+            tree = make_random_tree(rng, max_size=25)
+            index = TreeIndex(tree)
+            nodes = list(tree.preorder())
+            for first in nodes:
+                for second in nodes:
+                    assert index.is_ancestor(first, second) == tree.is_ancestor(
+                        first, second
+                    )
+
+    def test_ancestors_list(self, caterpillar):
+        index = TreeIndex(caterpillar)
+        deepest = max(caterpillar.preorder(), key=caterpillar.depth)
+        ancestors = index.ancestors(deepest)
+        assert len(ancestors) == caterpillar.depth(deepest)
+        assert ancestors[-1] is caterpillar.root
+        assert ancestors[0] is deepest.parent
+
+    def test_ancestors_of_root_empty(self, small_tree):
+        assert TreeIndex(small_tree).ancestors(small_tree.root) == ()
+
+    def test_ancestor_at(self, caterpillar):
+        index = TreeIndex(caterpillar)
+        deepest = max(caterpillar.preorder(), key=caterpillar.depth)
+        assert index.ancestor_at(deepest, 1) is deepest.parent
+        depth = caterpillar.depth(deepest)
+        assert index.ancestor_at(deepest, depth) is caterpillar.root
+        assert index.ancestor_at(deepest, depth + 1) is None
+
+    def test_ancestor_at_requires_positive(self, small_tree):
+        index = TreeIndex(small_tree)
+        with pytest.raises(ValueError):
+            index.ancestor_at(small_tree.root, 0)
+
+
+class TestLca:
+    def test_matches_tree_lca(self, rng):
+        for _ in range(10):
+            tree = make_random_tree(rng, max_size=25)
+            index = TreeIndex(tree)
+            nodes = list(tree.preorder())
+            for first in nodes:
+                for second in nodes:
+                    assert index.lca(first, second) is tree.lca(first, second)
+
+    def test_lca_self(self, small_tree):
+        index = TreeIndex(small_tree)
+        node = small_tree.root.children[0]
+        assert index.lca(node, node) is node
+
+
+class TestDescendants:
+    def test_descendants_at_depth_zero_is_self(self, small_tree):
+        index = TreeIndex(small_tree)
+        assert list(index.descendants_at_depth(small_tree.root, 0)) == [
+            small_tree.root
+        ]
+
+    def test_descendants_at_depth_matches_depths(self, rng):
+        for _ in range(5):
+            tree = make_random_tree(rng, max_size=30)
+            index = TreeIndex(tree)
+            for k in range(4):
+                found = {
+                    node.node_id
+                    for node in index.descendants_at_depth(tree.root, k)
+                }
+                expected = {
+                    node.node_id
+                    for node in tree.preorder()
+                    if tree.depth(node) == k
+                }
+                assert found == expected
+
+    def test_negative_depth_rejected(self, small_tree):
+        index = TreeIndex(small_tree)
+        with pytest.raises(ValueError):
+            list(index.descendants_at_depth(small_tree.root, -1))
+
+    def test_subtree_nodes(self, small_tree):
+        index = TreeIndex(small_tree)
+        child = small_tree.root.children[0]
+        subtree_ids = {node.node_id for node in index.subtree_nodes(child)}
+        expected = {child.node_id} | {
+            node.node_id
+            for node in small_tree.preorder()
+            if small_tree.is_ancestor(child, node)
+        }
+        assert subtree_ids == expected
+
+
+class TestStaleness:
+    def test_mutation_invalidates(self):
+        tree = parse_newick("(a,b);")
+        index = TreeIndex(tree)
+        tree.add_child(tree.root, label="c")
+        with pytest.raises(TreeError, match="mutated"):
+            index.depth(tree.root)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(TreeError, match="empty"):
+            TreeIndex(Tree())

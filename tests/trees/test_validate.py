@@ -1,0 +1,69 @@
+"""Unit tests for structural invariant checks."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees.newick import parse_newick
+from repro.trees.tree import Tree
+from repro.trees.validate import (
+    assert_same_taxa,
+    check_tree,
+    is_binary,
+    is_leaf_labeled,
+)
+
+from tests.conftest import make_random_tree
+
+
+class TestCheckTree:
+    def test_valid_trees_pass(self, rng):
+        for _ in range(20):
+            check_tree(make_random_tree(rng))
+
+    def test_empty_tree_passes(self):
+        check_tree(Tree())
+
+    def test_corrupted_parent_pointer_detected(self):
+        tree = parse_newick("((a,b),c);")
+        child = tree.root.children[0]
+        # Corrupt: break the back-pointer.
+        child.children[0]._parent = tree.root
+        with pytest.raises(TreeError, match="point back"):
+            check_tree(tree)
+
+    def test_generated_trees_pass(self, rng):
+        from repro.generate.treebase import synthetic_study
+
+        study = synthetic_study(
+            "S0", [f"t{i}" for i in range(30)], num_trees=3,
+            min_nodes=10, max_nodes=30, rng=rng,
+        )
+        for tree in study.trees:
+            check_tree(tree)
+
+
+class TestShapePredicates:
+    def test_is_binary(self):
+        assert is_binary(parse_newick("((a,b),(c,d));"))
+        assert not is_binary(parse_newick("(a,b,c);"))
+        assert is_binary(parse_newick("a;"))  # no internal nodes
+
+    def test_is_leaf_labeled(self):
+        assert is_leaf_labeled(parse_newick("((a,b),c);"))
+        assert not is_leaf_labeled(parse_newick("((a,),c);"))  # unlabeled leaf
+        assert not is_leaf_labeled(parse_newick("((a,a),c);"))  # duplicate
+
+
+class TestAssertSameTaxa:
+    def test_agreeing_profiles(self):
+        trees = [parse_newick("((a,b),c);"), parse_newick("(a,(b,c));")]
+        assert assert_same_taxa(trees) == {"a", "b", "c"}
+
+    def test_disagreeing_profiles(self):
+        trees = [parse_newick("((a,b),c);"), parse_newick("(a,(b,d));")]
+        with pytest.raises(TreeError, match="differ"):
+            assert_same_taxa(trees)
+
+    def test_empty_input(self):
+        with pytest.raises(TreeError, match="no trees"):
+            assert_same_taxa([])
