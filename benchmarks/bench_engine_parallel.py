@@ -1,0 +1,110 @@
+"""Engine benchmark: parallel fan-out and cache speedup (BENCH_engine.json).
+
+Runs ``Multiple_Tree_Mining`` over a Figure-6-style synthetic forest
+three ways — the serial reference, a ``MiningEngine`` with ``jobs=4``,
+and a cached engine mined cold then warm — and records wall times plus
+the derived speedups in ``BENCH_engine.json`` at the repository root.
+
+The parallel gate (>= 1.5x over serial at jobs=4) is only asserted
+when the hardware can express it (4+ CPUs); on smaller machines the
+JSON documents the cap instead (``hardware_capped: true`` with the
+measured CPU count), as a 1-core container can never beat serial with
+process fan-out.  The cache gate always applies: a warm second pass
+over the same forest must be at least 2x faster than the cold pass.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import random
+from pathlib import Path
+
+from benchmarks.conftest import wall_time
+from repro.core.multi_tree import mine_forest
+from repro.engine import MiningEngine
+from repro.generate.random_trees import SyntheticTreeParams, synthetic_forest
+
+COUNT = 600
+TREESIZE = 50  # Table 3's 200 scaled down, matching bench_fig6
+JOBS = 4
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def make_corpus(count: int = COUNT) -> list:
+    params = SyntheticTreeParams(
+        treesize=TREESIZE, databasesize=count, fanout=5, alphabetsize=200
+    )
+    return synthetic_forest(params, random.Random(4200 + count))
+
+
+def strict(patterns):
+    return [
+        (p.label_a, p.label_b, p.distance, p.support, p.tree_indexes,
+         p.total_occurrences)
+        for p in patterns
+    ]
+
+
+def test_engine_parallel_and_cache_speedup(benchmark, print_rows):
+    corpus = make_corpus()
+    cpus = multiprocessing.cpu_count()
+
+    def sweep() -> dict:
+        reference, serial_seconds = wall_time(mine_forest, corpus)
+
+        parallel_engine = MiningEngine(jobs=JOBS, min_parallel_trees=1)
+        parallel, parallel_seconds = wall_time(
+            parallel_engine.mine_forest, corpus
+        )
+        assert strict(parallel) == strict(reference)
+
+        cached_engine = MiningEngine()
+        cold, cache_cold_seconds = wall_time(cached_engine.mine_forest, corpus)
+        warm, cache_warm_seconds = wall_time(cached_engine.mine_forest, corpus)
+        assert strict(cold) == strict(reference)
+        assert strict(warm) == strict(reference)
+        assert cached_engine.stats.misses <= len(corpus)
+
+        hardware_capped = cpus < JOBS
+        return {
+            "corpus": {"trees": COUNT, "treesize": TREESIZE, "fanout": 5,
+                       "alphabetsize": 200},
+            "cpu_count": cpus,
+            "jobs": JOBS,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "parallel_speedup": serial_seconds / parallel_seconds,
+            "cache_cold_seconds": cache_cold_seconds,
+            "cache_warm_seconds": cache_warm_seconds,
+            "cache_speedup": cache_cold_seconds / max(cache_warm_seconds, 1e-9),
+            "hardware_capped": hardware_capped,
+            "note": (
+                f"only {cpus} CPU(s) visible: process fan-out at jobs={JOBS} "
+                "cannot beat serial on this machine, so the >=1.5x parallel "
+                "gate is documented rather than asserted"
+            ) if hardware_capped else "parallel gate asserted at >=1.5x",
+        }
+
+    payload = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print_rows(
+        "Engine — serial vs parallel vs cached (BENCH_engine.json)",
+        [
+            f"cpus {payload['cpu_count']}, jobs {payload['jobs']}",
+            f"serial:        {payload['serial_seconds']:.3f}s",
+            f"parallel:      {payload['parallel_seconds']:.3f}s "
+            f"({payload['parallel_speedup']:.2f}x)",
+            f"cache cold:    {payload['cache_cold_seconds']:.3f}s",
+            f"cache warm:    {payload['cache_warm_seconds']:.3f}s "
+            f"({payload['cache_speedup']:.1f}x)",
+            f"hardware capped: {payload['hardware_capped']}",
+        ],
+    )
+
+    # Cache gate: a warm pass never re-mines, so it must be far faster.
+    assert payload["cache_speedup"] >= 2.0, payload
+    # Parallel gate: only enforceable when the CPUs exist to win it.
+    if not payload["hardware_capped"]:
+        assert payload["parallel_speedup"] >= 1.5, payload

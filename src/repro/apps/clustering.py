@@ -21,10 +21,13 @@ distance (Section 5.3):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.distance import DistanceMode, distance_matrix
 from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import MiningEngine
 
 __all__ = ["ClusteringResult", "cluster_trees", "cluster_consensus"]
 
@@ -81,6 +84,7 @@ def cluster_trees(
     linkage: str = "average",
     maxdist: float = 1.5,
     minoccur: int = 1,
+    engine: "MiningEngine | None" = None,
 ) -> ClusteringResult:
     """Agglomerative clustering of trees under the cousin distance.
 
@@ -94,6 +98,10 @@ def cluster_trees(
         Forwarded to the cousin-based distance.
     linkage:
         ``"single"``, ``"complete"`` or ``"average"`` (default).
+    engine:
+        Optional :class:`repro.engine.MiningEngine` for the distance
+        matrix's per-tree mining (parallel + cached, identical
+        output).
     """
     if linkage not in _LINKAGES:
         raise ValueError(f"linkage must be one of {_LINKAGES}, got {linkage!r}")
@@ -102,7 +110,7 @@ def cluster_trees(
             f"k must be between 1 and {len(trees)}, got {k}"
         )
     matrix = distance_matrix(
-        trees, mode=mode, maxdist=maxdist, minoccur=minoccur
+        trees, mode=mode, maxdist=maxdist, minoccur=minoccur, engine=engine
     )
     clusters: list[list[int]] = [[position] for position in range(len(trees))]
     while len(clusters) > k:
@@ -146,6 +154,7 @@ def cluster_consensus(
     method: str = "majority",
     mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
     linkage: str = "average",
+    engine: "MiningEngine | None" = None,
 ) -> list[Tree]:
     """Cluster same-taxa trees, then build one consensus per cluster.
 
@@ -161,7 +170,7 @@ def cluster_consensus(
     """
     from repro.consensus.base import consensus
 
-    result = cluster_trees(trees, k, mode=mode, linkage=linkage)
+    result = cluster_trees(trees, k, mode=mode, linkage=linkage, engine=engine)
     return [
         consensus([trees[member] for member in cluster], method=method)
         for cluster in result.clusters

@@ -12,12 +12,15 @@ Figure 8 renders as highlights on the tree drawings).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.cousins import CousinPair, kinship_name
 from repro.core.multi_tree import FrequentCousinPair, mine_forest
 from repro.core.single_tree import enumerate_cousin_pairs
 from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import MiningEngine
 
 __all__ = ["CooccurrenceReport", "find_cooccurring_patterns"]
 
@@ -72,13 +75,15 @@ def find_cooccurring_patterns(
     minsup: int = 2,
     ignore_distance: bool = False,
     max_generation_gap: int = 1,
+    engine: "MiningEngine | None" = None,
 ) -> CooccurrenceReport:
     """Mine a group of phylogenies for co-occurring cousin pairs.
 
     Parameters mirror :func:`repro.core.multi_tree.mine_forest`
     (defaults are the paper's Table 2 values).  The report attaches,
     for every frequent pattern, the concrete node-id occurrences per
-    supporting tree.
+    supporting tree.  An ``engine`` routes the mining phase through
+    :class:`repro.engine.MiningEngine` with identical output.
     """
     trees = list(trees)
     patterns = mine_forest(
@@ -88,6 +93,7 @@ def find_cooccurring_patterns(
         minsup=minsup,
         ignore_distance=ignore_distance,
         max_generation_gap=max_generation_gap,
+        engine=engine,
     )
     # Enumerate concrete pairs once per tree, then attribute them.
     per_tree_pairs: list[list[CousinPair]] = [

@@ -73,6 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="optional horizontal limit: levels below "
                             "the LCA for the shallower cousin")
 
+    def add_engine_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for per-tree mining "
+                            "(default 1 = serial)")
+        p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       help="directory for the persistent pair-set "
+                            "cache (reused across runs)")
+        p.add_argument("--engine-stats", action="store_true",
+                       dest="engine_stats",
+                       help="print cache and parallelism statistics "
+                            "to stderr")
+
     p_mine = sub.add_parser("mine", help="mine cousin pair items of each tree")
     p_mine.add_argument("file", help="Newick file (one or more trees)")
     add_mining_args(p_mine)
@@ -93,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_freq.add_argument("--format", default="text",
                         choices=["text", "json"],
                         help="output format (default text)")
+    add_engine_args(p_freq)
 
     p_sup = sub.add_parser("support", help="support of one label pair")
     p_sup.add_argument("file")
@@ -121,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_kern.add_argument("--mode", default="dist_occur",
                         choices=[mode.value for mode in DistanceMode])
     add_mining_args(p_kern)
+    add_engine_args(p_kern)
 
     p_rank = sub.add_parser(
         "treerank", help="rank database trees against a query (UpDown)"
@@ -140,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["single", "complete", "average"])
     p_clust.add_argument("--mode", default="dist_occur",
                          choices=[mode.value for mode in DistanceMode])
+    add_engine_args(p_clust)
 
     p_super = sub.add_parser(
         "supertree", help="assemble a supertree from overlapping trees"
@@ -164,8 +179,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--minsup", type=int, default=2)
     p_report.add_argument("--patterns", type=int, default=2,
                           help="how many top patterns to mark (default 2)")
+    add_engine_args(p_report)
 
     return parser
+
+
+def _make_engine(args: argparse.Namespace):
+    """Build the MiningEngine the engine-enabled subcommands share."""
+    from repro.engine import MiningEngine
+
+    return MiningEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
+def _report_engine_stats(engine, args: argparse.Namespace) -> None:
+    if args.engine_stats:
+        print(engine.stats.describe(), file=sys.stderr)
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -214,6 +242,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 def _cmd_frequent(args: argparse.Namespace) -> int:
     trees = load_trees(args.file)
+    engine = _make_engine(args)
     patterns = mine_forest(
         trees,
         maxdist=args.maxdist,
@@ -222,7 +251,9 @@ def _cmd_frequent(args: argparse.Namespace) -> int:
         ignore_distance=args.ignore_distance,
         max_generation_gap=args.gap,
         max_height=args.max_height,
+        engine=engine,
     )
+    _report_engine_stats(engine, args)
     if args.format == "json":
         from repro.io import patterns_to_json
 
@@ -283,13 +314,16 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
         print("kernel needs at least two group files", file=sys.stderr)
         return 2
     groups = [load_trees(path) for path in args.files]
+    engine = _make_engine(args)
     result = find_kernel_trees(
         groups,
         mode=args.mode,
         maxdist=args.maxdist,
         minoccur=args.minoccur,
         max_generation_gap=args.gap,
+        engine=engine,
     )
+    _report_engine_stats(engine, args)
     print(f"# average pairwise distance: {result.average_distance:.6f}")
     for path, index, tree in zip(args.files, result.indexes, result.trees):
         name = tree.name or f"tree {index}"
@@ -314,9 +348,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.apps.clustering import cluster_trees
 
     trees = load_trees(args.file)
+    engine = _make_engine(args)
     result = cluster_trees(
-        trees, args.k, mode=args.mode, linkage=args.linkage
+        trees, args.k, mode=args.mode, linkage=args.linkage, engine=engine
     )
+    _report_engine_stats(engine, args)
     for index, (cluster, medoid) in enumerate(
         zip(result.clusters, result.medoids)
     ):
@@ -363,13 +399,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.trees.drawing import render_pattern_report
 
     trees = load_trees(args.file)
+    engine = _make_engine(args)
     report = find_cooccurring_patterns(
         trees,
         maxdist=args.maxdist,
         minoccur=args.minoccur,
         minsup=args.minsup,
         max_generation_gap=args.gap,
+        engine=engine,
     )
+    _report_engine_stats(engine, args)
     print(render_pattern_report(report, max_patterns=args.patterns))
     return 0
 

@@ -25,10 +25,13 @@ COMPONENT tool's measures), these distances are defined for trees with
 from __future__ import annotations
 
 import enum
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.pairset import CousinPairSet
 from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import MiningEngine
 
 __all__ = ["DistanceMode", "tree_distance", "pairset_distance", "distance_matrix"]
 
@@ -128,21 +131,32 @@ def distance_matrix(
     maxdist: float = 1.5,
     minoccur: int = 1,
     max_generation_gap: int = 1,
+    engine: "MiningEngine | None" = None,
 ) -> list[list[float]]:
     """All pairwise distances; each tree is mined exactly once.
 
     Returns a symmetric ``len(trees) x len(trees)`` nested list with a
-    zero diagonal.
+    zero diagonal.  With an ``engine``, pair-set construction runs
+    through :class:`repro.engine.MiningEngine` (parallel + cached)
+    with identical output.
     """
-    pair_sets = [
-        CousinPairSet.from_tree(
-            tree,
+    if engine is not None:
+        pair_sets = engine.pair_sets(
+            trees,
             maxdist=maxdist,
             minoccur=minoccur,
             max_generation_gap=max_generation_gap,
         )
-        for tree in trees
-    ]
+    else:
+        pair_sets = [
+            CousinPairSet.from_tree(
+                tree,
+                maxdist=maxdist,
+                minoccur=minoccur,
+                max_generation_gap=max_generation_gap,
+            )
+            for tree in trees
+        ]
     size = len(pair_sets)
     matrix = [[0.0] * size for _ in range(size)]
     for i in range(size):

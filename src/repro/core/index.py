@@ -21,13 +21,16 @@ from __future__ import annotations
 
 import heapq
 from collections import Counter, defaultdict
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.core.cousins import ANY, CousinPairItem
 from repro.core.multi_tree import FrequentCousinPair
 from repro.core.params import MiningParams
 from repro.core.single_tree import mine_tree
 from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import MiningEngine
 
 __all__ = ["CousinPairIndex"]
 
@@ -83,29 +86,53 @@ class CousinPairIndex:
         minoccur: int = 1,
         max_generation_gap: int = 1,
         max_height: int | None = None,
+        engine: "MiningEngine | None" = None,
     ) -> "CousinPairIndex":
-        """Index a whole forest at once."""
+        """Index a whole forest at once.
+
+        With an ``engine``, the per-tree mining runs through
+        :class:`repro.engine.MiningEngine` (parallel + cached) and the
+        pre-mined items are folded in; the resulting index is
+        identical to the serial build.
+        """
         index = cls(
             maxdist=maxdist,
             minoccur=minoccur,
             max_generation_gap=max_generation_gap,
             max_height=max_height,
         )
-        for tree in trees:
-            index.add_tree(tree)
+        if engine is not None:
+            per_tree = engine.items(
+                trees,
+                maxdist=maxdist,
+                minoccur=minoccur,
+                max_generation_gap=max_generation_gap,
+                max_height=max_height,
+            )
+            for tree, items in zip(trees, per_tree):
+                index.add_tree(tree, items=items)
+        else:
+            for tree in trees:
+                index.add_tree(tree)
         return index
 
-    def add_tree(self, tree: Tree) -> int:
-        """Mine one tree and fold its items in; returns its position."""
+    def add_tree(self, tree: Tree, items: list[CousinPairItem] | None = None) -> int:
+        """Mine one tree and fold its items in; returns its position.
+
+        ``items`` short-circuits the mining with a pre-computed item
+        list (it must equal ``mine_tree`` output at the index's
+        parameters — the engine build path guarantees this).
+        """
         position = len(self._tree_names)
         self._tree_names.append(tree.name)
-        items = mine_tree(
-            tree,
-            maxdist=self._params.maxdist,
-            minoccur=self._params.minoccur,
-            max_generation_gap=self._params.max_generation_gap,
-            max_height=self._params.max_height,
-        )
+        if items is None:
+            items = mine_tree(
+                tree,
+                maxdist=self._params.maxdist,
+                minoccur=self._params.minoccur,
+                max_generation_gap=self._params.max_generation_gap,
+                max_height=self._params.max_height,
+            )
         seen_label_pairs: set[tuple[str, str]] = set()
         for item in items:
             self._postings[item.key].append(position)

@@ -18,11 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.distance import DistanceMode, pairset_distance
 from repro.core.pairset import CousinPairSet
 from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import MiningEngine
 
 __all__ = ["KernelResult", "find_kernel_trees"]
 
@@ -58,6 +61,7 @@ def find_kernel_trees(
     maxdist: float = 1.5,
     minoccur: int = 1,
     max_generation_gap: int = 1,
+    engine: "MiningEngine | None" = None,
 ) -> KernelResult:
     """Select one kernel tree per group minimising average distance.
 
@@ -69,6 +73,11 @@ def find_kernel_trees(
     mode:
         Which cousin-based distance variant to use; the paper uses the
         full ``DIST_OCCUR`` variant.
+    engine:
+        Optional :class:`repro.engine.MiningEngine`.  Pair-set
+        construction (the dominant cost for Figure 10) then runs
+        parallel and cached — duplicate trees across groups are mined
+        exactly once — with identical selection output.
 
     Raises
     ------
@@ -82,18 +91,32 @@ def find_kernel_trees(
             raise ValueError(f"group {position} is empty")
 
     # Mine every tree once.
-    pair_sets: list[list[CousinPairSet]] = [
-        [
-            CousinPairSet.from_tree(
-                tree,
-                maxdist=maxdist,
-                minoccur=minoccur,
-                max_generation_gap=max_generation_gap,
-            )
-            for tree in group
+    if engine is not None:
+        flat = [tree for group in groups for tree in group]
+        flat_sets = engine.pair_sets(
+            flat,
+            maxdist=maxdist,
+            minoccur=minoccur,
+            max_generation_gap=max_generation_gap,
+        )
+        pair_sets = []
+        cursor = 0
+        for group in groups:
+            pair_sets.append(flat_sets[cursor : cursor + len(group)])
+            cursor += len(group)
+    else:
+        pair_sets = [
+            [
+                CousinPairSet.from_tree(
+                    tree,
+                    maxdist=maxdist,
+                    minoccur=minoccur,
+                    max_generation_gap=max_generation_gap,
+                )
+                for tree in group
+            ]
+            for group in groups
         ]
-        for group in groups
-    ]
 
     # Cross-group pairwise distances: distances[(gi, gj)][ti][tj].
     distances: dict[tuple[int, int], list[list[float]]] = {}

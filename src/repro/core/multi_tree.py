@@ -16,12 +16,15 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.cousins import CousinPairItem
 from repro.core.params import MiningParams
 from repro.core.single_tree import mine_tree
 from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import MiningEngine
 
 __all__ = ["FrequentCousinPair", "mine_forest", "support", "forest_pair_items"]
 
@@ -73,8 +76,22 @@ def forest_pair_items(
     minoccur: int = 1,
     max_generation_gap: int = 1,
     max_height: int | None = None,
+    engine: "MiningEngine | None" = None,
 ) -> list[list[CousinPairItem]]:
-    """Per-tree qualifying cousin pair items (the first mining phase)."""
+    """Per-tree qualifying cousin pair items (the first mining phase).
+
+    With an ``engine``, the per-tree passes run through
+    :class:`repro.engine.MiningEngine` (parallel workers, cached
+    counters); the output is identical either way.
+    """
+    if engine is not None:
+        return engine.items(
+            trees,
+            maxdist=maxdist,
+            minoccur=minoccur,
+            max_generation_gap=max_generation_gap,
+            max_height=max_height,
+        )
     return [
         mine_tree(
             tree,
@@ -95,6 +112,7 @@ def mine_forest(
     ignore_distance: bool = False,
     max_generation_gap: int = 1,
     max_height: int | None = None,
+    engine: "MiningEngine | None" = None,
 ) -> list[FrequentCousinPair]:
     """Find all frequent cousin pairs in a database of trees.
 
@@ -114,6 +132,11 @@ def mine_forest(
     max_height:
         Optional horizontal limit forwarded to the single-tree miner
         (see :class:`repro.core.params.MiningParams`).
+    engine:
+        Optional :class:`repro.engine.MiningEngine`; when given, the
+        per-tree mining phase runs through its process pool and cache.
+        Results are identical to the serial path (enforced by the
+        equivalence suite in ``tests/engine``).
 
     Returns
     -------
@@ -136,6 +159,7 @@ def mine_forest(
         minoccur=1 if ignore_distance else params.minoccur,
         max_generation_gap=params.max_generation_gap,
         max_height=params.max_height,
+        engine=engine,
     )
 
     supporters: dict[tuple, list[int]] = defaultdict(list)

@@ -1,0 +1,21 @@
+"""Parallel + cached execution of per-tree cousin-pair mining.
+
+The engine is the seam between the paper's algorithms (pure functions
+over one tree) and production concerns (fan-out across processes,
+memoisation across repeated distance computations, observability).
+See :mod:`repro.engine.engine` for the execution model,
+:mod:`repro.engine.cache` for the content-address scheme and
+``docs/engine.md`` for the architecture overview.
+"""
+
+from repro.engine.cache import PairSetCache, cache_key, tree_fingerprint
+from repro.engine.engine import MiningEngine
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "MiningEngine",
+    "PairSetCache",
+    "EngineStats",
+    "cache_key",
+    "tree_fingerprint",
+]

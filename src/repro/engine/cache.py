@@ -1,0 +1,202 @@
+"""Content-addressed caching of per-tree mining results.
+
+The unit of work the engine memoises is one call to
+:func:`repro.core.single_tree.mine_tree_counter` — the raw
+``(label_a, label_b, distance) -> occurrences`` counter of one tree.
+Everything downstream (``mine_tree`` items, :class:`CousinPairSet`
+algebra, forest support counting) is a cheap projection of that
+counter, so caching at this level serves every consumer at once.
+
+Cache keys are *content addresses*: a SHA-256 over
+
+- a key-scheme version tag (bump it when the counter semantics change),
+- the mining parameters that influence the counter — ``maxdist``,
+  ``max_generation_gap`` and ``max_height`` (``minoccur`` and
+  ``minsup`` are post-filters and deliberately excluded, so one cached
+  counter serves every threshold), and
+- the tree's canonical form (:meth:`repro.trees.tree.Tree.canonical_form`
+  semantics, serialised iteratively so arbitrarily deep trees are safe).
+
+Two layers back the address space: a bounded in-process LRU
+(``OrderedDict``) and an optional on-disk layer (one pickle file per
+key, fanned out over 256 subdirectories, written atomically via
+``os.replace``).  Corrupt or unreadable disk entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import Counter, OrderedDict
+
+from repro.core.params import MiningParams
+from repro.errors import EngineError
+from repro.trees.tree import Tree
+
+__all__ = ["tree_fingerprint", "cache_key", "PairSetCache"]
+
+_KEY_SCHEME = "cpi-counter/v1"
+
+# Separators chosen below "\x00" .. label bytes so no label content can
+# forge a boundary: labels are arbitrary strings, so each is wrapped in
+# a length prefix instead of relying on forbidden characters.
+
+
+def tree_fingerprint(tree: Tree) -> str:
+    """A canonical-form string: equal iff the trees are isomorphic.
+
+    Matches the equivalence of :meth:`Tree.canonical_form` (rooted,
+    unordered, labeled; ids and branch lengths ignored) but is built as
+    a flat string bottom-up, so hashing never recurses into nested
+    tuples.  Labels are length-prefixed, which keeps the encoding
+    injective whatever characters a label contains.
+    """
+    root = tree.root
+    if root is None:
+        return "empty"
+    forms: dict[int, str] = {}
+    for node in tree.postorder():
+        child_forms = sorted(forms.pop(child.node_id) for child in node.children)
+        if node.label is None:
+            label_key = "-"
+        else:
+            label_key = f"{len(node.label)}:{node.label}"
+        forms[node.node_id] = "(" + label_key + "".join(child_forms) + ")"
+    return forms[root.node_id]
+
+
+def cache_key(tree: Tree, params: MiningParams) -> str:
+    """The content address of one (tree, parameters) mining result."""
+    payload = "\n".join(
+        [
+            _KEY_SCHEME,
+            f"maxdist={float(params.maxdist)!r}",
+            f"gap={int(params.max_generation_gap)!r}",
+            f"height={params.max_height!r}",
+            tree_fingerprint(tree),
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PairSetCache:
+    """Two-layer (LRU memory + optional disk) counter cache.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the in-process LRU layer; ``0`` disables it,
+        ``None`` makes it unbounded.
+    cache_dir:
+        Directory for the persistent layer, created on demand; ``None``
+        (the default) keeps the cache purely in-process.
+    """
+
+    def __init__(
+        self,
+        max_entries: int | None = 4096,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 0:
+            raise EngineError(
+                f"max_entries must be >= 0 or None, got {max_entries!r}"
+            )
+        self.max_entries = max_entries
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        self._lru: OrderedDict[str, Counter] = OrderedDict()
+        if self.cache_dir is not None:
+            try:
+                os.makedirs(self.cache_dir, exist_ok=True)
+            except OSError as error:
+                raise EngineError(
+                    f"cannot create cache directory {self.cache_dir!r}: {error}"
+                ) from error
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> tuple[str, Counter] | None:
+        """Return ``(layer, counter)`` — layer ``"memory"`` or ``"disk"``
+        — or ``None`` on a miss.  A disk hit is promoted into memory."""
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return ("memory", self._lru[key])
+        if self.cache_dir is not None:
+            counter = self._disk_read(key)
+            if counter is not None:
+                self._memory_put(key, counter)
+                return ("disk", counter)
+        return None
+
+    def put(self, key: str, counter: Counter) -> None:
+        """Store a counter in every enabled layer."""
+        self._memory_put(key, counter)
+        if self.cache_dir is not None:
+            self._disk_write(key, counter)
+
+    def clear(self) -> None:
+        """Drop the memory layer (disk entries are left untouched)."""
+        self._lru.clear()
+
+    def __len__(self) -> int:
+        """Entries currently held in the memory layer."""
+        return len(self._lru)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._lru
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f", dir={self.cache_dir!r}" if self.cache_dir else ""
+        return f"PairSetCache({len(self._lru)} in memory{where})"
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+    def _memory_put(self, key: str, counter: Counter) -> None:
+        if self.max_entries == 0:
+            return
+        self._lru[key] = counter
+        self._lru.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._lru) > self.max_entries:
+                self._lru.popitem(last=False)
+
+    def _disk_path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, key[:2], key + ".pkl")
+
+    def _disk_read(self, key: str) -> Counter | None:
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Missing, truncated or corrupt entry: treat as a miss.
+            return None
+        if not isinstance(payload, Counter):
+            return None
+        return payload
+
+    def _disk_write(self, key: str, counter: Counter) -> None:
+        path = self._disk_path(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(handle, "wb") as stream:
+                    pickle.dump(counter, stream, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full disk never fails the mining run; the
+            # result simply stays uncached.
+            pass

@@ -1,0 +1,355 @@
+"""The parallel + cached mining engine.
+
+``Multiple_Tree_Mining`` and every Section 5 application reduce to the
+same hot inner step: compute one tree's cousin-pair counter
+(:func:`repro.core.single_tree.mine_tree_counter`).  Those per-tree
+passes are independent — the paper's ``O(k * n^2)`` bound is a sum of
+``k`` unrelated ``O(n^2)`` terms — which makes the forest loop
+embarrassingly parallel, and the §5.3 distance applications recompute
+identical pair sets for every pairwise comparison, which makes it
+memoisable.
+
+:class:`MiningEngine` packages both optimisations behind one object:
+
+- per-tree counters are looked up in a content-addressed
+  :class:`repro.engine.cache.PairSetCache` (in-process LRU plus an
+  optional persistent directory);
+- cache misses are mined either serially or fanned out to a
+  ``concurrent.futures.ProcessPoolExecutor`` in deterministic chunks
+  (small inputs always stay serial — process startup would dominate);
+- duplicate trees inside one batch are mined once and re-served;
+- every batch updates an :class:`repro.engine.stats.EngineStats`.
+
+Results are *bit-identical* to the serial reference paths regardless
+of worker count or cache temperature: misses are reassembled by
+content address, not by completion order, and the mined counters are
+deterministic.  ``tests/engine`` and
+``tests/property/test_prop_engine.py`` enforce this equivalence.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import Counter, OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.core.cousins import CousinPairItem
+from repro.core.pairset import CousinPairSet
+from repro.core.params import MiningParams
+from repro.core.single_tree import mine_tree_counter
+from repro.engine.cache import PairSetCache, cache_key
+from repro.engine.stats import EngineStats
+from repro.errors import EngineError
+from repro.trees.tree import Tree
+
+__all__ = ["MiningEngine"]
+
+_PENDING = object()
+
+
+def _mine_chunk(
+    payload: tuple[list[tuple[str, Tree]], tuple[float, int, int | None]],
+) -> list[tuple[str, Counter]]:
+    """Worker task: mine one chunk of (key, tree) pairs.
+
+    Module-level so it pickles; trees travel as flat parent arrays
+    (see :meth:`repro.trees.tree.Tree.__getstate__`).
+    """
+    chunk, (maxdist, gap, max_height) = payload
+    return [
+        (key, mine_tree_counter(tree, maxdist, gap, max_height))
+        for key, tree in chunk
+    ]
+
+
+class MiningEngine:
+    """Runs per-tree mining across forests, in parallel and cached.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cache misses.  ``1`` (the default) mines
+        serially in-process; values above 1 enable the process pool.
+    cache:
+        An explicit :class:`PairSetCache` to share between engines;
+        mutually exclusive with ``cache_size``/``cache_dir``.
+    cache_size:
+        Capacity of the in-process LRU layer (``0`` disables it,
+        ``None`` unbounded).
+    cache_dir:
+        Optional directory for the persistent cache layer.
+    min_parallel_trees:
+        Smallest number of *misses* in a batch worth a process pool;
+        below it the engine mines serially even when ``jobs > 1``.
+    chunks_per_job:
+        Task granularity: misses are split into about
+        ``jobs * chunks_per_job`` chunks so stragglers rebalance.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: PairSetCache | None = None,
+        cache_size: int | None = 4096,
+        cache_dir: str | None = None,
+        min_parallel_trees: int = 8,
+        chunks_per_job: int = 4,
+    ) -> None:
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise EngineError(f"jobs must be an integer >= 1, got {jobs!r}")
+        if min_parallel_trees < 1:
+            raise EngineError(
+                f"min_parallel_trees must be >= 1, got {min_parallel_trees!r}"
+            )
+        if chunks_per_job < 1:
+            raise EngineError(
+                f"chunks_per_job must be >= 1, got {chunks_per_job!r}"
+            )
+        if cache is not None and (cache_size != 4096 or cache_dir is not None):
+            raise EngineError(
+                "pass either an explicit cache or cache_size/cache_dir, not both"
+            )
+        self.jobs = jobs
+        self.cache = (
+            cache
+            if cache is not None
+            else PairSetCache(max_entries=cache_size, cache_dir=cache_dir)
+        )
+        self.min_parallel_trees = min_parallel_trees
+        self.chunks_per_job = chunks_per_job
+        self.stats = EngineStats()
+        # Derived-projection memo: profiling shows building and sorting
+        # the CousinPairItem lists costs ~2x the counter mining itself,
+        # so warm passes also skip the projection.  Keyed by
+        # (kind, counter address, minoccur) — fully determined by the
+        # content-addressed counter plus the post-filter.
+        self._projections: OrderedDict[tuple, object] = OrderedDict()
+        self._projection_cap = self.cache.max_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MiningEngine(jobs={self.jobs}, cache={self.cache!r})"
+
+    # ------------------------------------------------------------------
+    # Core batch pass
+    # ------------------------------------------------------------------
+    def counters(
+        self,
+        trees: Sequence[Tree],
+        params: MiningParams | None = None,
+        *,
+        maxdist: float = 1.5,
+        max_generation_gap: int = 1,
+        max_height: int | None = None,
+    ) -> list[Counter]:
+        """Raw per-tree counters, aligned with the input order.
+
+        Equivalent to ``[mine_tree_counter(t, ...) for t in trees]``;
+        misses come from the cache layers or (de-duplicated) mining.
+        Returned counters are copies — mutating them never corrupts
+        the cache.
+        """
+        params = self._resolve(params, maxdist, 1, max_generation_gap, max_height)
+        keys, resolved = self._resolved_counters(trees, params)
+        return [Counter(resolved[key]) for key in keys]
+
+    def _resolved_counters(
+        self, trees: Sequence[Tree], params: MiningParams
+    ) -> tuple[list[str], dict[str, Counter]]:
+        """Content addresses per tree plus the address -> counter map.
+
+        The returned counters are the engine's own cached objects —
+        internal callers only read them; the public surface hands out
+        copies.
+        """
+        started = time.perf_counter()
+        self.stats.batches += 1
+        self.stats.trees_seen += len(trees)
+
+        keys = [cache_key(tree, params) for tree in trees]
+        resolved: dict[str, object] = {}
+        to_mine: list[tuple[str, Tree]] = []
+        for tree, key in zip(trees, keys):
+            if key in resolved:
+                # Same content seen earlier in this batch (cached or
+                # queued for mining): served from process memory.
+                self.stats.memory_hits += 1
+                continue
+            found = self.cache.lookup(key)
+            if found is None:
+                self.stats.misses += 1
+                resolved[key] = _PENDING
+                to_mine.append((key, tree))
+            else:
+                layer, counter = found
+                if layer == "memory":
+                    self.stats.memory_hits += 1
+                else:
+                    self.stats.disk_hits += 1
+                resolved[key] = counter
+
+        if to_mine:
+            mine_started = time.perf_counter()
+            for key, counter in self._mine(to_mine, params):
+                resolved[key] = counter
+                self.cache.put(key, counter)
+            self.stats.mine_seconds += time.perf_counter() - mine_started
+
+        self.stats.total_seconds += time.perf_counter() - started
+        return keys, resolved
+
+    def _mine(
+        self, to_mine: list[tuple[str, Tree]], params: MiningParams
+    ) -> list[tuple[str, Counter]]:
+        fields = (params.maxdist, params.max_generation_gap, params.max_height)
+        if self.jobs == 1 or len(to_mine) < self.min_parallel_trees:
+            return [
+                (key, mine_tree_counter(tree, *fields)) for key, tree in to_mine
+            ]
+        self.stats.parallel_batches += 1
+        chunk_size = max(
+            1, math.ceil(len(to_mine) / (self.jobs * self.chunks_per_job))
+        )
+        chunks = [
+            to_mine[start : start + chunk_size]
+            for start in range(0, len(to_mine), chunk_size)
+        ]
+        self.stats.chunks += len(chunks)
+        workers = min(self.jobs, len(chunks))
+        results: list[tuple[str, Counter]] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for part in pool.map(
+                _mine_chunk, [(chunk, fields) for chunk in chunks]
+            ):
+                results.extend(part)
+        return results
+
+    # ------------------------------------------------------------------
+    # Projections (mirror the serial reference APIs exactly)
+    # ------------------------------------------------------------------
+    def items(
+        self,
+        trees: Sequence[Tree],
+        params: MiningParams | None = None,
+        *,
+        maxdist: float = 1.5,
+        minoccur: int = 1,
+        max_generation_gap: int = 1,
+        max_height: int | None = None,
+    ) -> list[list[CousinPairItem]]:
+        """Per-tree qualifying items — ``mine_tree`` for each tree."""
+        params = self._resolve(
+            params, maxdist, minoccur, max_generation_gap, max_height
+        )
+        keys, resolved = self._resolved_counters(trees, params)
+        per_tree: list[list[CousinPairItem]] = []
+        for key in keys:
+            items = self._projection(
+                ("items", key, params.minoccur), resolved[key], params,
+                self._build_items,
+            )
+            # Shallow copy: the items are frozen, the list is the
+            # caller's to reorder.
+            per_tree.append(list(items))
+        return per_tree
+
+    @staticmethod
+    def _build_items(
+        counts: Counter, params: MiningParams
+    ) -> list[CousinPairItem]:
+        items = [
+            CousinPairItem(label_a, label_b, distance, occurrences)
+            for (label_a, label_b, distance), occurrences in counts.items()
+            if occurrences >= params.minoccur
+        ]
+        items.sort()
+        return items
+
+    def pair_sets(
+        self,
+        trees: Sequence[Tree],
+        params: MiningParams | None = None,
+        *,
+        maxdist: float = 1.5,
+        minoccur: int = 1,
+        max_generation_gap: int = 1,
+        max_height: int | None = None,
+    ) -> list[CousinPairSet]:
+        """Per-tree pair sets — ``CousinPairSet.from_tree`` for each."""
+        params = self._resolve(
+            params, maxdist, minoccur, max_generation_gap, max_height
+        )
+        keys, resolved = self._resolved_counters(trees, params)
+        return [
+            self._projection(
+                ("pairset", key, params.minoccur), resolved[key], params,
+                self._build_pair_set,
+            )
+            for key in keys
+        ]
+
+    @staticmethod
+    def _build_pair_set(counts: Counter, params: MiningParams) -> CousinPairSet:
+        return CousinPairSet(
+            Counter(
+                {
+                    key: occurrences
+                    for key, occurrences in counts.items()
+                    if occurrences >= params.minoccur
+                }
+            )
+        )
+
+    def _projection(self, memo_key: tuple, counts, params: MiningParams, build):
+        """Serve a derived view of a cached counter, memoised by address.
+
+        ``CousinPairSet`` instances are shared (their counters are never
+        mutated through the public API); item lists are shared but
+        copied by the caller.  Disabled alongside the memory cache
+        (``cache_size=0``).
+        """
+        if self._projection_cap == 0:
+            return build(counts, params)
+        cached = self._projections.get(memo_key)
+        if cached is None:
+            cached = build(counts, params)
+            self._projections[memo_key] = cached
+            if self._projection_cap is not None:
+                while len(self._projections) > self._projection_cap:
+                    self._projections.popitem(last=False)
+        else:
+            self._projections.move_to_end(memo_key)
+        return cached
+
+    def mine_forest(self, trees: Sequence[Tree], **kwargs):
+        """Frequent pairs across a forest via this engine.
+
+        Same signature and output as
+        :func:`repro.core.multi_tree.mine_forest` (which this simply
+        routes through with ``engine=self``).
+        """
+        from repro.core.multi_tree import mine_forest
+
+        return mine_forest(trees, engine=self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(
+        params: MiningParams | None,
+        maxdist: float,
+        minoccur: int,
+        max_generation_gap: int,
+        max_height: int | None,
+    ) -> MiningParams:
+        if params is not None:
+            return params
+        return MiningParams(
+            maxdist=maxdist,
+            minoccur=minoccur,
+            minsup=1,
+            max_generation_gap=max_generation_gap,
+            max_height=max_height,
+        )

@@ -1,0 +1,91 @@
+"""Execution counters for the mining engine.
+
+Every :class:`repro.engine.MiningEngine` owns one
+:class:`EngineStats` instance and updates it on each batch: how many
+per-tree lookups were served from the in-process LRU, from the on-disk
+cache, or had to be mined; whether mining ran serially or fanned out to
+a process pool; and how long the mining section took.  The object is
+cheap plain state — read it after a run (``engine.stats``), reset it
+between phases (:meth:`EngineStats.reset`), or ship it as JSON
+(:meth:`EngineStats.as_dict`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated across the batches an engine has run.
+
+    Attributes
+    ----------
+    trees_seen:
+        Total per-tree lookups (one per input tree per batch).
+    memory_hits:
+        Lookups served from the in-process LRU layer — including
+        repeats of a tree already resolved earlier in the same batch.
+    disk_hits:
+        Lookups served from the on-disk cache layer.
+    misses:
+        Lookups that found nothing cached; exactly one per distinct
+        (canonical form, parameters) pair actually mined.
+    batches:
+        Number of engine batch calls.
+    parallel_batches:
+        Batches whose misses were mined in a process pool.
+    chunks:
+        Worker task chunks submitted across all parallel batches.
+    mine_seconds:
+        Wall time spent mining misses (serial or parallel).
+    total_seconds:
+        Wall time of whole batch calls (lookups + mining + assembly).
+    """
+
+    trees_seen: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    batches: int = 0
+    parallel_batches: int = 0
+    chunks: int = 0
+    mine_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        """Lookups served without mining (memory + disk)."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from a cache layer (0 when idle)."""
+        if self.trees_seen == 0:
+            return 0.0
+        return self.hits / self.trees_seen
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
+
+    def as_dict(self) -> dict:
+        """Plain-JSON form (fields plus the derived rates)."""
+        payload = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        payload["hits"] = self.hits
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
+    def describe(self) -> str:
+        """One-line human rendering used by ``--engine-stats``."""
+        return (
+            f"engine: {self.trees_seen} tree lookup(s), "
+            f"{self.memory_hits} memory hit(s), {self.disk_hits} disk hit(s), "
+            f"{self.misses} miss(es) mined in {self.mine_seconds:.3f}s "
+            f"({self.parallel_batches}/{self.batches} batch(es) parallel, "
+            f"hit rate {self.hit_rate:.0%})"
+        )
+

@@ -43,6 +43,14 @@ class MiningParameterError(ReproError):
     """A mining parameter (maxdist, minoccur, minsup, ...) was invalid."""
 
 
+class EngineError(ReproError):
+    """The mining engine was misconfigured or failed to execute.
+
+    Raised for example when the worker count is not a positive integer
+    or the on-disk cache directory cannot be created.
+    """
+
+
 class ConsensusError(ReproError):
     """A consensus method was applied to an invalid input profile.
 

@@ -485,6 +485,50 @@ class Tree:
         return self.canonical_form() == other.canonical_form()
 
     # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle as a flat parent-array instead of the node graph.
+
+        The default pickling of the linked :class:`Node` structure
+        recurses once per tree level and overflows the interpreter
+        stack on deep trees; a flat ``(id, parent_id, label, length)``
+        row per node (parents always before children) has no such
+        limit, and is what lets trees cross process boundaries in the
+        parallel mining engine.
+        """
+        rows: list[tuple[int, int | None, str | None, float | None]] = []
+        for node in self.preorder():
+            parent = node._parent
+            rows.append(
+                (
+                    node.node_id,
+                    parent.node_id if parent is not None else None,
+                    node.label,
+                    node.length,
+                )
+            )
+        return {"name": self.name, "rows": rows, "next_id": self._next_id}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self._root = None
+        self._nodes = {}
+        self._next_id = 0
+        self._version = 0
+        by_id: dict[int, Node] = {}
+        for node_id, parent_id, label, length in state["rows"]:
+            if parent_id is None:
+                node = self.add_root(label=label, node_id=node_id)
+                node.length = length
+            else:
+                node = self.add_child(
+                    by_id[parent_id], label=label, length=length, node_id=node_id
+                )
+            by_id[node_id] = node
+        self._next_id = state["next_id"]
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
     def ascii_art(self, label_of: Callable[[Node], str] | None = None) -> str:

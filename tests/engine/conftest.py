@@ -1,0 +1,44 @@
+"""Fixtures for the serial/parallel equivalence harness.
+
+The ``jobs`` fixture parameterises every equivalence test over worker
+counts.  The default sweep is ``1,2`` (serial engine and a real
+process pool); CI's dedicated parallel job narrows it with the
+``ENGINE_TEST_JOBS`` environment variable (e.g. ``ENGINE_TEST_JOBS=2``)
+to re-run the whole suite purely under the pool.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.trees.newick import parse_newick
+
+
+def _jobs_levels() -> list[int]:
+    raw = os.environ.get("ENGINE_TEST_JOBS", "1,2")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+@pytest.fixture(params=_jobs_levels(), ids=lambda jobs: f"jobs{jobs}")
+def jobs(request) -> int:
+    return request.param
+
+
+FOREST_NEWICKS = [
+    "((a,b),(c,d));",
+    "((a,b),(c,e));",
+    "((b,a),(d,c));",          # isomorphic to the first (reordered)
+    "(a,(b,(c,(d,e))));",      # caterpillar
+    "((a,a),(a,b));",          # repeated labels
+    "(((a,b),(c,d)),((e,f),(g,a)));",
+    "(a,b,c,d,e);",            # star
+    "(a);",
+]
+
+
+@pytest.fixture
+def forest():
+    """A mixed forest with duplicates, stars, chains, repeated labels."""
+    return [parse_newick(text) for text in FOREST_NEWICKS]

@@ -268,6 +268,74 @@ class TestDiff:
         assert "+ (c, d)" in out
 
 
+class TestEngineFlags:
+    def test_jobs_flag_output_identical(self, forest_file, capsys):
+        assert main(["frequent", forest_file]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["frequent", forest_file, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_jobs_zero_is_clean_error(self, forest_file, capsys):
+        assert main(["frequent", forest_file, "--jobs", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "jobs" in err
+
+    def test_engine_stats_go_to_stderr(self, forest_file, capsys):
+        assert main(["frequent", forest_file, "--engine-stats"]) == 0
+        captured = capsys.readouterr()
+        assert "engine:" in captured.err
+        assert "miss" in captured.err
+        assert "engine:" not in captured.out
+
+    def test_cache_dir_persists_and_hits(self, forest_file, tmp_path, capsys):
+        cache_dir = tmp_path / "pair-cache"
+        args = ["frequent", forest_file, "--cache-dir", str(cache_dir),
+                "--engine-stats"]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "2 miss(es)" in cold.err
+        assert any(cache_dir.rglob("*.pkl"))
+        # Second run, fresh process-level state: served from disk.
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert "2 disk hit(s)" in warm.err
+        assert "0 miss(es)" in warm.err
+        assert warm.out == cold.out
+
+    def test_kernel_accepts_engine_flags(self, tmp_path, capsys):
+        first = tmp_path / "g1.nwk"
+        second = tmp_path / "g2.nwk"
+        first.write_text("((a,b),(c,d));\n((a,c),(b,d));\n", encoding="utf-8")
+        second.write_text("((a,b),(c,e));\n((a,e),(b,c));\n", encoding="utf-8")
+        assert main(["kernel", str(first), str(second)]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["kernel", str(first), str(second),
+                     "--jobs", "2", "--engine-stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "engine:" in captured.err
+
+    def test_cluster_accepts_engine_flags(self, tmp_path, capsys):
+        path = tmp_path / "trees.nwk"
+        path.write_text(
+            "((a,b),(c,d));\n((a,b),(d,c));\n((x,y),(z,w));\n",
+            encoding="utf-8",
+        )
+        assert main(["cluster", str(path), "-k", "2"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["cluster", str(path), "-k", "2", "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_report_accepts_engine_flags(self, seed_plants_file, capsys):
+        assert main(["report", seed_plants_file]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["report", seed_plants_file, "--jobs", "2",
+                     "--engine-stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        assert "engine:" in captured.err
+
+
 class TestMaxHeightFlag:
     def test_mine_with_horizontal_limit(self, tmp_path, capsys):
         path = tmp_path / "t.nwk"
