@@ -1,16 +1,25 @@
-"""Engine benchmark: parallel fan-out and cache speedup (BENCH_engine.json).
+"""Engine benchmark: kernels, fan-out and cache speedup (BENCH_engine.json).
 
 Runs ``Multiple_Tree_Mining`` over a Figure-6-style synthetic forest
-three ways — the serial reference, a ``MiningEngine`` with ``jobs=4``,
-and a cached engine mined cold then warm — and records wall times plus
-the derived speedups in ``BENCH_engine.json`` at the repository root.
+and records, side by side:
+
+- the **legacy** serial kernel (per-tree
+  :func:`repro.core.single_tree.mine_tree_counter`, the seed's hot
+  path) vs the **fastmine** serial kernel (per-tree
+  :func:`repro.core.fastmine.mine_tree_counter`) — the perf trajectory
+  across PRs stays comparable because both are always measured;
+- a ``MiningEngine`` asked for ``jobs=4`` (with the default clamp to
+  the CPUs actually available, so a 1-core box takes the serial path
+  instead of paying for a useless process pool);
+- a cached engine mined cold then warm.
 
 The parallel gate (>= 1.5x over serial at jobs=4) is only asserted
 when the hardware can express it (4+ CPUs); on smaller machines the
-JSON documents the cap instead (``hardware_capped: true`` with the
-measured CPU count), as a 1-core container can never beat serial with
-process fan-out.  The cache gate always applies: a warm second pass
-over the same forest must be at least 2x faster than the cold pass.
+JSON documents the cap instead (``hardware_capped: true``), and the
+clamp is asserted to have *removed* the old regression: the engine at
+``jobs=4`` must not run meaningfully slower than serial.  The cache
+gate always applies: a warm second pass over the same forest must be
+at least 2x faster than the cold pass.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import random
 from pathlib import Path
 
 from benchmarks.conftest import wall_time
+from repro.core import fastmine, single_tree
 from repro.core.multi_tree import mine_forest
 from repro.engine import MiningEngine
 from repro.generate.random_trees import SyntheticTreeParams, synthetic_forest
@@ -51,6 +61,15 @@ def test_engine_parallel_and_cache_speedup(benchmark, print_rows):
     cpus = multiprocessing.cpu_count()
 
     def sweep() -> dict:
+        # Kernel comparison, both single-thread over the same corpus.
+        legacy_counts, legacy_seconds = wall_time(
+            lambda: [single_tree.mine_tree_counter(t) for t in corpus]
+        )
+        fast_counts, fastmine_seconds = wall_time(
+            lambda: [fastmine.mine_tree_counter(t) for t in corpus]
+        )
+        assert fast_counts == legacy_counts
+
         reference, serial_seconds = wall_time(mine_forest, corpus)
 
         parallel_engine = MiningEngine(jobs=JOBS, min_parallel_trees=1)
@@ -71,7 +90,11 @@ def test_engine_parallel_and_cache_speedup(benchmark, print_rows):
             "corpus": {"trees": COUNT, "treesize": TREESIZE, "fanout": 5,
                        "alphabetsize": 200},
             "cpu_count": cpus,
-            "jobs": JOBS,
+            "jobs_requested": JOBS,
+            "jobs_effective": parallel_engine.jobs,
+            "kernel_legacy_seconds": legacy_seconds,
+            "kernel_fastmine_seconds": fastmine_seconds,
+            "kernel_speedup": legacy_seconds / fastmine_seconds,
             "serial_seconds": serial_seconds,
             "parallel_seconds": parallel_seconds,
             "parallel_speedup": serial_seconds / parallel_seconds,
@@ -80,9 +103,11 @@ def test_engine_parallel_and_cache_speedup(benchmark, print_rows):
             "cache_speedup": cache_cold_seconds / max(cache_warm_seconds, 1e-9),
             "hardware_capped": hardware_capped,
             "note": (
-                f"only {cpus} CPU(s) visible: process fan-out at jobs={JOBS} "
-                "cannot beat serial on this machine, so the >=1.5x parallel "
-                "gate is documented rather than asserted"
+                f"only {cpus} CPU(s) visible: jobs={JOBS} is clamped to "
+                f"{parallel_engine.jobs} and the engine takes the serial "
+                "path (no pool, no pickling), so the old 0.69x parallel "
+                "regression cannot recur; the >=1.5x parallel gate is "
+                "documented rather than asserted"
             ) if hardware_capped else "parallel gate asserted at >=1.5x",
         }
 
@@ -90,9 +115,13 @@ def test_engine_parallel_and_cache_speedup(benchmark, print_rows):
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
     print_rows(
-        "Engine — serial vs parallel vs cached (BENCH_engine.json)",
+        "Engine — kernels, fan-out and cache (BENCH_engine.json)",
         [
-            f"cpus {payload['cpu_count']}, jobs {payload['jobs']}",
+            f"cpus {payload['cpu_count']}, jobs {payload['jobs_requested']} "
+            f"-> {payload['jobs_effective']} effective",
+            f"kernel legacy:   {payload['kernel_legacy_seconds']:.3f}s",
+            f"kernel fastmine: {payload['kernel_fastmine_seconds']:.3f}s "
+            f"({payload['kernel_speedup']:.2f}x)",
             f"serial:        {payload['serial_seconds']:.3f}s",
             f"parallel:      {payload['parallel_seconds']:.3f}s "
             f"({payload['parallel_speedup']:.2f}x)",
@@ -105,6 +134,9 @@ def test_engine_parallel_and_cache_speedup(benchmark, print_rows):
 
     # Cache gate: a warm pass never re-mines, so it must be far faster.
     assert payload["cache_speedup"] >= 2.0, payload
-    # Parallel gate: only enforceable when the CPUs exist to win it.
-    if not payload["hardware_capped"]:
+    if payload["hardware_capped"]:
+        # The clamp must have removed the pool-on-1-CPU regression.
+        assert payload["parallel_speedup"] >= 0.85, payload
+    else:
+        # Parallel gate: only enforceable when the CPUs exist to win it.
         assert payload["parallel_speedup"] >= 1.5, payload

@@ -1,0 +1,197 @@
+"""Kernel benchmark: fastmine vs the pointer reference (BENCH_kernel.json).
+
+Times three single-thread passes over the PR-1 corpus shape (600
+synthetic trees of ~50 nodes, Figure-6 style):
+
+- ``reference`` — the seed miner, :func:`repro.core.single_tree.
+  mine_tree_counter`, walking ``Node`` objects and hashing label
+  strings;
+- ``dropin`` — :func:`repro.core.fastmine.mine_tree_counter`, the
+  drop-in replacement *including* the cost of materialising a
+  string-keyed ``Counter`` per tree;
+- ``kernel`` — the interned pipeline the engine actually runs:
+  :meth:`TreeArena.from_tree` + :func:`mine_arena`, producing packed
+  counts (string materialisation happens once, outside the timed
+  region, exactly as the engine defers it to the boundary).
+
+The gate asserts the interned kernel is >= 3x the reference, and that
+both fastmine passes decode to output *byte-identical* to the
+reference (a canonical serialisation of every per-tree counter is
+compared as bytes, not just ``==``).
+
+Run under pytest (``pytest benchmarks/bench_kernel.py``) to regenerate
+``BENCH_kernel.json``, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py          # full gate
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke  # CI smoke
+
+The smoke mode runs a tiny corpus in a few hundred milliseconds and
+only asserts no regression (kernel >= 1x reference) plus byte-identical
+output — enough for CI to catch a broken or slowed kernel without a
+long perf job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from collections import Counter
+from pathlib import Path
+
+from repro.core import fastmine, single_tree
+from repro.core.fastmine import mine_arena
+from repro.core.params import MiningParams
+from repro.generate.random_trees import SyntheticTreeParams, synthetic_forest
+from repro.trees.arena import TreeArena
+
+COUNT = 600
+TREESIZE = 50  # Table 3's 200 scaled down, matching bench_fig6
+MAXDIST = 1.5
+REPEATS = 3  # every pass is best-of-N to shrug off scheduler noise
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+SMOKE_COUNT = 40
+SMOKE_TREESIZE = 20
+
+
+def make_corpus(count: int = COUNT, treesize: int = TREESIZE) -> list:
+    params = SyntheticTreeParams(
+        treesize=treesize, databasesize=count, fanout=5, alphabetsize=200
+    )
+    return synthetic_forest(params, random.Random(4200 + count))
+
+
+def best_of(repeats: int, pass_fn, corpus):
+    """Run ``pass_fn`` over the corpus ``repeats`` times; keep the
+    fastest wall time (results are identical every round)."""
+    result, seconds = None, float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = [pass_fn(tree) for tree in corpus]
+        seconds = min(seconds, time.perf_counter() - started)
+    return result, seconds
+
+
+def canonical_bytes(counters: list[Counter]) -> bytes:
+    """A canonical byte serialisation of per-tree counters.
+
+    Length-prefixed labels keep the encoding injective; sorting makes
+    it independent of dict insertion order, so two byte-equal outputs
+    carry exactly the same counts.
+    """
+    lines = []
+    for counter in counters:
+        for (label_a, label_b, distance), count in sorted(counter.items()):
+            lines.append(
+                f"{len(label_a)}:{label_a}|{len(label_b)}:{label_b}"
+                f"|{distance!r}|{count}"
+            )
+        lines.append("--")
+    return "\n".join(lines).encode("utf-8")
+
+
+def run(count: int, treesize: int, smoke: bool) -> dict:
+    corpus = make_corpus(count, treesize)
+    params = MiningParams(maxdist=MAXDIST)
+
+    reference, reference_seconds = best_of(
+        REPEATS, lambda t: single_tree.mine_tree_counter(t, MAXDIST), corpus
+    )
+    dropin, dropin_seconds = best_of(
+        REPEATS, lambda t: fastmine.mine_tree_counter(t, MAXDIST), corpus
+    )
+    packed, kernel_seconds = best_of(
+        REPEATS, lambda t: mine_arena(TreeArena.from_tree(t), params), corpus
+    )
+    # Boundary materialisation, outside the timed region by design.
+    decoded = [p.to_counter() for p in packed]
+
+    reference_bytes = canonical_bytes(reference)
+    byte_identical = (
+        canonical_bytes(dropin) == reference_bytes
+        and canonical_bytes(decoded) == reference_bytes
+    )
+
+    gate = 1.0 if smoke else 3.0
+    return {
+        "mode": "smoke" if smoke else "full",
+        "corpus": {"trees": count, "treesize": treesize, "fanout": 5,
+                   "alphabetsize": 200},
+        "maxdist": MAXDIST,
+        "repeats": REPEATS,
+        "reference_seconds": reference_seconds,
+        "dropin_seconds": dropin_seconds,
+        "kernel_seconds": kernel_seconds,
+        "dropin_speedup": reference_seconds / dropin_seconds,
+        "kernel_speedup": reference_seconds / kernel_seconds,
+        "byte_identical": byte_identical,
+        "gate": gate,
+        "note": (
+            "single-thread; 'kernel' times TreeArena.from_tree + "
+            "mine_arena (packed counts, as the engine caches them); "
+            "'dropin' adds per-tree Counter materialisation; the gate "
+            f"asserts kernel_speedup >= {gate}x with byte-identical "
+            "output"
+        ),
+    }
+
+
+def check(payload: dict) -> None:
+    assert payload["byte_identical"], (
+        "fastmine output diverged from the single_tree reference"
+    )
+    assert payload["kernel_speedup"] >= payload["gate"], payload
+
+
+def report_rows(payload: dict) -> list[str]:
+    return [
+        f"corpus: {payload['corpus']['trees']} trees x "
+        f"~{payload['corpus']['treesize']} nodes (best of "
+        f"{payload['repeats']})",
+        f"reference: {payload['reference_seconds']:.3f}s",
+        f"dropin:    {payload['dropin_seconds']:.3f}s "
+        f"({payload['dropin_speedup']:.2f}x)",
+        f"kernel:    {payload['kernel_seconds']:.3f}s "
+        f"({payload['kernel_speedup']:.2f}x, gate {payload['gate']:.0f}x)",
+        f"byte-identical: {payload['byte_identical']}",
+    ]
+
+
+def test_kernel_speedup_gate(benchmark, print_rows):
+    payload = benchmark.pedantic(
+        lambda: run(COUNT, TREESIZE, smoke=False), rounds=1, iterations=1
+    )
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print_rows(
+        "Kernel — fastmine vs single_tree (BENCH_kernel.json)",
+        report_rows(payload),
+    )
+    check(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny corpus, >=1x no-regression gate (CI-sized)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload = run(SMOKE_COUNT, SMOKE_TREESIZE, smoke=True)
+    else:
+        payload = run(COUNT, TREESIZE, smoke=False)
+        OUTPUT.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+    print(f"[kernel benchmark — {payload['mode']}]")
+    for row in report_rows(payload):
+        print(f"  {row}")
+    check(payload)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

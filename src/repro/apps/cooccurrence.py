@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.core.cousins import CousinPair, kinship_name
 from repro.core.multi_tree import FrequentCousinPair, mine_forest
-from repro.core.single_tree import enumerate_cousin_pairs
+from repro.core.fastmine import enumerate_cousin_pairs
 from repro.trees.tree import Tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard

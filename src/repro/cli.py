@@ -31,7 +31,7 @@ from repro.consensus.base import CONSENSUS_METHODS, consensus
 from repro.core.distance import DistanceMode, tree_distance
 from repro.core.kernel import find_kernel_trees
 from repro.core.multi_tree import mine_forest, support
-from repro.core.single_tree import mine_tree
+from repro.core.fastmine import mine_tree
 from repro.core.similarity import average_similarity
 from repro.core.treerank import rank_trees
 from repro.errors import ReproError
@@ -74,9 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "the LCA for the shallower cousin")
 
     def add_engine_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--jobs", type=int, default=1,
+        p.add_argument("--jobs", type=int, default=None,
                        help="worker processes for per-tree mining "
-                            "(default 1 = serial)")
+                            "(default: all available CPUs; an "
+                            "effective count of 1 runs serially "
+                            "with no process pool)")
         p.add_argument("--cache-dir", default=None, dest="cache_dir",
                        help="directory for the persistent pair-set "
                             "cache (reused across runs)")

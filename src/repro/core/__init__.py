@@ -5,7 +5,11 @@ Modules
 - :mod:`repro.core.params` — the algorithm parameters of Table 2;
 - :mod:`repro.core.cousins` — the cousin-distance definition (Figure 2)
   and the cousin-pair-item record (Table 1);
-- :mod:`repro.core.single_tree` — ``Single_Tree_Mining`` (Figure 3);
+- :mod:`repro.core.single_tree` — ``Single_Tree_Mining`` (Figure 3),
+  the pointer-walking reference implementation;
+- :mod:`repro.core.fastmine` — the interned flat-array kernel the
+  package actually mines with (differentially tested against
+  :mod:`~repro.core.single_tree` and :mod:`~repro.core.updown`);
 - :mod:`repro.core.updown` — the paper's literal up-*i*/down-*j*
   formulation, kept for differential testing and ablation;
 - :mod:`repro.core.reference` — a naive all-pairs reference miner;
@@ -38,7 +42,7 @@ from repro.core.cousins import (
     cousin_distance,
     valid_distances,
 )
-from repro.core.single_tree import mine_tree, enumerate_cousin_pairs
+from repro.core.fastmine import mine_tree, enumerate_cousin_pairs
 from repro.core.multi_tree import FrequentCousinPair, mine_forest, support
 from repro.core.pairset import CousinPairSet
 from repro.core.similarity import similarity_score, average_similarity

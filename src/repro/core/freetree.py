@@ -29,11 +29,13 @@ other.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from repro.core.cousins import CousinPairItem
+from repro.core.fastmine import PackedCounts, free_path_counts
 from repro.core.params import MiningParams
 from repro.errors import FreeTreeError
+from repro.trees.arena import TreeArena
 from repro.trees.tree import Tree
 
 __all__ = [
@@ -302,103 +304,22 @@ def mine_free_tree_rooted(
     After planting the artificial root ``r`` on the chosen edge, the
     path length between two original nodes equals their tree path
     length, except that paths crossing ``r`` gained one edge (Eq. 10).
-    The enumeration below groups pairs by their highest path node
-    (covering every ``(i, j)`` combination of Eq. 9 at once): for each
-    tree node ``a``, pairs drawn from two distinct child subtrees at
-    heights ``(h1, h2)`` have path length ``h1 + h2`` through ``a``
-    (minus 1 when ``a`` is the artificial root), and each node also
-    pairs with its own descendants ``m`` levels below.
+    The rooted tree is flattened into a
+    :class:`~repro.trees.arena.TreeArena` and handed to
+    :func:`repro.core.fastmine.free_path_counts`, whose single
+    bottom-up sweep covers every ``(i, j)`` combination of Eq. 9 at
+    once: pairs drawn from two distinct child subtrees of a node at
+    depths ``(dl, dr)`` have path length ``dl + dr`` through it (minus
+    1 when that node is the artificial root), and each labeled node
+    also pairs with its own labeled descendants ``m`` levels below.
     """
     params = MiningParams(maxdist=maxdist, minoccur=minoccur, minsup=1)
     graph.validate()
-    tree = graph.to_rooted(edge)
-    artificial_id = tree.root.node_id if len(graph) > 1 else None
-    limit = _edge_limit(params)
-    counts: Counter[tuple[str, str, float]] = Counter()
-
-    for ancestor in tree.preorder():
-        crosses_root = (
-            artificial_id is not None and ancestor.node_id == artificial_id
-        )
-        extra = 1 if crosses_root else 0
-        # Vertical pairs: ancestor with each labeled descendant at
-        # depth >= 2 below it (the artificial root is unlabeled, so it
-        # never starts a vertical pair).
-        if ancestor.label is not None:
-            for depth, node in _descendants_with_depth(ancestor, limit):
-                if depth >= 2 and node.label is not None:
-                    _count(counts, ancestor.label, node.label, (depth - 2) / 2.0)
-        # Cross pairs through ``ancestor``.
-        children = ancestor.children
-        if len(children) < 2:
-            continue
-        groups = [
-            _labels_by_depth(child, limit + extra - 1) for child in children
-        ]
-        for i in range(len(groups)):
-            for j in range(i + 1, len(groups)):
-                for depth_l, labels_l in enumerate(groups[i], start=1):
-                    if not labels_l:
-                        continue
-                    for depth_r, labels_r in enumerate(groups[j], start=1):
-                        if not labels_r:
-                            continue
-                        path = depth_l + depth_r - extra
-                        if path < 2 or path > limit:
-                            continue
-                        distance = (path - 2) / 2.0
-                        for label_l, count_l in labels_l.items():
-                            for label_r, count_r in labels_r.items():
-                                _count(
-                                    counts,
-                                    label_l,
-                                    label_r,
-                                    distance,
-                                    count_l * count_r,
-                                )
-    items = [
-        CousinPairItem(label_a, label_b, distance, occurrences)
-        for (label_a, label_b, distance), occurrences in counts.items()
-        if occurrences >= params.minoccur
-    ]
-    items.sort()
-    return items
-
-
-def _count(
-    counts: Counter[tuple[str, str, float]],
-    label_a: str,
-    label_b: str,
-    distance: float,
-    amount: int = 1,
-) -> None:
-    if label_a <= label_b:
-        counts[(label_a, label_b, distance)] += amount
-    else:
-        counts[(label_b, label_a, distance)] += amount
-
-
-def _descendants_with_depth(node, limit: int) -> Iterator[tuple[int, object]]:
-    stack = [(child, 1) for child in node.children]
-    while stack:
-        current, depth = stack.pop()
-        yield depth, current
-        if depth < limit:
-            stack.extend((child, depth + 1) for child in current.children)
-
-
-def _labels_by_depth(child, max_depth: int) -> list[Counter[str]]:
-    per_depth: list[Counter[str]] = [Counter() for _ in range(max(max_depth, 0))]
-    if max_depth < 1:
-        return per_depth
-    stack = [(child, 1)]
-    while stack:
-        node, depth = stack.pop()
-        if node.label is not None:
-            per_depth[depth - 1][node.label] += 1
-        if depth < max_depth:
-            stack.extend((grandchild, depth + 1) for grandchild in node.children)
-    return per_depth
+    arena = TreeArena.from_tree(graph.to_rooted(edge))
+    counts = free_path_counts(
+        arena, _edge_limit(params), artificial_root=len(graph) > 1
+    )
+    return PackedCounts(arena.table.labels, counts).items(params.minoccur)
 
 
 def mine_graph_forest(

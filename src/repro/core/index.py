@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 from repro.core.cousins import ANY, CousinPairItem
 from repro.core.multi_tree import FrequentCousinPair
 from repro.core.params import MiningParams
-from repro.core.single_tree import mine_tree
+from repro.core.fastmine import mine_tree
 from repro.trees.tree import Tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard

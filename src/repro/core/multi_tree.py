@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.core.cousins import CousinPairItem
 from repro.core.params import MiningParams
-from repro.core.single_tree import mine_tree
+from repro.core.fastmine import mine_tree
 from repro.trees.tree import Tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard

@@ -32,7 +32,7 @@ from collections import Counter
 from typing import Iterable, Iterator
 
 from repro.core.cousins import CousinPairItem
-from repro.core.single_tree import mine_tree
+from repro.core.fastmine import mine_tree
 from repro.trees.tree import Tree
 
 __all__ = ["CousinPairSet"]

@@ -27,10 +27,10 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.cousins import CousinPair
-from repro.core.single_tree import enumerate_cousin_pairs
+from repro.core.fastmine import iter_pair_indexes
 from repro.core.params import MiningParams
-from repro.trees.traversal import TreeIndex
-from repro.trees.tree import Node, Tree
+from repro.trees.arena import TreeArena
+from repro.trees.tree import Tree
 
 __all__ = ["WeightedCousinPair", "WeightedPairItem", "mine_tree_weighted",
            "enumerate_weighted_pairs"]
@@ -76,13 +76,14 @@ class WeightedPairItem:
 
 
 def _path_weight(
-    index: TreeIndex, node: Node, ancestor: Node, default_length: float
+    parent, lengths, index: int, ancestor: int, default_length: float
 ) -> float:
     total = 0.0
-    current = node
-    while current is not ancestor:
-        total += current.length if current.length is not None else default_length
-        current = current.parent
+    while index != ancestor:
+        length = lengths[index]
+        # NaN marks an edge without a recorded length.
+        total += default_length if length != length else length
+        index = parent[index]
     return total
 
 
@@ -96,26 +97,45 @@ def enumerate_weighted_pairs(
     """Yield every qualifying cousin pair with its weighted span.
 
     Parameters mirror
-    :func:`repro.core.single_tree.enumerate_cousin_pairs`, plus:
+    :func:`repro.core.fastmine.enumerate_cousin_pairs`, plus:
 
     default_length:
         Length assumed for edges without one.
     max_span:
         When given, pairs whose span exceeds it are dropped.
+
+    The kernel's node-level sweep already reports each pair's least
+    common ancestor, so the span is two walks up the arena's parent
+    array — no per-pair LCA query.
     """
     if tree.root is None:
         return
-    index = TreeIndex(tree)
-    for pair in enumerate_cousin_pairs(
-        tree, maxdist=maxdist, max_generation_gap=max_generation_gap
+    params = MiningParams(
+        maxdist=maxdist, minoccur=1, minsup=1,
+        max_generation_gap=max_generation_gap,
+    )
+    arena = TreeArena.from_tree(tree)
+    parent = arena.parent
+    lengths = arena.lengths
+    node_ids = arena.node_ids
+    label = arena.label
+    labels = arena.table.labels
+    for index_u, index_v, lca_index, half_steps in iter_pair_indexes(
+        arena, params
     ):
-        node_a = tree.node(pair.id_a)
-        node_b = tree.node(pair.id_b)
-        ancestor = index.lca(node_a, node_b)
-        span = _path_weight(index, node_a, ancestor, default_length)
-        span += _path_weight(index, node_b, ancestor, default_length)
+        span = _path_weight(parent, lengths, index_u, lca_index, default_length)
+        span += _path_weight(parent, lengths, index_v, lca_index, default_length)
         if max_span is not None and span > max_span:
             continue
+        if node_ids[index_u] > node_ids[index_v]:
+            index_u, index_v = index_v, index_u
+        pair = CousinPair(
+            id_a=node_ids[index_u],
+            id_b=node_ids[index_v],
+            label_a=labels[label[index_u]],
+            label_b=labels[label[index_v]],
+            distance=half_steps / 2.0,
+        )
         yield WeightedCousinPair(pair=pair, span=span)
 
 

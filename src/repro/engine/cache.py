@@ -1,21 +1,34 @@
 """Content-addressed caching of per-tree mining results.
 
-The unit of work the engine memoises is one call to
-:func:`repro.core.single_tree.mine_tree_counter` — the raw
-``(label_a, label_b, distance) -> occurrences`` counter of one tree.
-Everything downstream (``mine_tree`` items, :class:`CousinPairSet`
-algebra, forest support counting) is a cheap projection of that
-counter, so caching at this level serves every consumer at once.
+The unit of work the engine memoises is one kernel pass over a tree —
+:func:`repro.core.fastmine.mine_arena` — whose product is an interned
+:class:`repro.core.fastmine.PackedCounts` (packed-int keys plus the
+tree's sorted label table).  Everything downstream (``mine_tree``
+items, string-keyed counters, :class:`CousinPairSet` algebra, forest
+support counting) is a cheap projection of that record, so caching at
+this level serves every consumer at once, and the stored form is
+exactly what worker processes ship back — no re-encoding at the cache
+boundary.
 
 Cache keys are *content addresses*: a SHA-256 over
 
-- a key-scheme version tag (bump it when the counter semantics change),
-- the mining parameters that influence the counter — ``maxdist``,
+- a key-scheme version tag (bump it when the payload semantics change;
+  ``v2`` switched the stored payload from string-keyed counters to
+  interned packed counts),
+- the mining parameters that influence the counts — ``maxdist``,
   ``max_generation_gap`` and ``max_height`` (``minoccur`` and
   ``minsup`` are post-filters and deliberately excluded, so one cached
-  counter serves every threshold), and
+  payload serves every threshold), and
 - the tree's canonical form (:meth:`repro.trees.tree.Tree.canonical_form`
   semantics, serialised iteratively so arbitrarily deep trees are safe).
+
+Because interning is deterministic (sorted label order — see
+:class:`repro.trees.arena.LabelTable`) and the canonical form ignores
+node ids, a packed payload is a pure function of the content address:
+isomorphic trees resolve to the same interned result whichever process
+mined it.  :func:`cache_key` (from a pointer tree) and
+:func:`arena_cache_key` (from an already-flattened arena) produce the
+same address for the same content.
 
 Two layers back the address space: a bounded in-process LRU
 (``OrderedDict``) and an optional on-disk layer (one pickle file per
@@ -31,13 +44,15 @@ import pickle
 import tempfile
 from collections import Counter, OrderedDict
 
+from repro.core.fastmine import PackedCounts
 from repro.core.params import MiningParams
 from repro.errors import EngineError
+from repro.trees.arena import TreeArena
 from repro.trees.tree import Tree
 
-__all__ = ["tree_fingerprint", "cache_key", "PairSetCache"]
+__all__ = ["tree_fingerprint", "cache_key", "arena_cache_key", "PairSetCache"]
 
-_KEY_SCHEME = "cpi-counter/v1"
+_KEY_SCHEME = "cpi-packed/v2"
 
 # Separators chosen below "\x00" .. label bytes so no label content can
 # forge a boundary: labels are arbitrary strings, so each is wrapped in
@@ -67,22 +82,42 @@ def tree_fingerprint(tree: Tree) -> str:
     return forms[root.node_id]
 
 
-def cache_key(tree: Tree, params: MiningParams) -> str:
-    """The content address of one (tree, parameters) mining result."""
+def _digest(fingerprint: str, params: MiningParams) -> str:
     payload = "\n".join(
         [
             _KEY_SCHEME,
             f"maxdist={float(params.maxdist)!r}",
             f"gap={int(params.max_generation_gap)!r}",
             f"height={params.max_height!r}",
-            tree_fingerprint(tree),
+            fingerprint,
         ]
     )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def cache_key(tree: Tree, params: MiningParams) -> str:
+    """The content address of one (tree, parameters) mining result."""
+    return _digest(tree_fingerprint(tree), params)
+
+
+def arena_cache_key(arena: TreeArena, params: MiningParams) -> str:
+    """The content address computed from an already-flattened arena.
+
+    Produces the same digest as :func:`cache_key` on the source tree
+    (:meth:`TreeArena.fingerprint` matches :func:`tree_fingerprint`
+    byte for byte), so engine code that has flattened its inputs never
+    needs the pointer tree to address the cache.
+    """
+    return _digest(arena.fingerprint(), params)
+
+
 class PairSetCache:
-    """Two-layer (LRU memory + optional disk) counter cache.
+    """Two-layer (LRU memory + optional disk) mining-result cache.
+
+    The engine stores :class:`~repro.core.fastmine.PackedCounts`
+    payloads; the memory layer is payload-agnostic (legacy string-keyed
+    ``Counter`` objects work too), while the disk layer only readmits
+    the two known payload types — anything else degrades to a miss.
 
     Parameters
     ----------
@@ -105,7 +140,7 @@ class PairSetCache:
             )
         self.max_entries = max_entries
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
-        self._lru: OrderedDict[str, Counter] = OrderedDict()
+        self._lru: OrderedDict[str, object] = OrderedDict()
         if self.cache_dir is not None:
             try:
                 os.makedirs(self.cache_dir, exist_ok=True)
@@ -117,24 +152,24 @@ class PairSetCache:
     # ------------------------------------------------------------------
     # Lookup / store
     # ------------------------------------------------------------------
-    def lookup(self, key: str) -> tuple[str, Counter] | None:
-        """Return ``(layer, counter)`` — layer ``"memory"`` or ``"disk"``
+    def lookup(self, key: str) -> tuple[str, object] | None:
+        """Return ``(layer, payload)`` — layer ``"memory"`` or ``"disk"``
         — or ``None`` on a miss.  A disk hit is promoted into memory."""
         if key in self._lru:
             self._lru.move_to_end(key)
             return ("memory", self._lru[key])
         if self.cache_dir is not None:
-            counter = self._disk_read(key)
-            if counter is not None:
-                self._memory_put(key, counter)
-                return ("disk", counter)
+            payload = self._disk_read(key)
+            if payload is not None:
+                self._memory_put(key, payload)
+                return ("disk", payload)
         return None
 
-    def put(self, key: str, counter: Counter) -> None:
-        """Store a counter in every enabled layer."""
-        self._memory_put(key, counter)
+    def put(self, key: str, payload: object) -> None:
+        """Store a mining payload in every enabled layer."""
+        self._memory_put(key, payload)
         if self.cache_dir is not None:
-            self._disk_write(key, counter)
+            self._disk_write(key, payload)
 
     def clear(self) -> None:
         """Drop the memory layer (disk entries are left untouched)."""
@@ -154,10 +189,10 @@ class PairSetCache:
     # ------------------------------------------------------------------
     # Layers
     # ------------------------------------------------------------------
-    def _memory_put(self, key: str, counter: Counter) -> None:
+    def _memory_put(self, key: str, payload: object) -> None:
         if self.max_entries == 0:
             return
-        self._lru[key] = counter
+        self._lru[key] = payload
         self._lru.move_to_end(key)
         if self.max_entries is not None:
             while len(self._lru) > self.max_entries:
@@ -167,7 +202,7 @@ class PairSetCache:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, key[:2], key + ".pkl")
 
-    def _disk_read(self, key: str) -> Counter | None:
+    def _disk_read(self, key: str) -> object | None:
         path = self._disk_path(key)
         try:
             with open(path, "rb") as handle:
@@ -176,11 +211,11 @@ class PairSetCache:
                 ImportError, IndexError):
             # Missing, truncated or corrupt entry: treat as a miss.
             return None
-        if not isinstance(payload, Counter):
+        if not isinstance(payload, (PackedCounts, Counter)):
             return None
         return payload
 
-    def _disk_write(self, key: str, counter: Counter) -> None:
+    def _disk_write(self, key: str, payload: object) -> None:
         path = self._disk_path(key)
         directory = os.path.dirname(path)
         try:
@@ -188,7 +223,7 @@ class PairSetCache:
             handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
             try:
                 with os.fdopen(handle, "wb") as stream:
-                    pickle.dump(counter, stream, protocol=pickle.HIGHEST_PROTOCOL)
+                    pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(temp_path, path)
             except BaseException:
                 try:

@@ -43,6 +43,15 @@ class MiningParameterError(ReproError):
     """A mining parameter (maxdist, minoccur, minsup, ...) was invalid."""
 
 
+class ArenaError(ReproError):
+    """A flat-array tree arena or label table operation was invalid.
+
+    Raised for example when a forest holds more distinct labels than
+    the packed-key encoding can address (2^21), or when a tree is
+    flattened against a label table that does not cover its labels.
+    """
+
+
 class EngineError(ReproError):
     """The mining engine was misconfigured or failed to execute.
 

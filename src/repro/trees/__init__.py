@@ -17,11 +17,15 @@ mining algorithms of the paper operate:
   TreeBASE distributes);
 - :mod:`repro.trees.build` — rooted triples and the BUILD algorithm
   (Aho et al.), the supertree substrate;
+- :mod:`repro.trees.arena` — flat-array arenas with interned integer
+  labels, the compact form the fastmine kernel and the engine's worker
+  processes operate on (see ``docs/perf.md``);
 - :mod:`repro.trees.ops` — structural operations (copy, restrict,
   relabel);
 - :mod:`repro.trees.validate` — structural invariants used by tests.
 """
 
+from repro.trees.arena import LabelTable, TreeArena, forest_arenas
 from repro.trees.tree import Node, Tree
 from repro.trees.newick import parse_newick, parse_forest, write_newick
 from repro.trees.traversal import TreeIndex
@@ -44,8 +48,11 @@ from repro.trees.ops import (
 )
 
 __all__ = [
+    "LabelTable",
     "Node",
     "Tree",
+    "TreeArena",
+    "forest_arenas",
     "TreeIndex",
     "parse_newick",
     "parse_forest",

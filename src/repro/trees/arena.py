@@ -1,0 +1,389 @@
+"""Flat-array tree arenas with interned integer labels.
+
+The pointer-based :class:`~repro.trees.tree.Tree` is the right
+structure for construction and editing, but the mining hot path
+(:mod:`repro.core.fastmine`) wants something an inner loop can chew
+through without attribute lookups, per-node objects, or string
+hashing.  This module provides that compact form:
+
+- :class:`LabelTable` interns the distinct labels of a tree (or a
+  whole forest) into dense integer ids, assigned in **sorted label
+  order** so that comparing two ids is the same as comparing the two
+  label strings — the property that lets the kernel canonicalise an
+  unordered label pair with one integer comparison.  The table is
+  capped at ``2^21`` distinct labels because the kernel packs two ids
+  plus a distance into one integer key; overflow raises
+  :class:`~repro.errors.ArenaError` instead of silently corrupting
+  packed keys.
+
+- :class:`TreeArena` flattens one tree into parallel ``array`` buffers
+  indexed by **preorder position** (so a node's parent always has a
+  smaller index, and iterating indexes in reverse visits children
+  before parents — the only traversal the mining sweep needs):
+
+  ====================  ========  =======================================
+  buffer                typecode  contents at index ``i``
+  ====================  ========  =======================================
+  ``parent``            ``i``     parent index (``-1`` for the root)
+  ``first_child``       ``i``     first child index (``-1`` if leaf)
+  ``next_sibling``      ``i``     next sibling index (``-1`` if last)
+  ``label``             ``i``     interned label id (``-1`` unlabeled)
+  ``node_ids``          ``q``     the paper's identification number
+  ``lengths``           ``d``     branch length (``NaN`` when absent)
+  ====================  ========  =======================================
+
+Arenas pickle as their raw buffers, so shipping one to a worker
+process costs a few ``memcpy``-like array copies instead of
+re-pickling a linked node graph.  Because ids are assigned in sorted
+order, interning is a pure function of the label *set* — two
+processes (or two runs) flattening the same tree always agree on
+every id, which is what makes interned mining results portable.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ArenaError
+from repro.trees.tree import Tree
+
+__all__ = [
+    "LABEL_BITS",
+    "MAX_LABELS",
+    "LabelTable",
+    "TreeArena",
+    "forest_arenas",
+]
+
+LABEL_BITS = 21
+"""Bits reserved for one interned label id inside a packed pair key."""
+
+MAX_LABELS = 1 << LABEL_BITS
+"""Most distinct labels one :class:`LabelTable` can address (2^21)."""
+
+
+class LabelTable:
+    """Dense integer interning of string labels, in sorted order.
+
+    Ids are assigned by sorting the distinct labels, so for any two
+    interned labels ``a`` and ``b``::
+
+        table.intern(a) < table.intern(b)  iff  a < b
+
+    which lets the mining kernel order an unordered label pair by
+    comparing ids.  Construction from the same label *set* is
+    deterministic regardless of input order or process, so interned
+    results can cross process boundaries and cache layers safely.
+    """
+
+    __slots__ = ("labels", "_ids")
+
+    def __init__(self, labels: Iterable[str]) -> None:
+        unique = sorted(set(labels))
+        if len(unique) > MAX_LABELS:
+            raise ArenaError(
+                f"label table overflow: {len(unique)} distinct labels "
+                f"exceed the packed-key capacity of {MAX_LABELS} "
+                f"(2^{LABEL_BITS}); partition the forest by label "
+                "universe before mining"
+            )
+        self.labels: tuple[str, ...] = tuple(unique)
+        self._ids: dict[str, int] = {
+            label: index for index, label in enumerate(self.labels)
+        }
+
+    @classmethod
+    def from_forest(cls, trees: Sequence[Tree]) -> "LabelTable":
+        """One shared table covering every label of every tree."""
+
+        def labels() -> Iterator[str]:
+            for tree in trees:
+                for node in tree.preorder():
+                    if node.label is not None:
+                        yield node.label
+
+        return cls(labels())
+
+    def intern(self, label: str) -> int:
+        """The id of ``label``; raises :class:`ArenaError` if absent."""
+        try:
+            return self._ids[label]
+        except KeyError:
+            raise ArenaError(
+                f"label {label!r} is not in this table "
+                f"({len(self.labels)} labels); build the table from "
+                "the same forest as the trees being flattened"
+            ) from None
+
+    def label_of(self, index: int) -> str:
+        """The label string carrying id ``index``."""
+        return self.labels[index]
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._ids
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelTable):
+            return NotImplemented
+        return self.labels == other.labels
+
+    def __hash__(self) -> int:
+        return hash(self.labels)
+
+    def __reduce__(self):
+        # Rebuild from the label tuple: sorted-order assignment makes
+        # this exactly reproduce every id on the other side.
+        return (LabelTable, (self.labels,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LabelTable({len(self.labels)} labels)"
+
+
+class TreeArena:
+    """One tree flattened into preorder-indexed array buffers.
+
+    Build with :meth:`from_tree`; the constructor takes the raw
+    buffers and is mostly useful to deserialisers and tests.
+    """
+
+    __slots__ = (
+        "parent",
+        "first_child",
+        "next_sibling",
+        "label",
+        "node_ids",
+        "lengths",
+        "table",
+        "name",
+    )
+
+    def __init__(
+        self,
+        parent: array,
+        first_child: array,
+        next_sibling: array,
+        label: array,
+        node_ids: array,
+        lengths: array,
+        table: LabelTable,
+        name: str | None = None,
+    ) -> None:
+        self.parent = parent
+        self.first_child = first_child
+        self.next_sibling = next_sibling
+        self.label = label
+        self.node_ids = node_ids
+        self.lengths = lengths
+        self.table = table
+        self.name = name
+
+    @classmethod
+    def from_tree(cls, tree: Tree, table: LabelTable | None = None) -> "TreeArena":
+        """Flatten ``tree``, interning labels through ``table``.
+
+        Without an explicit ``table`` a per-tree one is built — the
+        form required for content-addressed caching, where the interned
+        result must depend on this tree's content alone.  Pass a
+        :meth:`LabelTable.from_forest` table to share ids across a
+        forest.
+        """
+        if table is None:
+            table = LabelTable(
+                node.label for node in tree.preorder() if node.label is not None
+            )
+        parent = array("i")
+        label = array("i")
+        node_ids = array("q")
+        lengths = array("d")
+        root = tree.root
+        if root is not None:
+            # hot path: touch Node slots directly, skip property wrappers
+            ids = table._ids
+            nan = float("nan")
+            parent_append = parent.append
+            label_append = label.append
+            node_ids_append = node_ids.append
+            lengths_append = lengths.append
+            stack_pop = (stack := [(root, -1)]).pop
+            stack_append = stack.append
+            index = 0
+            while stack:
+                node, parent_index = stack_pop()
+                parent_append(parent_index)
+                text = node.label
+                if text is None:
+                    label_append(-1)
+                else:
+                    try:
+                        label_append(ids[text])
+                    except KeyError:
+                        table.intern(text)  # raises ArenaError
+                node_ids_append(node._id)
+                length = node.length
+                lengths_append(nan if length is None else length)
+                for child in reversed(node._children):
+                    stack_append((child, index))
+                index += 1
+        count = len(parent)
+        first_child = array("i", [-1]) * count
+        next_sibling = array("i", [-1]) * count
+        for index in range(count - 1, 0, -1):
+            parent_index = parent[index]
+            next_sibling[index] = first_child[parent_index]
+            first_child[parent_index] = index
+        return cls(
+            parent,
+            first_child,
+            next_sibling,
+            label,
+            node_ids,
+            lengths,
+            table,
+            name=tree.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def size(self) -> int:
+        """Number of nodes (the paper's ``|T|``)."""
+        return len(self.parent)
+
+    def children(self, index: int) -> Iterator[int]:
+        """Child indexes of node ``index``, in preorder."""
+        child = self.first_child[index]
+        while child != -1:
+            yield child
+            child = self.next_sibling[child]
+
+    def label_text(self, index: int) -> str | None:
+        """The label string of node ``index`` (``None`` if unlabeled)."""
+        interned = self.label[index]
+        return None if interned < 0 else self.table.labels[interned]
+
+    def fingerprint(self) -> str:
+        """The canonical-form string of the flattened tree.
+
+        Matches :func:`repro.engine.cache.tree_fingerprint` exactly
+        (rooted unordered labeled isomorphism; ids and branch lengths
+        ignored), so an arena can stand in for its source tree when
+        computing content addresses.
+        """
+        count = len(self.parent)
+        if count == 0:
+            return "empty"
+        labels = self.table.labels
+        label = self.label
+        first_child = self.first_child
+        next_sibling = self.next_sibling
+        forms: list[str | None] = [None] * count
+        for index in range(count - 1, -1, -1):
+            child_forms = []
+            child = first_child[index]
+            while child != -1:
+                child_forms.append(forms[child])
+                forms[child] = None
+                child = next_sibling[child]
+            child_forms.sort()
+            interned = label[index]
+            if interned < 0:
+                label_key = "-"
+            else:
+                text = labels[interned]
+                label_key = f"{len(text)}:{text}"
+            forms[index] = "(" + label_key + "".join(child_forms) + ")"
+        return forms[0]
+
+    def to_tree(self) -> Tree:
+        """Rebuild a pointer :class:`Tree` (ids and lengths preserved)."""
+        tree = Tree(name=self.name)
+        count = len(self.parent)
+        if count == 0:
+            return tree
+        labels = self.table.labels
+        nodes: list = [None] * count
+        for index in range(count):
+            interned = self.label[index]
+            text = None if interned < 0 else labels[interned]
+            length = self.lengths[index]
+            branch = None if length != length else length  # NaN -> None
+            parent_index = self.parent[index]
+            if parent_index < 0:
+                node = tree.add_root(label=text, node_id=self.node_ids[index])
+                node.length = branch
+            else:
+                node = tree.add_child(
+                    nodes[parent_index],
+                    label=text,
+                    length=branch,
+                    node_id=self.node_ids[index],
+                )
+            nodes[index] = node
+        return tree
+
+    # ------------------------------------------------------------------
+    # Identity / pickling
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeArena):
+            return NotImplemented
+        if self.table != other.table or self.name != other.name:
+            return False
+        for field in ("parent", "first_child", "next_sibling", "label",
+                      "node_ids"):
+            if getattr(self, field) != getattr(other, field):
+                return False
+        # NaN != NaN, so compare lengths bytewise.
+        return self.lengths.tobytes() == other.lengths.tobytes()
+
+    def __getstate__(self) -> tuple:
+        return (
+            self.parent,
+            self.first_child,
+            self.next_sibling,
+            self.label,
+            self.node_ids,
+            self.lengths,
+            self.table,
+            self.name,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.parent,
+            self.first_child,
+            self.next_sibling,
+            self.label,
+            self.node_ids,
+            self.lengths,
+            self.table,
+            self.name,
+        ) = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = f" {self.name!r}" if self.name else ""
+        return (
+            f"TreeArena(size={len(self.parent)}, "
+            f"labels={len(self.table)}{name})"
+        )
+
+
+def forest_arenas(
+    trees: Sequence[Tree], table: LabelTable | None = None
+) -> tuple[LabelTable, list[TreeArena]]:
+    """Flatten a forest against one shared label table.
+
+    Interns the whole forest's label universe once (the per-forest
+    interning pass of the mining kernel) and returns the table plus
+    one arena per tree, aligned with the input order.
+    """
+    if table is None:
+        table = LabelTable.from_forest(trees)
+    return table, [TreeArena.from_tree(tree, table) for tree in trees]

@@ -1,0 +1,266 @@
+"""Unit tests for the interned flat-array kernel and its arena form."""
+
+import pickle
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core import fastmine, single_tree
+from repro.core.cousins import CousinPairItem
+from repro.core.fastmine import (
+    PackedCounts,
+    enumerate_cousin_pairs,
+    mine_arena,
+    mine_tree,
+    mine_tree_counter,
+)
+from repro.core.params import MiningParams
+from repro.engine.cache import arena_cache_key, cache_key, tree_fingerprint
+from repro.errors import ArenaError, ReproError
+from repro.trees import arena as arena_module
+from repro.trees.arena import (
+    LABEL_BITS,
+    MAX_LABELS,
+    LabelTable,
+    TreeArena,
+    forest_arenas,
+)
+from repro.trees.newick import parse_newick
+from repro.trees.tree import Tree
+
+_LABEL_MASK = (1 << LABEL_BITS) - 1
+
+
+def _sample_tree() -> Tree:
+    return parse_newick("((a,b,(c,a)d)e,((b)f,c,(a,(b,c))));")
+
+
+# ----------------------------------------------------------------------
+# Helpers that must be importable by worker processes
+# ----------------------------------------------------------------------
+def _intern_remotely(labels):
+    table = LabelTable(labels)
+    return [table.intern(label) for label in labels]
+
+
+def _mine_arena_remotely(payload):
+    arena, params = payload
+    result = mine_arena(arena, params)
+    return arena, result
+
+
+class TestLabelTable:
+    def test_ids_follow_sorted_label_order(self):
+        table = LabelTable(["pear", "apple", "fig", "apple"])
+        assert table.labels == ("apple", "fig", "pear")
+        assert [table.intern(label) for label in table.labels] == [0, 1, 2]
+        assert table.intern("apple") < table.intern("fig") < table.intern("pear")
+
+    def test_construction_is_input_order_insensitive(self):
+        assert LabelTable(["b", "a", "c"]) == LabelTable(["c", "b", "a", "a"])
+
+    def test_unknown_label_raises_arena_error(self):
+        table = LabelTable(["a"])
+        with pytest.raises(ArenaError, match="not in this table"):
+            table.intern("z")
+
+    def test_arena_error_is_a_repro_error(self):
+        assert issubclass(ArenaError, ReproError)
+
+    def test_packed_key_capacity_contract(self):
+        # The packed key holds two ids of LABEL_BITS bits each, so the
+        # table capacity and the bit width must stay in lock-step.
+        assert LABEL_BITS == 21
+        assert MAX_LABELS == 1 << 21
+
+    def test_overflow_raises_clearly(self, monkeypatch):
+        # Building 2^21 + 1 real strings is wasteful; shrink the cap to
+        # exercise the same code path.
+        monkeypatch.setattr(arena_module, "MAX_LABELS", 4)
+        with pytest.raises(ArenaError, match="label table overflow"):
+            LabelTable(f"l{i}" for i in range(5))
+        # At the cap is still fine.
+        assert len(LabelTable(f"l{i}" for i in range(4))) == 4
+
+    def test_pickle_preserves_every_id(self):
+        table = LabelTable(["delta", "alpha", "omega"])
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone == table
+        assert all(
+            clone.intern(label) == table.intern(label)
+            for label in table.labels
+        )
+
+    def test_interning_is_stable_across_processes(self):
+        labels = ["pear", "apple", "fig", "apple", "banana"]
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote_ids = pool.submit(_intern_remotely, labels).result()
+        table = LabelTable(labels)
+        assert remote_ids == [table.intern(label) for label in labels]
+
+
+class TestTreeArena:
+    def test_preorder_invariants(self):
+        arena = TreeArena.from_tree(_sample_tree())
+        assert arena.parent[0] == -1
+        for index in range(1, len(arena)):
+            assert 0 <= arena.parent[index] < index
+
+    def test_child_links_match_parent_array(self):
+        arena = TreeArena.from_tree(_sample_tree())
+        for index in range(len(arena)):
+            for child in arena.children(index):
+                assert arena.parent[child] == index
+        listed = sorted(
+            child for index in range(len(arena))
+            for child in arena.children(index)
+        )
+        assert listed == list(range(1, len(arena)))
+
+    def test_round_trip_preserves_ids_labels_lengths(self):
+        tree = parse_newick("((a:0.5,b:2)e:1,(c,d:0.25));")
+        arena = TreeArena.from_tree(tree)
+        rebuilt = arena.to_tree()
+        original = {
+            (n.node_id, n.label, n.length) for n in tree.preorder()
+        }
+        assert {
+            (n.node_id, n.label, n.length) for n in rebuilt.preorder()
+        } == original
+        assert TreeArena.from_tree(rebuilt) == arena
+
+    def test_empty_tree(self):
+        arena = TreeArena.from_tree(Tree())
+        assert len(arena) == 0
+        assert arena.fingerprint() == "empty"
+        assert len(arena.to_tree()) == 0
+
+    def test_fingerprint_matches_tree_fingerprint(self):
+        for source in ["((a,b,(c,a)d)e,(f,(g)));", "a;", "((,a),);"]:
+            tree = parse_newick(source)
+            assert TreeArena.from_tree(tree).fingerprint() == (
+                tree_fingerprint(tree)
+            )
+
+    def test_arena_cache_key_matches_cache_key(self):
+        tree = _sample_tree()
+        params = MiningParams(maxdist=2.5, max_generation_gap=2)
+        assert arena_cache_key(TreeArena.from_tree(tree), params) == (
+            cache_key(tree, params)
+        )
+
+    def test_pickle_round_trip(self):
+        arena = TreeArena.from_tree(parse_newick("((a:0.5,b),c)r;"))
+        assert pickle.loads(pickle.dumps(arena)) == arena
+
+    def test_foreign_label_raises(self):
+        table = LabelTable(["a"])
+        with pytest.raises(ArenaError, match="not in this table"):
+            TreeArena.from_tree(parse_newick("(a,b);"), table)
+
+    def test_forest_arenas_share_one_table(self):
+        trees = [parse_newick("(b,c);"), parse_newick("(a,b);")]
+        table, arenas = forest_arenas(trees)
+        assert table.labels == ("a", "b", "c")
+        assert all(arena.table is table for arena in arenas)
+        # "b" carries the same id in both arenas.
+        b_id = table.intern("b")
+        assert b_id in set(arenas[0].label) and b_id in set(arenas[1].label)
+
+
+class TestPackedFormat:
+    def test_keys_decode_onto_the_distance_grid(self):
+        params = MiningParams(maxdist=2.5, max_generation_gap=3)
+        arena = TreeArena.from_tree(_sample_tree())
+        packed = mine_arena(arena, params)
+        assert packed.labels == arena.table.labels
+        for key, occurrences in packed.counts.items():
+            label_b = key & _LABEL_MASK
+            label_a = (key >> LABEL_BITS) & _LABEL_MASK
+            half_steps = key >> (2 * LABEL_BITS)
+            assert occurrences >= 1
+            assert label_a <= label_b < len(packed.labels)
+            assert 0 <= half_steps <= 2 * params.maxdist
+
+    def test_to_counter_matches_reference(self):
+        tree = _sample_tree()
+        packed = mine_arena(
+            TreeArena.from_tree(tree), MiningParams(maxdist=2.0)
+        )
+        assert packed.to_counter() == single_tree.mine_tree_counter(
+            tree, maxdist=2.0
+        )
+
+    def test_filtered_counter_and_total(self):
+        packed = mine_arena(
+            TreeArena.from_tree(parse_newick("(a,a,a,b);")), MiningParams()
+        )
+        counter = packed.to_counter()
+        assert packed.total_occurrences() == sum(counter.values())
+        filtered = packed.filtered_counter(3)
+        assert filtered == Counter(
+            {key: n for key, n in counter.items() if n >= 3}
+        )
+
+    def test_items_match_mine_tree(self):
+        tree = _sample_tree()
+        packed = mine_arena(TreeArena.from_tree(tree), MiningParams())
+        assert packed.items(1) == mine_tree(tree)
+        assert packed.items(2) == mine_tree(tree, minoccur=2)
+
+    def test_packed_counts_pickle_round_trip(self):
+        packed = mine_arena(TreeArena.from_tree(_sample_tree()), MiningParams())
+        clone = pickle.loads(pickle.dumps(packed))
+        assert clone == packed
+        assert clone.to_counter() == packed.to_counter()
+
+    def test_worker_round_trip_is_lossless(self):
+        # Arena out, interned result back: what the engine's process
+        # pool does, minus the engine.
+        arena = TreeArena.from_tree(_sample_tree())
+        params = MiningParams(maxdist=2.5)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            returned, packed = pool.submit(
+                _mine_arena_remotely, (arena, params)
+            ).result()
+        assert returned == arena
+        assert packed == mine_arena(arena, params)
+
+
+class TestDropInEquivalence:
+    def test_basics_match_single_tree(self):
+        for source in ["(a,b);", "a;", "(((((a)b)c)d)e);", "(a,a,a);",
+                       "((,a),);"]:
+            tree = parse_newick(source)
+            assert mine_tree(tree, maxdist=5) == (
+                single_tree.mine_tree(tree, maxdist=5)
+            )
+
+    def test_counter_and_enumeration_match(self):
+        tree = _sample_tree()
+        assert mine_tree_counter(tree, maxdist=2.0) == (
+            single_tree.mine_tree_counter(tree, maxdist=2.0)
+        )
+        assert set(enumerate_cousin_pairs(tree, maxdist=2.0)) == set(
+            single_tree.enumerate_cousin_pairs(tree, maxdist=2.0)
+        )
+
+    def test_two_siblings(self):
+        assert mine_tree(parse_newick("(a,b);")) == [
+            CousinPairItem("a", "b", 0.0, 1)
+        ]
+
+    def test_empty_and_trivial_trees(self):
+        assert mine_tree(Tree()) == []
+        assert mine_tree(parse_newick("a;")) == []
+        assert mine_tree_counter(Tree()) == Counter()
+
+    def test_random_trees_match(self, rng):
+        from tests.conftest import make_random_tree
+
+        for _ in range(10):
+            tree = make_random_tree(rng)
+            assert mine_tree(tree, maxdist=2.5) == (
+                single_tree.mine_tree(tree, maxdist=2.5)
+            )

@@ -139,26 +139,59 @@ class TestStatsAccounting:
 
 
 class TestParallelDispatch:
+    # clamp_jobs=False forces the pool even on a 1-CPU box, where the
+    # default clamp would (correctly) take the serial path.
     def test_pool_engaged_above_threshold(self, forest):
-        engine = MiningEngine(jobs=2, min_parallel_trees=1)
+        engine = MiningEngine(jobs=2, min_parallel_trees=1, clamp_jobs=False)
         engine.items(forest)
         assert engine.stats.parallel_batches == 1
         assert engine.stats.chunks >= 2
 
     def test_serial_fallback_below_threshold(self, forest):
-        engine = MiningEngine(jobs=2, min_parallel_trees=100)
+        engine = MiningEngine(jobs=2, min_parallel_trees=100, clamp_jobs=False)
         engine.items(forest)
         assert engine.stats.parallel_batches == 0
 
     def test_warm_parallel_batch_does_not_respawn_pool(self, forest):
-        engine = MiningEngine(jobs=2, min_parallel_trees=1)
+        engine = MiningEngine(jobs=2, min_parallel_trees=1, clamp_jobs=False)
         engine.items(forest)
         engine.items(forest)  # all hits: nothing to mine
         assert engine.stats.parallel_batches == 1
 
 
+class TestJobsResolution:
+    def test_default_jobs_tracks_available_cpus(self):
+        from repro.engine.engine import available_cpus
+
+        engine = MiningEngine()
+        assert engine.jobs == available_cpus()
+        assert engine.requested_jobs == available_cpus()
+
+    def test_requested_jobs_clamped_to_available(self):
+        from repro.engine.engine import available_cpus
+
+        engine = MiningEngine(jobs=10_000)
+        assert engine.requested_jobs == 10_000
+        assert engine.jobs == min(10_000, available_cpus())
+
+    def test_clamp_can_be_disabled(self):
+        engine = MiningEngine(jobs=10_000, clamp_jobs=False)
+        assert engine.jobs == 10_000
+
+    def test_effective_jobs_one_never_spawns_a_pool(self, forest):
+        engine = MiningEngine(jobs=1, min_parallel_trees=1)
+        engine.items(forest)
+        assert engine.stats.parallel_batches == 0
+        assert engine.stats.chunks == 0
+
+    def test_available_cpus_is_positive(self):
+        from repro.engine.engine import available_cpus
+
+        assert available_cpus() >= 1
+
+
 class TestConfigValidation:
-    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, None, "2"])
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "2"])
     def test_bad_jobs_rejected(self, bad):
         with pytest.raises(EngineError, match="jobs"):
             MiningEngine(jobs=bad)

@@ -73,7 +73,8 @@ def test_process_pool_equals_reference(forest, maxdist, gap):
     reference = mine_forest(
         forest, maxdist=maxdist, max_generation_gap=gap
     )
-    engine = MiningEngine(jobs=2, min_parallel_trees=1)
+    # clamp_jobs=False keeps the pool engaged even on a 1-CPU box.
+    engine = MiningEngine(jobs=2, min_parallel_trees=1, clamp_jobs=False)
     for _temperature in ("cold", "warm"):
         got = engine.mine_forest(
             forest, maxdist=maxdist, max_generation_gap=gap
