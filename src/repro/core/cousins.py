@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Union
 
+from repro.core.params import validate_maxdist
 from repro.trees.tree import Node, Tree
 from repro.trees.traversal import TreeIndex
 
@@ -123,6 +124,7 @@ def valid_distances(maxdist: float, max_generation_gap: int = 1) -> list[float]:
     (higher gaps change which height pairs realise a value, not the
     value grid).
     """
+    maxdist = validate_maxdist(maxdist)
     values: set[float] = set()
     for gap in range(max_generation_gap + 1):
         height = 1

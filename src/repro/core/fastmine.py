@@ -53,8 +53,9 @@ from collections import Counter
 from typing import Iterator, Sequence
 
 from repro.core.cousins import CousinPair, CousinPairItem, distance_from_heights
-from repro.core.params import MiningParams
-from repro.trees.arena import LABEL_BITS, TreeArena
+from repro.core.params import MiningParams, validate_minoccur
+from repro.trees.arena import TreeArena
+from repro.trees.packing import DIST_SHIFT, LABEL_BITS, LABEL_MASK
 from repro.trees.tree import Tree
 
 __all__ = [
@@ -66,8 +67,8 @@ __all__ = [
     "iter_pair_indexes",
 ]
 
-_LABEL_MASK = (1 << LABEL_BITS) - 1
-_DIST_SHIFT = 2 * LABEL_BITS
+_LABEL_MASK = LABEL_MASK
+_DIST_SHIFT = DIST_SHIFT
 
 try:  # the C helper behind Counter.update: mapping[elem] += 1 per elem
     from collections import _count_elements
@@ -318,6 +319,7 @@ class PackedCounts:
 
     def filtered_counter(self, minoccur: int) -> Counter:
         """Like :meth:`to_counter` but dropping counts below ``minoccur``."""
+        minoccur = validate_minoccur(minoccur)
         labels = self.labels
         decoded = {
             (
@@ -337,6 +339,7 @@ class PackedCounts:
 
         Matches :func:`repro.core.single_tree.mine_tree` item-for-item.
         """
+        minoccur = validate_minoccur(minoccur)
         labels = self.labels
         result = [
             CousinPairItem(

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.core.cousins import ANY, CousinPairItem
 from repro.core.multi_tree import FrequentCousinPair
-from repro.core.params import MiningParams
+from repro.core.params import MiningParams, validate_minsup
 from repro.core.fastmine import mine_tree
 from repro.trees.tree import Tree
 
@@ -201,8 +201,7 @@ class CousinPairIndex:
         :func:`repro.core.multi_tree.mine_forest` exactly (same record
         type, same sort order) — the index is a drop-in accelerator.
         """
-        if minsup < 1:
-            raise ValueError("minsup must be >= 1")
+        minsup = validate_minsup(minsup)
         results = [
             FrequentCousinPair(
                 label_a=key[0],

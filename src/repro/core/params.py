@@ -26,11 +26,52 @@ from dataclasses import dataclass
 
 from repro.errors import MiningParameterError
 
-__all__ = ["MiningParams", "DEFAULT_PARAMS"]
+__all__ = [
+    "MiningParams",
+    "DEFAULT_PARAMS",
+    "validate_maxdist",
+    "validate_minoccur",
+    "validate_minsup",
+]
 
 
 def _is_half_step(value: float) -> bool:
     return math.isfinite(value) and float(2 * value).is_integer()
+
+
+def validate_maxdist(maxdist: float) -> float:
+    """Check one raw ``maxdist`` knob and return it.
+
+    The single validation point for functions that take a bare
+    ``maxdist`` without building a full :class:`MiningParams`
+    (enforced by lint rule ``RPL004``): the distance budget must be a
+    non-negative multiple of 0.5, because cousin distances advance in
+    half steps.
+    """
+    if maxdist < 0 or not _is_half_step(maxdist):
+        raise MiningParameterError(
+            f"maxdist must be a non-negative multiple of 0.5, "
+            f"got {maxdist!r}"
+        )
+    return maxdist
+
+
+def validate_minoccur(minoccur: int) -> int:
+    """Check one raw ``minoccur`` knob (>= 1) and return it."""
+    if minoccur < 1:
+        raise MiningParameterError(
+            f"minoccur must be >= 1, got {minoccur!r}"
+        )
+    return minoccur
+
+
+def validate_minsup(minsup: int) -> int:
+    """Check one raw ``minsup`` knob (>= 1) and return it."""
+    if minsup < 1:
+        raise MiningParameterError(
+            f"minsup must be >= 1, got {minsup!r}"
+        )
+    return minsup
 
 
 @dataclass(frozen=True)
@@ -68,19 +109,9 @@ class MiningParams:
     max_height: int | None = None
 
     def __post_init__(self) -> None:
-        if self.maxdist < 0 or not _is_half_step(self.maxdist):
-            raise MiningParameterError(
-                f"maxdist must be a non-negative multiple of 0.5, "
-                f"got {self.maxdist!r}"
-            )
-        if self.minoccur < 1:
-            raise MiningParameterError(
-                f"minoccur must be >= 1, got {self.minoccur!r}"
-            )
-        if self.minsup < 1:
-            raise MiningParameterError(
-                f"minsup must be >= 1, got {self.minsup!r}"
-            )
+        validate_maxdist(self.maxdist)
+        validate_minoccur(self.minoccur)
+        validate_minsup(self.minsup)
         if self.max_generation_gap < 0:
             raise MiningParameterError(
                 f"max_generation_gap must be >= 0, "

@@ -48,11 +48,14 @@ from repro.core.fastmine import PackedCounts
 from repro.core.params import MiningParams
 from repro.errors import EngineError
 from repro.trees.arena import TreeArena
+from repro.trees.packing import PACKED_KEY_SCHEME
 from repro.trees.tree import Tree
 
 __all__ = ["tree_fingerprint", "cache_key", "arena_cache_key", "PairSetCache"]
 
-_KEY_SCHEME = "cpi-packed/v2"
+# The packed-layout version tag doubles as the cache key scheme: any
+# change to the key layout must re-address every cached payload.
+_KEY_SCHEME = PACKED_KEY_SCHEME
 
 # Separators chosen below "\x00" .. label bytes so no label content can
 # forge a boundary: labels are arbitrary strings, so each is wrapped in

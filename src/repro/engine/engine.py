@@ -223,6 +223,13 @@ class MiningEngine:
                 self.stats.memory_hits += 1
                 continue
             found = self.cache.lookup(key)
+            if found is not None and not self._admissible(found[1], arena):
+                # A payload that is not interned packed counts, or whose
+                # label table disagrees with the arena it is being served
+                # for (poisoned disk entry, stale scheme, hash collision):
+                # reject it and re-mine rather than decode garbage.
+                self.stats.rejected += 1
+                found = None
             if found is None:
                 self.stats.misses += 1
                 resolved[key] = _PENDING
@@ -369,6 +376,21 @@ class MiningEngine:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def _admissible(payload: object, arena: TreeArena) -> bool:
+        """Whether a cached payload may be served for ``arena``.
+
+        The content address already binds the payload to the tree's
+        canonical form, but the payload itself must be interned packed
+        counts whose label universe matches the arena's — isomorphic
+        trees share a label set, so any disagreement means the entry is
+        corrupt or from a foreign scheme.
+        """
+        return (
+            isinstance(payload, PackedCounts)
+            and payload.labels == arena.table.labels
+        )
+
     @staticmethod
     def _resolve(
         params: MiningParams | None,

@@ -33,6 +33,10 @@ class EngineStats:
     misses:
         Lookups that found nothing cached; exactly one per distinct
         (canonical form, parameters) pair actually mined.
+    rejected:
+        Cached payloads refused at lookup time because they were not
+        interned packed counts or their label table disagreed with the
+        arena being served (each rejection is also counted as a miss).
     batches:
         Number of engine batch calls.
     parallel_batches:
@@ -49,6 +53,7 @@ class EngineStats:
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
+    rejected: int = 0
     batches: int = 0
     parallel_batches: int = 0
     chunks: int = 0

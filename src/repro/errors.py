@@ -39,8 +39,13 @@ class NewickError(ReproError):
         self.position = position
 
 
-class MiningParameterError(ReproError):
-    """A mining parameter (maxdist, minoccur, minsup, ...) was invalid."""
+class MiningParameterError(ReproError, ValueError):
+    """A mining parameter (maxdist, minoccur, minsup, ...) was invalid.
+
+    Also a :class:`ValueError`, so call sites that predate the
+    dedicated hierarchy (and external callers treating bad knobs as
+    plain value errors) keep working.
+    """
 
 
 class ArenaError(ReproError):

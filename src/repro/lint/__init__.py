@@ -1,0 +1,32 @@
+"""``repro-lint``: the repo's own AST static-analysis pass.
+
+The mining stack encodes invariants that no general-purpose linter
+knows about: packed-int key layouts (:mod:`repro.trees.packing`),
+iterative-only traversal of arbitrarily deep phylogenies, allocation
+discipline in the kernel hot path, centralised validation of the
+paper's mining knobs, deterministic randomness in the generators, and
+picklability of everything shipped to engine workers.  Each rule here
+turns one such convention into a mechanical check, so a future change
+that would corrupt mined cousin-pair counts fails the build instead of
+silently diverging.
+
+Run it as ``repro-lint [paths]`` or ``python -m repro.lint [paths]``;
+see :mod:`repro.lint.rules` for the rule catalogue (RPL001..RPL006)
+and ``docs/dev.md`` for rationale and examples.  Suppress a finding
+with an end-of-line pragma ``# repro-lint: disable=RPL001`` or skip a
+whole file with ``# repro-lint: skip-file``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.analyzer import Finding, lint_path, lint_source, run_lint
+from repro.lint.rules import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "lint_path",
+    "lint_source",
+    "run_lint",
+]

@@ -1,0 +1,173 @@
+"""Core machinery of :mod:`repro.lint`: contexts, pragmas, drivers.
+
+A :class:`ModuleContext` bundles one parsed source file with its
+repo-relative *module key* (``repro/core/fastmine.py``), which is what
+rules scope themselves by, plus the per-line pragma table.  The
+drivers (:func:`lint_source`, :func:`lint_path`, :func:`run_lint`)
+apply every selected rule and return sorted, pragma-filtered
+:class:`Finding` records.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "lint_source",
+    "lint_path",
+    "run_lint",
+]
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<verb>disable|skip-file)"
+    r"(?:\s*=\s*(?P<ids>[A-Z0-9, ]+))?"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional ``path:line:col: ID message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def _module_key(path: str) -> str:
+    """The repo-relative module key of ``path``.
+
+    Everything from the last ``repro`` package component onward,
+    ``/``-joined — ``src/repro/core/fastmine.py`` and
+    ``/abs/checkout/src/repro/core/fastmine.py`` both map to
+    ``repro/core/fastmine.py``.  Paths outside a ``repro`` package
+    keep their name, so rules scoped to the package simply never
+    match them.
+    """
+    parts = Path(path).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return Path(path).name
+
+
+class ModuleContext:
+    """One source file, parsed, with its identity and pragma table."""
+
+    def __init__(self, source: str, path: str, module: str | None = None) -> None:
+        self.source = source
+        self.path = path
+        self.module = module if module is not None else _module_key(path)
+        self.tree = ast.parse(source, filename=path)
+        self.skip_file = False
+        self.disabled: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(text)
+            if match is None:
+                continue
+            if match.group("verb") == "skip-file":
+                self.skip_file = True
+            else:
+                ids = match.group("ids") or ""
+                names = frozenset(
+                    part.strip() for part in ids.split(",") if part.strip()
+                )
+                self.disabled[lineno] = names
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this module lives under any of the given prefixes.
+
+        Prefixes use module-key form: ``repro/`` matches the whole
+        package, ``repro/engine/`` one subpackage, and a full key like
+        ``repro/core/fastmine.py`` exactly one module.
+        """
+        return any(
+            self.module == prefix or self.module.startswith(prefix)
+            for prefix in prefixes
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether a line pragma disables this finding."""
+        names = self.disabled.get(finding.line)
+        if names is None:
+            return False
+        return not names or finding.rule_id in names
+
+
+def _select_rules(select: Iterable[str] | None):
+    from repro.lint.rules import RULES
+
+    if select is None:
+        return list(RULES)
+    wanted = set(select)
+    unknown = wanted - {rule.id for rule in RULES}
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [rule for rule in RULES if rule.id in wanted]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    module: str | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source string.
+
+    ``module`` overrides the module key derived from ``path`` — the
+    hook fixture tests use to aim scoped rules at arbitrary snippets.
+    """
+    context = ModuleContext(source, path, module=module)
+    if context.skip_file:
+        return []
+    findings: list[Finding] = []
+    for rule in _select_rules(select):
+        if not rule.applies(context):
+            continue
+        for finding in rule.check(context):
+            if not context.suppressed(finding):
+                findings.append(finding)
+    findings.sort()
+    return findings
+
+
+def lint_path(
+    path: str | Path, *, select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint one file on disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, str(path), select=select)
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+
+
+def run_lint(
+    paths: Sequence[str | Path], *, select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint files and directories (recursively); findings come sorted."""
+    findings: list[Finding] = []
+    for path in _iter_python_files(paths):
+        findings.extend(lint_path(path, select=select))
+    findings.sort()
+    return findings

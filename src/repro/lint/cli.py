@@ -1,0 +1,83 @@
+"""Command-line front end: ``repro-lint`` / ``python -m repro.lint``.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors (unknown rule id, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.lint.analyzer import run_lint
+from repro.lint.rules import RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Project-specific static analysis for the repro mining "
+            "stack (rules RPL001..RPL006; see docs/dev.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (findings only)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the analyzer; returns the process exit status."""
+    options = _build_parser().parse_args(argv)
+
+    if options.list_rules:
+        for rule in RULES:
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+
+    select = None
+    if options.select:
+        select = [part.strip() for part in options.select.split(",") if part.strip()]
+
+    try:
+        findings = run_lint(options.paths, select=select)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro-lint: error: {error}", file=sys.stderr)
+        return 2
+    except SyntaxError as error:
+        print(f"repro-lint: cannot parse: {error}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    if not options.quiet:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro-lint: {len(findings)} {noun}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -43,9 +43,10 @@ every id, which is what makes interned mining results portable.
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, Iterator, Sequence
+from typing import ClassVar, Iterable, Iterator, Sequence
 
 from repro.errors import ArenaError
+from repro.trees.packing import LABEL_BITS, MAX_LABELS
 from repro.trees.tree import Tree
 
 __all__ = [
@@ -55,12 +56,6 @@ __all__ = [
     "TreeArena",
     "forest_arenas",
 ]
-
-LABEL_BITS = 21
-"""Bits reserved for one interned label id inside a packed pair key."""
-
-MAX_LABELS = 1 << LABEL_BITS
-"""Most distinct labels one :class:`LabelTable` can address (2^21)."""
 
 
 class LabelTable:
@@ -79,12 +74,21 @@ class LabelTable:
 
     __slots__ = ("labels", "_ids")
 
+    max_labels: ClassVar[int] = MAX_LABELS
+    """Capacity cap checked at construction.
+
+    Defaults to :data:`repro.trees.packing.MAX_LABELS`; tests shrink it
+    (monkeypatching the class attribute) to exercise the overflow path
+    without allocating 2^21 labels.
+    """
+
     def __init__(self, labels: Iterable[str]) -> None:
         unique = sorted(set(labels))
-        if len(unique) > MAX_LABELS:
+        cap = type(self).max_labels
+        if len(unique) > cap:
             raise ArenaError(
                 f"label table overflow: {len(unique)} distinct labels "
-                f"exceed the packed-key capacity of {MAX_LABELS} "
+                f"exceed the packed-key capacity of {cap} "
                 f"(2^{LABEL_BITS}); partition the forest by label "
                 "universe before mining"
             )
@@ -110,11 +114,20 @@ class LabelTable:
         try:
             return self._ids[label]
         except KeyError:
-            raise ArenaError(
-                f"label {label!r} is not in this table "
-                f"({len(self.labels)} labels); build the table from "
-                "the same forest as the trees being flattened"
-            ) from None
+            raise self.missing(label) from None
+
+    def missing(self, label: str) -> ArenaError:
+        """The error describing a lookup of an uncovered ``label``.
+
+        Returned (not raised) so hot loops that already hold the
+        ``_ids`` dict can report a miss without re-entering
+        :meth:`intern` — see rule ``RPL003`` of :mod:`repro.lint`.
+        """
+        return ArenaError(
+            f"label {label!r} is not in this table "
+            f"({len(self.labels)} labels); build the table from "
+            "the same forest as the trees being flattened"
+        )
 
     def label_of(self, index: int) -> str:
         """The label string carrying id ``index``."""
@@ -221,7 +234,7 @@ class TreeArena:
                     try:
                         label_append(ids[text])
                     except KeyError:
-                        table.intern(text)  # raises ArenaError
+                        raise table.missing(text) from None
                 node_ids_append(node._id)
                 length = node.length
                 lengths_append(nan if length is None else length)

@@ -60,11 +60,14 @@ def render_with_highlights(
     markers = markers or {}
     lines: list[str] = []
 
-    # Depth-first with an explicit prefix per level.
-    def walk(node: Node, prefix: str, is_last: bool, is_root: bool) -> None:
+    # Depth-first with an explicit prefix per level; the stack makes
+    # arbitrarily deep chains safe (rule RPL001), so no height guard
+    # or ascii_art fallback is needed.
+    stack: list[tuple[Node, str, bool, bool]] = [(tree.root, "", True, True)]
+    while stack:
+        node, prefix, is_last, is_root = stack.pop()
         label = _label_text(node, markers)
         if is_root:
-            connector = ""
             lines.append(label if node.is_leaf else f"{label}┐" if label else "┐")
         else:
             connector = "└─" if is_last else "├─"
@@ -75,13 +78,15 @@ def render_with_highlights(
                 lines.append(f"{prefix}{connector}{suffix}")
         child_prefix = prefix if is_root else prefix + ("  " if is_last else "│ ")
         children = node.children
-        for position, child in enumerate(children):
-            walk(child, child_prefix, position == len(children) - 1, False)
-
-    # Recursion depth equals tree height; guard very deep chains.
-    if tree.height() > 900:
-        return tree.ascii_art()
-    walk(tree.root, "", True, True)
+        for position in range(len(children) - 1, -1, -1):
+            stack.append(
+                (
+                    children[position],
+                    child_prefix,
+                    position == len(children) - 1,
+                    False,
+                )
+            )
     return "\n".join(lines)
 
 

@@ -1,13 +1,39 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import datetime
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.trees.newick import parse_newick
 from repro.trees.tree import Tree
+
+# ---------------------------------------------------------------------------
+# Hypothesis profiles
+# ---------------------------------------------------------------------------
+# The "ci" profile makes property-suite failures reproducible and
+# flake-free on shared runners: derandomize pins the example stream to
+# a fixed seed bucket (the same examples every run, no fuzzing drift
+# between CI and a local repro), the explicit 2 s deadline is generous
+# enough that a cold-cache runner never trips it yet still catches
+# pathological slowdowns, and print_blob emits the
+# ``@reproduce_failure`` blob needed to replay a failing example
+# locally.  Selected automatically under CI (GitHub Actions always
+# sets ``CI=1``) or explicitly via ``HYPOTHESIS_PROFILE=ci``.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=datetime.timedelta(seconds=2),
+    print_blob=True,
+)
+settings.register_profile("default", settings.default)
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "default")
+)
 
 
 @pytest.fixture

@@ -75,9 +75,10 @@ class TestLabelTable:
         assert MAX_LABELS == 1 << 21
 
     def test_overflow_raises_clearly(self, monkeypatch):
-        # Building 2^21 + 1 real strings is wasteful; shrink the cap to
-        # exercise the same code path.
-        monkeypatch.setattr(arena_module, "MAX_LABELS", 4)
+        # Building 2^21 + 1 real strings is wasteful; shrink the cap
+        # through the official hook (the LabelTable.max_labels class
+        # attribute) to exercise the same code path.
+        monkeypatch.setattr(LabelTable, "max_labels", 4)
         with pytest.raises(ArenaError, match="label table overflow"):
             LabelTable(f"l{i}" for i in range(5))
         # At the cap is still fine.

@@ -233,3 +233,55 @@ class TestKernelMissAccounting:
         assert result.indexes == reference.indexes
         assert result.average_distance == reference.average_distance
         assert result.pairwise_evaluations == reference.pairwise_evaluations
+
+
+class TestPayloadRejection:
+    """A cached payload must match the arena it is served for.
+
+    The content address binds a payload to the tree's canonical form,
+    but a poisoned, stale-scheme or hash-colliding entry could still
+    carry the wrong label table — the engine must reject it and
+    re-mine instead of decoding ids against the wrong labels.
+    """
+
+    def test_label_table_mismatch_is_rejected(self, tree):
+        from repro.core.fastmine import PackedCounts
+
+        engine = MiningEngine()
+        baseline = engine.items([tree])
+        key = cache_key(tree, MiningParams(minsup=1))
+        poisoned = PackedCounts(("w", "x", "y", "z"), {0: 99})
+        engine.cache.put(key, poisoned)
+        engine.stats.reset()
+
+        assert engine.items([tree]) == baseline
+        assert engine.stats.rejected == 1
+        assert engine.stats.misses == 1
+        assert engine.stats.hits == 0
+        # The re-mined result replaced the poisoned entry.
+        layer, healed = engine.cache.lookup(key)
+        assert healed.labels == ("a", "b", "c", "d")
+
+    def test_fingerprint_matched_payload_is_served(self, tree):
+        engine = MiningEngine()
+        engine.items([tree])
+        engine.stats.reset()
+        assert engine.items([tree])
+        assert engine.stats.rejected == 0
+        assert engine.stats.memory_hits == 1
+
+    def test_legacy_counter_payload_is_rejected(self, tree):
+        from collections import Counter
+
+        engine = MiningEngine()
+        baseline = engine.items([tree])
+        key = cache_key(tree, MiningParams(minsup=1))
+        engine.cache.put(key, Counter({("a", "b", 1.0): 1}))
+        engine.stats.reset()
+
+        assert engine.items([tree]) == baseline
+        assert engine.stats.rejected == 1
+
+    def test_rejected_appears_in_stats_dict(self, tree):
+        engine = MiningEngine()
+        assert engine.stats.as_dict()["rejected"] == 0

@@ -1,0 +1,16 @@
+"""RPL001 trigger: self-recursive walk over tree structure."""
+
+
+def collect_labels(node, out):
+    if node.label is not None:
+        out.append(node.label)
+    for child in node.children:
+        collect_labels(child, out)
+
+
+class Walker:
+    def visit(self, node):
+        total = 1
+        for child in node.children:
+            total += self.visit(child)
+        return total

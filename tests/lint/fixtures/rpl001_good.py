@@ -1,0 +1,25 @@
+"""RPL001 pass: iterative walks, plus legal same-name delegation."""
+
+
+def collect_labels(root):
+    out = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.label is not None:
+            out.append(node.label)
+        stack.extend(node.children)
+    return out
+
+
+def mine_forest(trees, **kwargs):
+    # Rebinding the name via a local import is delegation, not
+    # recursion (the MiningEngine.mine_forest pattern).
+    from repro.core.multi_tree import mine_forest
+
+    return mine_forest(trees, **kwargs)
+
+
+def factorial(n):
+    # Recursion that never touches tree structure is out of scope.
+    return 1 if n <= 1 else n * factorial(n - 1)

@@ -1,0 +1,11 @@
+"""RPL002 trigger: packed-key geometry re-derived with literals."""
+
+LOCAL_MASK = 2097151
+
+
+def pack(half_steps, label_a, label_b):
+    return (half_steps << 42) | (label_a << 21) | label_b
+
+
+def unpack_low(key):
+    return key & 0x1FFFFF

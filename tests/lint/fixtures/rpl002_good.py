@@ -1,0 +1,16 @@
+"""RPL002 pass: the layout comes from the packing module."""
+
+from repro.trees.packing import DIST_SHIFT, LABEL_BITS, LABEL_MASK
+
+
+def pack(half_steps, label_a, label_b):
+    return (half_steps << DIST_SHIFT) | (label_a << LABEL_BITS) | label_b
+
+
+def unpack_low(key):
+    return key & LABEL_MASK
+
+
+def unrelated_arithmetic():
+    # Bare 21/42 outside bitwise expressions are ordinary numbers.
+    return list(range(21)) + [42]

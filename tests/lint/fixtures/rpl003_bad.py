@@ -1,0 +1,16 @@
+"""RPL003 trigger (linted as repro/core/fastmine.py): hot-loop costs."""
+
+
+def sweep(arena, table):
+    counts = {}
+    for index in range(len(arena.parent)):
+        label_id = table.intern(arena.label_text(index))
+        counts[label_id] = counts.get(label_id, 0) + 1
+    return counts
+
+
+def materialise(rows):
+    out = []
+    for row in rows:
+        out.append({"label": row[0], "count": row[1]})
+    return out

@@ -1,0 +1,18 @@
+"""RPL003 pass (linted as repro/core/fastmine.py): interned hot loop."""
+
+
+def sweep(arena, table):
+    # Interning happens once, before the loop; the loop sees only ids.
+    ids = [table.intern(text) for text in arena.table.labels]
+    counts = {}
+    for index in range(len(arena.parent)):
+        label_id = ids[arena.label[index]]
+        counts[label_id] = counts.get(label_id, 0) + 1
+    return counts
+
+
+def seed_stratum(lab):
+    out = []
+    for _ in range(3):
+        out.append({lab: 1})  # int-keyed: fine on the hot path
+    return out

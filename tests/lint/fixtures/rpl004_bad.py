@@ -1,0 +1,9 @@
+"""RPL004 trigger: raw mining knobs consumed without validation."""
+
+
+def filter_items(items, minoccur=1):
+    return [item for item in items if item.occurrences >= minoccur]
+
+
+def within_budget(distance, maxdist):
+    return distance <= maxdist

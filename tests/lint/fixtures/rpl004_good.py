@@ -1,0 +1,17 @@
+"""RPL004 pass: knobs validated or visibly forwarded."""
+
+from repro.core.params import MiningParams, validate_minoccur
+
+
+def filter_items(items, minoccur=1):
+    minoccur = validate_minoccur(minoccur)
+    return [item for item in items if item.occurrences >= minoccur]
+
+
+def mine(tree, maxdist=1.5, minsup=2):
+    params = MiningParams(maxdist=maxdist, minsup=minsup)
+    return params
+
+
+def delegate(tree, maxdist=1.5):
+    return mine(tree, maxdist=maxdist)

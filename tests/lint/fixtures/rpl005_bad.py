@@ -1,0 +1,14 @@
+"""RPL005 trigger (linted as repro/generate/x.py): shared state and
+the global RNG."""
+
+import random
+
+
+def sample_labels(count, pool=[]):
+    pool.extend(random.choices("abcdef", k=count))
+    return pool
+
+
+def shuffle_forest(trees, order={}):
+    random.shuffle(trees)
+    return trees

@@ -1,0 +1,18 @@
+"""RPL005 pass (linted as repro/generate/x.py): explicit RNG, no
+mutable defaults."""
+
+import random
+
+
+def sample_labels(count, rng=None, pool=None):
+    rng = random.Random(0) if rng is None else rng
+    pool = [] if pool is None else pool
+    pool.extend(rng.choices("abcdef", k=count))
+    return pool
+
+
+def shuffle_forest(trees, rng: random.Random | int | None = None):
+    if not isinstance(rng, random.Random):
+        rng = random.Random(rng)
+    rng.shuffle(trees)
+    return trees

@@ -1,0 +1,10 @@
+"""RPL006 trigger (linted as repro/engine/x.py): unpicklable tasks."""
+
+
+def fan_out(pool, chunks, params):
+    def mine_one(chunk):
+        return [(key, len(chunk)) for key in chunk]
+
+    futures = [pool.submit(mine_one, chunk) for chunk in chunks]
+    results = list(pool.map(lambda chunk: (chunk, params), chunks))
+    return futures, results

@@ -1,0 +1,10 @@
+"""RPL006 pass (linted as repro/engine/x.py): module-level tasks."""
+
+
+def _mine_chunk(payload):
+    chunk, params = payload
+    return [(key, params) for key in chunk]
+
+
+def fan_out(pool, chunks, params):
+    return list(pool.map(_mine_chunk, [(chunk, params) for chunk in chunks]))

@@ -1,0 +1,93 @@
+"""The ``repro-lint`` command line: exit codes, output, discovery."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).parents[2] / "src"
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert main([str(target)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        # Rules scope by the path's repro/... suffix, so the fixture
+        # must live under a repro package directory to be in scope.
+        target = tmp_path / "repro" / "core"
+        target.mkdir(parents=True)
+        bad = target / "packedkeys.py"
+        bad.write_text(
+            (FIXTURES / "rpl002_bad.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RPL002" in out
+        assert str(bad) in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--select", "RPL999", str(FIXTURES)]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.txt")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_select_narrows_rules(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "core"
+        target.mkdir(parents=True)
+        bad = target / "packedkeys.py"
+        bad.write_text("key = 1 << 42\n", encoding="utf-8")
+        assert main(["--select", "RPL001", str(bad)]) == 0
+        assert main(["--select", "RPL002", str(bad)]) == 1
+
+
+class TestListRules:
+    def test_lists_all_six(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+            assert rule_id in out
+
+    def test_quiet_drops_summary(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert main(["--quiet", str(target)]) == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestDirectoryDiscovery:
+    def test_directory_is_walked_recursively(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("key = 1 << 42\n", encoding="utf-8")
+        (package / "good.py").write_text("x = 2\n", encoding="utf-8")
+        assert main([str(tmp_path)]) == 1
+        assert "bad.py" in capsys.readouterr().out
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "broken.py"
+        target.write_text("def f(:\n", encoding="utf-8")
+        assert main([str(target)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_runs_clean_on_src(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(REPO_SRC / "repro")],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 findings" in result.stdout

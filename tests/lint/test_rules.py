@@ -1,0 +1,189 @@
+"""Fixture-backed tests for every RPL rule.
+
+Each rule has at least one fixture that triggers it and one that
+passes (``tests/lint/fixtures``).  Fixtures outside the hot-path /
+generator / engine scopes are linted under a synthetic module key via
+``lint_source(..., module=...)``, which is the supported way to aim a
+scoped rule at an arbitrary snippet.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import RULES, lint_source, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# fixture stem -> module key it is linted under
+MODULE_KEYS = {
+    "rpl001": "repro/apps/fixture.py",
+    "rpl002": "repro/core/fixture.py",
+    "rpl003": "repro/core/fastmine.py",
+    "rpl004": "repro/apps/fixture.py",
+    "rpl005": "repro/generate/fixture.py",
+    "rpl006": "repro/engine/fixture.py",
+}
+
+
+def lint_fixture(name: str, **kwargs):
+    stem = name.split("_")[0]
+    source = (FIXTURES / f"{name}.py").read_text(encoding="utf-8")
+    return lint_source(
+        source, str(FIXTURES / f"{name}.py"), module=MODULE_KEYS[stem], **kwargs
+    )
+
+
+class TestCatalogue:
+    def test_rule_ids_are_unique_and_ordered(self):
+        ids = [rule.id for rule in RULES]
+        assert ids == sorted(set(ids))
+        assert all(id.startswith("RPL") for id in ids)
+
+    def test_every_rule_is_documented(self):
+        for rule in RULES:
+            assert rule.summary, rule.id
+            assert rule.__doc__ and rule.id in rule.__doc__
+
+
+@pytest.mark.parametrize("rule_id", [rule.id for rule in RULES])
+class TestFixturePairs:
+    """Every rule: one fixture triggers it, its twin stays clean."""
+
+    def test_bad_fixture_triggers(self, rule_id):
+        findings = lint_fixture(f"{rule_id.lower()}_bad", select=[rule_id])
+        assert findings, f"{rule_id} did not fire on its bad fixture"
+        assert all(f.rule_id == rule_id for f in findings)
+
+    def test_good_fixture_passes(self, rule_id):
+        assert lint_fixture(f"{rule_id.lower()}_good", select=[rule_id]) == []
+
+
+class TestRPL001:
+    def test_flags_both_fixture_functions(self):
+        findings = lint_fixture("rpl001_bad", select=["RPL001"])
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "collect_labels" in messages and "visit" in messages
+
+    def test_locally_rebound_name_is_not_recursion(self):
+        source = (
+            "def mine_forest(trees):\n"
+            "    from repro.core.multi_tree import mine_forest\n"
+            "    return mine_forest(trees, root=trees[0].root)\n"
+        )
+        assert lint_source(source, module="repro/engine/engine.py") == []
+
+    def test_non_tree_recursion_is_out_of_scope(self):
+        source = (
+            "def fib(n):\n"
+            "    return n if n < 2 else fib(n - 1) + fib(n - 2)\n"
+        )
+        assert (
+            lint_source(source, module="repro/core/x.py", select=["RPL001"])
+            == []
+        )
+
+
+class TestRPL002:
+    def test_reports_each_literal(self):
+        findings = lint_fixture("rpl002_bad", select=["RPL002"])
+        # 42 and 21 in the shifts, 0x1FFFFF in the mask, plus the
+        # LOCAL_MASK constant assignment.
+        assert len(findings) == 4
+
+    def test_only_packing_module_is_exempt(self):
+        source = "MASK_BITS = 21\nx = 1 << 21\n"
+        assert lint_source(source, module="repro/trees/packing.py") == []
+        assert lint_source(source, module="repro/trees/arena.py")
+
+
+class TestRPL003:
+    def test_scoped_to_hot_modules_only(self):
+        source = (FIXTURES / "rpl003_bad.py").read_text(encoding="utf-8")
+        # The same source outside the hot path is not RPL003's business.
+        assert (
+            lint_source(source, module="repro/apps/diff.py", select=["RPL003"])
+            == []
+        )
+
+    def test_intern_and_str_dict_each_reported(self):
+        findings = lint_fixture("rpl003_bad", select=["RPL003"])
+        messages = " ".join(f.message for f in findings)
+        assert "interning" in messages
+        assert "str-keyed" in messages
+
+
+class TestRPL004:
+    def test_flags_each_function(self):
+        findings = lint_fixture("rpl004_bad", select=["RPL004"])
+        named = {f.message.split("'")[1] for f in findings}
+        assert named == {"filter_items", "within_budget"}
+
+    def test_params_module_is_exempt(self):
+        source = "def validate_maxdist(maxdist):\n    return maxdist\n"
+        assert lint_source(source, module="repro/core/params.py") == []
+
+
+class TestRPL005:
+    def test_counts_defaults_and_rng_uses(self):
+        findings = lint_fixture("rpl005_bad", select=["RPL005"])
+        kinds = [f.message for f in findings]
+        assert sum("mutable default" in m for m in kinds) == 2
+        assert sum("unseeded" in m or "global" in m for m in kinds) == 2
+
+    def test_global_rng_allowed_outside_generate(self):
+        source = "import random\n\ndef f():\n    return random.random()\n"
+        assert (
+            lint_source(source, module="repro/apps/x.py", select=["RPL005"])
+            == []
+        )
+
+
+class TestRPL006:
+    def test_lambda_and_nested_def_each_reported(self):
+        findings = lint_fixture("rpl006_bad", select=["RPL006"])
+        messages = " ".join(f.message for f in findings)
+        assert "lambda" in messages
+        assert "mine_one" in messages
+
+    def test_sort_key_lambdas_are_fine(self):
+        source = (
+            "def order(rows):\n"
+            "    return sorted(rows, key=lambda row: row[0])\n"
+        )
+        assert (
+            lint_source(source, module="repro/engine/x.py", select=["RPL006"])
+            == []
+        )
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_one_rule(self):
+        source = (
+            "x = 1 << 21  # repro-lint: disable=RPL002\n"
+            "y = 1 << 42\n"
+        )
+        findings = lint_source(source, module="repro/core/x.py")
+        assert [f.line for f in findings] == [2]
+
+    def test_bare_disable_suppresses_everything_on_the_line(self):
+        source = "x = 1 << 21  # repro-lint: disable\n"
+        assert lint_source(source, module="repro/core/x.py") == []
+
+    def test_skip_file(self):
+        source = "# repro-lint: skip-file\nx = 1 << 21\n"
+        assert lint_source(source, module="repro/core/x.py") == []
+
+
+class TestSelfApplication:
+    def test_src_repro_is_clean(self):
+        # The acceptance gate: the analyzer passes over the package
+        # that defines it.
+        assert run_lint([Path(__file__).parents[2] / "src" / "repro"]) == []
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source("x = 1\n", select=["RPL999"])

@@ -1,0 +1,87 @@
+"""The packed-key layout module: constants, round-trips, the guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees import packing
+from repro.trees.arena import LABEL_BITS, MAX_LABELS
+from repro.trees.packing import pack_key, unpack_key
+
+
+class TestLayout:
+    def test_fields_fit_63_bits(self):
+        assert packing.LABEL_BITS * 2 + packing.HALF_STEP_BITS <= 63
+
+    def test_derived_constants_are_consistent(self):
+        assert packing.LABEL_MASK == (1 << packing.LABEL_BITS) - 1
+        assert packing.DIST_SHIFT == 2 * packing.LABEL_BITS
+        assert packing.MAX_LABELS == 1 << packing.LABEL_BITS
+        assert packing.MAX_HALF_STEPS == (1 << packing.HALF_STEP_BITS) - 1
+
+    def test_arena_reexports_match(self):
+        assert LABEL_BITS == packing.LABEL_BITS
+        assert MAX_LABELS == packing.MAX_LABELS
+
+    def test_scheme_tag_names_the_packed_layout(self):
+        from repro.engine import cache
+
+        assert cache._KEY_SCHEME == packing.PACKED_KEY_SCHEME
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "half_steps,label_a,label_b",
+        [
+            (0, 0, 0),
+            (3, 1, 2),
+            (1, 5, 5),
+            (packing.MAX_HALF_STEPS, 0, packing.LABEL_MASK),
+            (7, packing.LABEL_MASK, packing.LABEL_MASK),
+        ],
+    )
+    def test_pack_unpack(self, half_steps, label_a, label_b):
+        key = pack_key(half_steps, label_a, label_b)
+        assert key >= 0
+        assert unpack_key(key) == (half_steps, label_a, label_b)
+
+    def test_matches_kernel_inline_encoding(self):
+        # The readable pack_key and the kernel's inline expression must
+        # agree bit for bit.
+        half_steps, label_a, label_b = 3, 17, 40
+        inline = (
+            (half_steps << packing.DIST_SHIFT)
+            | (label_a << packing.LABEL_BITS)
+            | label_b
+        )
+        assert pack_key(half_steps, label_a, label_b) == inline
+
+    def test_keys_are_unique_over_a_small_grid(self):
+        seen = set()
+        for half_steps in range(4):
+            for label_a in range(4):
+                for label_b in range(label_a, 4):
+                    seen.add(pack_key(half_steps, label_a, label_b))
+        assert len(seen) == 4 * 10
+
+
+class TestValidation:
+    def test_unordered_pair_rejected(self):
+        with pytest.raises(ValueError, match="label ids"):
+            pack_key(0, 2, 1)
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError, match="label ids"):
+            pack_key(0, -1, 1)
+
+    def test_oversized_label_rejected(self):
+        with pytest.raises(ValueError, match="label ids"):
+            pack_key(0, 0, packing.MAX_LABELS)
+
+    def test_oversized_distance_rejected(self):
+        with pytest.raises(ValueError, match="half_steps"):
+            pack_key(packing.MAX_HALF_STEPS + 1, 0, 0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError, match="half_steps"):
+            pack_key(-1, 0, 0)

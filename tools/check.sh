@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# One-shot static-analysis gate for the mining stack.
+#
+#   tools/check.sh            # run everything available
+#   tools/check.sh --strict   # additionally fail if ruff/mypy are absent
+#
+# Always runs the project AST lint pack (repro-lint, stdlib-only).
+# ruff and mypy are optional-dependency tools (`pip install -e ".[lint]"`);
+# when they are not installed the corresponding step is skipped with a
+# notice, unless --strict is given.  Exit status is nonzero if any step
+# that ran reported findings.
+
+set -u
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+strict=0
+if [ "${1:-}" = "--strict" ]; then
+    strict=1
+fi
+
+status=0
+
+run_step() {
+    local name="$1"
+    shift
+    printf '== %s\n' "$name"
+    if "$@"; then
+        printf '   ok\n'
+    else
+        printf '   FAILED: %s\n' "$name" >&2
+        status=1
+    fi
+}
+
+skip_step() {
+    local name="$1" hint="$2"
+    if [ "$strict" -eq 1 ]; then
+        printf '== %s\n   MISSING (strict mode): %s\n' "$name" "$hint" >&2
+        status=1
+    else
+        printf '== %s\n   skipped: %s\n' "$name" "$hint"
+    fi
+}
+
+run_step "repro-lint src/repro" python -m repro.lint src/repro
+
+if command -v ruff >/dev/null 2>&1; then
+    run_step "ruff check" ruff check src/repro tests
+else
+    skip_step "ruff check" "ruff not installed (pip install -e \".[lint]\")"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    run_step "mypy --strict src/repro" mypy --strict src/repro
+else
+    skip_step "mypy --strict" "mypy not installed (pip install -e \".[lint]\")"
+fi
+
+exit "$status"
