@@ -52,6 +52,40 @@ class DistanceMode(str, enum.Enum):
     """Both kept: the full cousin pair items."""
 
 
+def _is_multiset_mode(mode: DistanceMode) -> bool:
+    """Whether ``mode`` compares occurrence counts (footnote 2)."""
+    return mode in (DistanceMode.OCCUR, DistanceMode.DIST_OCCUR)
+
+
+def _mode_projection(pair_set: CousinPairSet, mode: DistanceMode):
+    """The projection of one pair set that ``mode`` compares.
+
+    A plain ``set`` for the wildcard-occurrence modes, a ``Counter``
+    for the multiset modes — materialised once so matrix-style callers
+    can hoist it out of their O(k^2) pair loops.
+    """
+    if mode is DistanceMode.PLAIN:
+        return pair_set.label_pairs()
+    if mode is DistanceMode.DIST:
+        return pair_set.with_distance()
+    if mode is DistanceMode.OCCUR:
+        return pair_set.with_occurrence()
+    return pair_set.with_distance_and_occurrence()
+
+
+def _projection_distance(left, right, multiset: bool) -> float:
+    """Jaccard-style distance between two prebuilt projections."""
+    if multiset:
+        intersection = CousinPairSet.multiset_intersection_size(left, right)
+        union = CousinPairSet.multiset_union_size(left, right)
+    else:
+        intersection = len(left & right)
+        union = len(left | right)
+    if union == 0:
+        return 0.0
+    return 1.0 - intersection / union
+
+
 def pairset_distance(
     left: CousinPairSet,
     right: CousinPairSet,
@@ -63,33 +97,11 @@ def pairset_distance(
     by convention.
     """
     mode = DistanceMode(mode)
-    if mode is DistanceMode.PLAIN:
-        set_left = left.label_pairs()
-        set_right = right.label_pairs()
-        intersection = len(set_left & set_right)
-        union = len(set_left | set_right)
-    elif mode is DistanceMode.DIST:
-        set_left = left.with_distance()
-        set_right = right.with_distance()
-        intersection = len(set_left & set_right)
-        union = len(set_left | set_right)
-    elif mode is DistanceMode.OCCUR:
-        counter_left = left.with_occurrence()
-        counter_right = right.with_occurrence()
-        intersection = CousinPairSet.multiset_intersection_size(
-            counter_left, counter_right
-        )
-        union = CousinPairSet.multiset_union_size(counter_left, counter_right)
-    else:  # DIST_OCCUR
-        counter_left = left.with_distance_and_occurrence()
-        counter_right = right.with_distance_and_occurrence()
-        intersection = CousinPairSet.multiset_intersection_size(
-            counter_left, counter_right
-        )
-        union = CousinPairSet.multiset_union_size(counter_left, counter_right)
-    if union == 0:
-        return 0.0
-    return 1.0 - intersection / union
+    return _projection_distance(
+        _mode_projection(left, mode),
+        _mode_projection(right, mode),
+        _is_multiset_mode(mode),
+    )
 
 
 def tree_distance(
@@ -157,11 +169,16 @@ def distance_matrix(
             )
             for tree in trees
         ]
-    size = len(pair_sets)
+    mode = DistanceMode(mode)
+    multiset = _is_multiset_mode(mode)
+    # Hoisted: one projection per tree, not one per pair — a k-tree
+    # matrix does O(k) materialisations instead of O(k^2).
+    projections = [_mode_projection(pair_set, mode) for pair_set in pair_sets]
+    size = len(projections)
     matrix = [[0.0] * size for _ in range(size)]
     for i in range(size):
         for j in range(i + 1, size):
-            value = pairset_distance(pair_sets[i], pair_sets[j], mode)
+            value = _projection_distance(projections[i], projections[j], multiset)
             matrix[i][j] = value
             matrix[j][i] = value
     return matrix
