@@ -20,6 +20,8 @@ Modules
   Section 5.2 (Equations 4-5);
 - :mod:`repro.core.distance` — the four cousin-based tree distances of
   Section 5.3 (Equation 6);
+- :mod:`repro.core.distvec` — the packed sparse-vector distance kernel
+  those distances (and every matrix build) run on;
 - :mod:`repro.core.kernel` — kernel-tree selection across groups of
   phylogenies (Section 5.3);
 - :mod:`repro.core.freetree` — the free-tree / undirected-acyclic-graph
@@ -34,7 +36,7 @@ Modules
   complete k-ary trees (the arithmetic behind Figure 4).
 """
 
-from repro.core.params import MiningParams, DEFAULT_PARAMS
+from repro.core.params import MiningParams, DEFAULT_PARAMS, validate_mode
 from repro.core.cousins import (
     ANY,
     CousinPair,
@@ -46,7 +48,14 @@ from repro.core.fastmine import mine_tree, enumerate_cousin_pairs
 from repro.core.multi_tree import FrequentCousinPair, mine_forest, support
 from repro.core.pairset import CousinPairSet
 from repro.core.similarity import similarity_score, average_similarity
-from repro.core.distance import tree_distance, DistanceMode
+from repro.core.distance import (
+    tree_distance,
+    distance_matrix,
+    pairset_distance,
+    pairset_distance_matrix,
+    DistanceMode,
+)
+from repro.core.distvec import DistanceVectors
 from repro.core.kernel import KernelResult, find_kernel_trees
 from repro.core.freetree import FreeTree, mine_free_tree, mine_graph_forest
 from repro.core.treerank import updown_matrix, updown_distance, treerank_score, rank_trees
@@ -57,6 +66,7 @@ __all__ = [
     "ANY",
     "MiningParams",
     "DEFAULT_PARAMS",
+    "validate_mode",
     "CousinPair",
     "CousinPairItem",
     "cousin_distance",
@@ -70,7 +80,11 @@ __all__ = [
     "similarity_score",
     "average_similarity",
     "tree_distance",
+    "distance_matrix",
+    "pairset_distance",
+    "pairset_distance_matrix",
     "DistanceMode",
+    "DistanceVectors",
     "KernelResult",
     "find_kernel_trees",
     "FreeTree",

@@ -33,7 +33,13 @@ from repro.trees.tree import Tree
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.engine import MiningEngine
 
-__all__ = ["DistanceMode", "tree_distance", "pairset_distance", "distance_matrix"]
+__all__ = [
+    "DistanceMode",
+    "tree_distance",
+    "pairset_distance",
+    "pairset_distance_matrix",
+    "distance_matrix",
+]
 
 
 class DistanceMode(str, enum.Enum):
@@ -104,6 +110,31 @@ def pairset_distance(
     )
 
 
+def pairset_distance_matrix(
+    pair_sets: Sequence[CousinPairSet],
+    mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+) -> list[list[float]]:
+    """All pairwise distances over prebuilt pair sets — the reference.
+
+    This is the string-keyed legacy path, kept as the
+    differential-testing baseline for the packed kernel
+    (:mod:`repro.core.distvec`); ``benchmarks/bench_distance_matrix.py``
+    and ``tests/property/test_prop_distvec.py`` compare against it.
+    Projections are materialised once per set, not once per pair.
+    """
+    mode = DistanceMode(mode)
+    multiset = _is_multiset_mode(mode)
+    projections = [_mode_projection(pair_set, mode) for pair_set in pair_sets]
+    size = len(projections)
+    matrix = [[0.0] * size for _ in range(size)]
+    for i in range(size):
+        for j in range(i + 1, size):
+            value = _projection_distance(projections[i], projections[j], multiset)
+            matrix[i][j] = value
+            matrix[j][i] = value
+    return matrix
+
+
 def tree_distance(
     first: Tree,
     second: Tree,
@@ -111,6 +142,7 @@ def tree_distance(
     maxdist: float = 1.5,
     minoccur: int = 1,
     max_generation_gap: int = 1,
+    engine: "MiningEngine | None" = None,
 ) -> float:
     """Cousin-based distance between two trees (Equation 6).
 
@@ -121,20 +153,22 @@ def tree_distance(
         experiment uses ``DIST_OCCUR``.
     maxdist, minoccur, max_generation_gap:
         Mining parameters used to build each tree's pair set.
+    engine:
+        Optional :class:`repro.engine.MiningEngine`; per-tree mining
+        then runs through its cache with identical output.
     """
-    left = CousinPairSet.from_tree(
-        first,
+    from repro.core.distvec import DistanceVectors
+    from repro.core.params import validate_mode
+
+    mode = validate_mode(mode)
+    vectors = DistanceVectors.from_trees(
+        [first, second],
         maxdist=maxdist,
         minoccur=minoccur,
         max_generation_gap=max_generation_gap,
+        engine=engine,
     )
-    right = CousinPairSet.from_tree(
-        second,
-        maxdist=maxdist,
-        minoccur=minoccur,
-        max_generation_gap=max_generation_gap,
-    )
-    return pairset_distance(left, right, mode)
+    return vectors.distance(0, 1, mode)
 
 
 def distance_matrix(
@@ -148,37 +182,29 @@ def distance_matrix(
     """All pairwise distances; each tree is mined exactly once.
 
     Returns a symmetric ``len(trees) x len(trees)`` nested list with a
-    zero diagonal.  With an ``engine``, pair-set construction runs
-    through :class:`repro.engine.MiningEngine` (parallel + cached)
-    with identical output.
+    zero diagonal, computed on the packed sparse-vector kernel
+    (:mod:`repro.core.distvec`) — numerically identical to
+    :func:`pairset_distance_matrix` over the same trees.  With an
+    ``engine``, per-tree mining is cached and the triangle is fanned
+    out in row tiles (:meth:`repro.engine.MiningEngine
+    .distance_matrix`) with identical output.
     """
+    from repro.core.distvec import DistanceVectors
+    from repro.core.params import validate_mode
+
+    mode = validate_mode(mode)
     if engine is not None:
-        pair_sets = engine.pair_sets(
+        vectors = engine.distance_vectors(
             trees,
             maxdist=maxdist,
             minoccur=minoccur,
             max_generation_gap=max_generation_gap,
         )
-    else:
-        pair_sets = [
-            CousinPairSet.from_tree(
-                tree,
-                maxdist=maxdist,
-                minoccur=minoccur,
-                max_generation_gap=max_generation_gap,
-            )
-            for tree in trees
-        ]
-    mode = DistanceMode(mode)
-    multiset = _is_multiset_mode(mode)
-    # Hoisted: one projection per tree, not one per pair — a k-tree
-    # matrix does O(k) materialisations instead of O(k^2).
-    projections = [_mode_projection(pair_set, mode) for pair_set in pair_sets]
-    size = len(projections)
-    matrix = [[0.0] * size for _ in range(size)]
-    for i in range(size):
-        for j in range(i + 1, size):
-            value = _projection_distance(projections[i], projections[j], multiset)
-            matrix[i][j] = value
-            matrix[j][i] = value
-    return matrix
+        return engine.distance_matrix(vectors, mode)
+    vectors = DistanceVectors.from_trees(
+        trees,
+        maxdist=maxdist,
+        minoccur=minoccur,
+        max_generation_gap=max_generation_gap,
+    )
+    return vectors.matrix(mode)

@@ -1,0 +1,560 @@
+"""Packed sparse-vector distance kernel for Section 5.3.
+
+Every §5.3 application — :func:`repro.core.distance.distance_matrix`,
+:func:`repro.core.kernel.find_kernel_trees`,
+:func:`repro.apps.clustering.cluster_trees` — reduces to the same hot
+step: the Jaccard-style distance between two trees' cousin pair item
+collections, under one of the four :class:`~repro.core.distance.
+DistanceMode` projections.  The reference path compares string-keyed
+``Counter``/``set`` projections pair by pair; this module replaces it
+with a vectorised form that never materialises a string key:
+
+- :class:`DistanceVectors` holds, per tree, a **sorted** ``int64``
+  array of packed keys (the kernel's ``(half_steps << DIST_SHIFT) |
+  (la << LABEL_BITS) | lb`` layout from :mod:`repro.trees.packing`,
+  re-interned onto one shared forest-level
+  :class:`~repro.trees.arena.LabelTable`) plus a parallel occurrence
+  count array — built **once per tree** straight from
+  :class:`~repro.core.fastmine.PackedCounts`.  ``key & PAIR_MASK``
+  collapses the full keys onto unordered label pairs, giving the
+  ``plain``/``occur`` views from the same two arrays.
+
+- A pairwise distance is one linear **merge-join** over two sorted key
+  arrays (``numpy.searchsorted``): the multiset intersection is
+  ``sum(min(count_a, count_b))`` over matched keys, and footnote 2's
+  union comes for free as ``total_a + total_b - intersection``, so one
+  pass yields the exact integers the reference divides.  The result is
+  *numerically identical* to :func:`repro.core.distance
+  .pairset_distance` (same integer intersection/union, same float
+  division), which the property suite
+  ``tests/property/test_prop_distvec.py`` enforces.
+
+- Matrix builds skip work twice over: an inverted pair-key → tree
+  index finds, per row, exactly the trees sharing at least one label
+  pair (zero-overlap pairs are filled with their known distance — 1.0,
+  or 0.0 for two empty collections — without a join), and the size
+  bound ``|A ∩ B| <= min(|A|, |B|)`` gives callers an admissible lower
+  bound ``1 - min(total)/max(total)`` for branch-and-bound search
+  (:func:`repro.core.kernel.find_kernel_trees`).
+
+Instances pickle as their raw arrays, so the engine can ship one to
+worker processes and fan a matrix out in row tiles
+(:meth:`repro.engine.MiningEngine.distance_matrix`).  See
+``docs/perf.md`` for the representation details and the
+``BENCH_distance.json`` numbers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.distance import DistanceMode
+from repro.core.fastmine import PackedCounts, mine_arena
+from repro.core.params import MiningParams, validate_minoccur, validate_mode
+from repro.trees.arena import LabelTable, forest_arenas
+from repro.trees.packing import DIST_SHIFT, LABEL_BITS, LABEL_MASK, PAIR_MASK, pack_key
+from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import MiningEngine
+
+__all__ = ["DistanceVectors", "assemble_matrix"]
+
+_MULTISET_MODES = frozenset({DistanceMode.OCCUR, DistanceMode.DIST_OCCUR})
+_FULL_MODES = frozenset({DistanceMode.DIST, DistanceMode.DIST_OCCUR})
+
+# Count-signature buckets for :meth:`DistanceVectors.lower_bound`.
+# Keys are spread over a power-of-two bucket count with a Fibonacci
+# multiplicative hash (the packed layout concentrates entropy in the
+# low label bits; the multiply mixes it into the high bits the shift
+# keeps).  More buckets -> tighter bound; the count adapts to the
+# largest per-tree key array and is clamped to keep signatures small.
+_SIG_MIX = np.uint64(0x9E3779B97F4A7C15)
+_SIG_MIN_BUCKETS = 64
+_SIG_MAX_BUCKETS = 4096
+
+
+def _remap_packed(
+    packed: PackedCounts, table: LabelTable, minoccur: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One tree's sorted key/count arrays in ``table``'s id space.
+
+    ``packed`` may carry its own per-tree label table (the engine's
+    content-addressed form); its local ids are re-interned onto the
+    shared forest ``table``.  Both tables assign ids in sorted label
+    order, so the remap is monotonic and the canonical ``la <= lb``
+    ordering of every key survives untouched.  Counts below
+    ``minoccur`` are dropped *before* any projection, matching the
+    reference's per-tree filter.
+    """
+    minoccur = validate_minoccur(minoccur)
+    size = len(packed.counts)
+    keys = np.fromiter(packed.counts.keys(), dtype=np.int64, count=size)
+    counts = np.fromiter(packed.counts.values(), dtype=np.int64, count=size)
+    if minoccur > 1:
+        keep = counts >= minoccur
+        keys = keys[keep]
+        counts = counts[keep]
+    if packed.labels != table.labels:
+        remap = np.fromiter(
+            (table.intern(label) for label in packed.labels),
+            dtype=np.int64,
+            count=len(packed.labels),
+        )
+        keys = (
+            ((keys >> DIST_SHIFT) << DIST_SHIFT)
+            | (remap[(keys >> LABEL_BITS) & LABEL_MASK] << LABEL_BITS)
+            | remap[keys & LABEL_MASK]
+        )
+    order = np.argsort(keys)
+    return keys[order], counts[order]
+
+
+def _collapse_pairs(
+    keys: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse full keys onto unordered label pairs, summing counts."""
+    pairs = keys & PAIR_MASK
+    unique, inverse = np.unique(pairs, return_inverse=True)
+    summed = np.zeros(unique.size, dtype=np.int64)
+    np.add.at(summed, inverse, counts)
+    return unique, summed
+
+
+class DistanceVectors:
+    """Packed sparse cousin-pair vectors of a forest, one per tree.
+
+    Build with :meth:`from_trees` (mines the forest),
+    :meth:`from_packed` (wraps existing kernel output) or
+    :meth:`from_counters` (boundary constructor for string-keyed
+    counters).  All four :class:`~repro.core.distance.DistanceMode`
+    views are served from two sorted array pairs per tree; every
+    distance returned is exactly equal to the
+    :func:`~repro.core.distance.pairset_distance` reference.
+    """
+
+    __slots__ = (
+        "labels",
+        "_full_keys",
+        "_full_counts",
+        "_pair_keys",
+        "_pair_counts",
+        "_full_totals",
+        "_pair_totals",
+        "_index",
+        "_signatures",
+        "fingerprint",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[str],
+        full_keys: Sequence[np.ndarray],
+        full_counts: Sequence[np.ndarray],
+    ) -> None:
+        self.labels = tuple(labels)
+        self._full_keys = list(full_keys)
+        self._full_counts = list(full_counts)
+        collapsed = [
+            _collapse_pairs(keys, counts)
+            for keys, counts in zip(self._full_keys, self._full_counts)
+        ]
+        self._pair_keys = [pair for pair, _ in collapsed]
+        self._pair_counts = [summed for _, summed in collapsed]
+        self._full_totals = [int(counts.sum()) for counts in self._full_counts]
+        self._pair_totals = [int(counts.sum()) for counts in self._pair_counts]
+        self._index: tuple | None = None
+        self._signatures: dict[DistanceMode, list[np.ndarray]] = {}
+        self.fingerprint: str | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_packed(
+        cls, packed: Iterable[PackedCounts], minoccur: int = 1
+    ) -> "DistanceVectors":
+        """Vectors from per-tree kernel output, re-interned if needed.
+
+        The inputs may share one label table (the
+        :func:`~repro.trees.arena.forest_arenas` form — no remap
+        happens) or carry per-tree tables (the engine's cached form —
+        each is re-interned onto the merged universe).
+        """
+        minoccur = validate_minoccur(minoccur)
+        packed = list(packed)
+        table = LabelTable(
+            label for counts in packed for label in counts.labels
+        )
+        remapped = [_remap_packed(counts, table, minoccur) for counts in packed]
+        return cls(
+            table.labels,
+            [keys for keys, _ in remapped],
+            [counts for _, counts in remapped],
+        )
+
+    @classmethod
+    def from_trees(
+        cls,
+        trees: Sequence[Tree],
+        params: MiningParams | None = None,
+        *,
+        maxdist: float = 1.5,
+        minoccur: int = 1,
+        max_generation_gap: int = 1,
+        max_height: int | None = None,
+        engine: "MiningEngine | None" = None,
+    ) -> "DistanceVectors":
+        """Mine ``trees`` once and wrap the results.
+
+        With an ``engine`` the per-tree mining is cached and parallel
+        (:meth:`repro.engine.MiningEngine.distance_vectors`) with
+        identical output.
+        """
+        if params is None:
+            params = MiningParams(
+                maxdist=maxdist,
+                minoccur=minoccur,
+                minsup=1,
+                max_generation_gap=max_generation_gap,
+                max_height=max_height,
+            )
+        if engine is not None:
+            return engine.distance_vectors(trees, params)
+        _table, arenas = forest_arenas(trees)
+        return cls.from_packed(
+            [mine_arena(arena, params) for arena in arenas],
+            minoccur=params.minoccur,
+        )
+
+    @classmethod
+    def from_counters(
+        cls,
+        counters: Sequence[Mapping[tuple[str, str, float], int]],
+        minoccur: int = 1,
+    ) -> "DistanceVectors":
+        """Boundary constructor from string-keyed counters.
+
+        Each mapping is keyed by canonical ``(label_a, label_b,
+        distance)`` items (``label_a <= label_b``, the form every
+        miner in this package emits); a non-canonical key raises
+        ``ValueError`` from :func:`~repro.trees.packing.pack_key`
+        rather than silently merging.
+        """
+        table = LabelTable(
+            label
+            for counter in counters
+            for (label_a, label_b, _distance) in counter
+            for label in (label_a, label_b)
+        )
+        packed = [
+            PackedCounts(
+                table.labels,
+                {
+                    pack_key(
+                        int(2 * distance),
+                        table.intern(label_a),
+                        table.intern(label_b),
+                    ): count
+                    for (label_a, label_b, distance), count in counter.items()
+                },
+            )
+            for counter in counters
+        ]
+        return cls.from_packed(packed, minoccur=minoccur)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._full_keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistanceVectors({len(self)} trees, "
+            f"{len(self.labels)} labels)"
+        )
+
+    def totals(self, mode: DistanceMode | str = DistanceMode.DIST_OCCUR) -> list[int]:
+        """Per-tree cardinality of the ``mode`` projection.
+
+        The multiset modes count occurrences, the set modes count
+        distinct keys — exactly the ``|cpi(T)|`` each variant divides
+        by, and the quantity the :meth:`lower_bound` size bound uses.
+        """
+        mode = validate_mode(mode)
+        if mode in _MULTISET_MODES:
+            return list(
+                self._full_totals if mode in _FULL_MODES else self._pair_totals
+            )
+        keys = self._full_keys if mode in _FULL_MODES else self._pair_keys
+        return [array.size for array in keys]
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def _view(
+        self, index: int, mode: DistanceMode
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        if mode in _FULL_MODES:
+            keys = self._full_keys[index]
+            counts = self._full_counts[index]
+            total = self._full_totals[index]
+        else:
+            keys = self._pair_keys[index]
+            counts = self._pair_counts[index]
+            total = self._pair_totals[index]
+        if mode not in _MULTISET_MODES:
+            total = keys.size
+        return keys, counts, total
+
+    def distance(
+        self,
+        first: int,
+        second: int,
+        mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    ) -> float:
+        """Exact distance between trees ``first`` and ``second``.
+
+        One merge-join over the two sorted key arrays; equals
+        :func:`repro.core.distance.pairset_distance` bit for bit
+        (two empty collections are at distance 0 by convention).
+        """
+        mode = validate_mode(mode)
+        multiset = mode in _MULTISET_MODES
+        keys_a, counts_a, total_a = self._view(first, mode)
+        keys_b, counts_b, total_b = self._view(second, mode)
+        if keys_a.size > keys_b.size:
+            keys_a, keys_b = keys_b, keys_a
+            counts_a, counts_b = counts_b, counts_a
+        if keys_a.size == 0:
+            intersection = 0
+        else:
+            positions = np.searchsorted(keys_b, keys_a)
+            clipped = np.minimum(positions, keys_b.size - 1)
+            matched = keys_b[clipped] == keys_a
+            matched &= positions < keys_b.size
+            if multiset:
+                hits = clipped[matched]
+                intersection = int(
+                    np.minimum(counts_a[matched], counts_b[hits]).sum()
+                )
+            else:
+                intersection = int(np.count_nonzero(matched))
+        union = total_a + total_b - intersection
+        if union == 0:
+            return 0.0
+        return 1.0 - intersection / union
+
+    def _mode_signatures(self, mode: DistanceMode) -> list[np.ndarray]:
+        """Per-tree bucketed count signatures for ``mode`` (cached).
+
+        Bucket ``b`` of tree ``i`` holds the summed multiplicity of all
+        keys hashing to ``b`` (key presence, for the set modes).  For
+        any two trees the bucket-wise min sum caps the true
+        intersection: matching keys land in the same bucket, so each
+        bucket's contribution to ``|A ∩ B|`` is at most
+        ``min(sig_a[b], sig_b[b])``.
+        """
+        cached = self._signatures.get(mode)
+        if cached is not None:
+            return cached
+        views = [self._view(index, mode) for index in range(len(self))]
+        largest = max((keys.size for keys, _, _ in views), default=0)
+        buckets = _SIG_MIN_BUCKETS
+        while buckets < 4 * largest and buckets < _SIG_MAX_BUCKETS:
+            buckets *= 2
+        shift = np.uint64(64 - buckets.bit_length() + 1)
+        multiset = mode in _MULTISET_MODES
+        signatures = []
+        for keys, counts, _total in views:
+            hashed = ((keys.astype(np.uint64) * _SIG_MIX) >> shift)
+            signature = np.zeros(buckets, dtype=np.int64)
+            if multiset:
+                np.add.at(signature, hashed.astype(np.intp), counts)
+            else:
+                np.add.at(signature, hashed.astype(np.intp), 1)
+            signatures.append(signature)
+        self._signatures[mode] = signatures
+        return signatures
+
+    def lower_bound(
+        self,
+        first: int,
+        second: int,
+        mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    ) -> float:
+        """Admissible lower bound on :meth:`distance`, no join needed.
+
+        The bucketed signatures (:meth:`_mode_signatures`) cap the
+        intersection: ``|A ∩ B| <= cap = sum_b min(sig_a[b],
+        sig_b[b])``.  With ``S = |A| + |B|`` and ``x / (S - x)``
+        increasing in ``x``::
+
+            d = 1 - |A ∩ B| / |A ∪ B| >= 1 - cap / (S - cap)
+
+        Since ``cap <= min(|A|, |B|)`` this always dominates the plain
+        size bound ``1 - min(total)/max(total)``.
+        """
+        mode = validate_mode(mode)
+        total_a = self._view(first, mode)[2]
+        total_b = self._view(second, mode)[2]
+        span = total_a + total_b
+        if span == 0:
+            return 0.0
+        signatures = self._mode_signatures(mode)
+        cap = int(np.minimum(signatures[first], signatures[second]).sum())
+        return 1.0 - cap / (span - cap)
+
+    # ------------------------------------------------------------------
+    # Matrix builds (triangle-only, inverted-index pruned)
+    # ------------------------------------------------------------------
+    def build_index(self) -> None:
+        """Materialise the inverted pair-key → tree index.
+
+        Called lazily by :meth:`triangle`; the engine calls it once
+        before fanning tiles out so workers inherit the prebuilt index
+        instead of each rebuilding it.
+        """
+        if self._index is not None:
+            return
+        sizes = [keys.size for keys in self._pair_keys]
+        if sum(sizes) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            self._index = (empty, empty, empty, empty)
+            return
+        all_keys = np.concatenate(self._pair_keys)
+        owners = np.repeat(np.arange(len(self), dtype=np.int64), sizes)
+        order = np.argsort(all_keys, kind="stable")
+        sorted_keys = all_keys[order]
+        sorted_owners = owners[order]
+        unique, starts = np.unique(sorted_keys, return_index=True)
+        ends = np.append(starts[1:], sorted_keys.size)
+        self._index = (unique, starts, ends, sorted_owners)
+
+    def _neighbors_after(self, row: int) -> np.ndarray:
+        """Trees ``j > row`` sharing at least one label pair with ``row``.
+
+        Sharing a label pair is necessary for a non-empty intersection
+        under *every* mode (the full keys refine the pair keys), so any
+        ``j`` outside this set is at the zero-overlap distance without
+        a join.
+        """
+        keys = self._pair_keys[row]
+        unique, starts, ends, owners = self._index  # type: ignore[misc]
+        if keys.size == 0 or unique.size == 0:
+            return np.empty(0, dtype=np.int64)
+        slots = np.searchsorted(unique, keys)
+        neighbors = np.unique(
+            np.concatenate(
+                [owners[starts[slot] : ends[slot]] for slot in slots]
+            )
+        )
+        return neighbors[neighbors > row]
+
+    def triangle(
+        self,
+        start: int,
+        stop: int,
+        mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    ) -> tuple[list[list[float]], int, int]:
+        """Rows ``start..stop`` of the upper triangle, plus join stats.
+
+        Returns ``(rows, pairs_computed, pairs_pruned)`` where
+        ``rows[i - start]`` holds the distances from tree ``i`` to
+        every ``j > i``.  Pairs with provably empty intersection (no
+        shared label pair) are filled from totals alone and counted as
+        pruned; the rest get one batched merge-join per row.
+        """
+        mode = validate_mode(mode)
+        multiset = mode in _MULTISET_MODES
+        self.build_index()
+        size = len(self)
+        totals = self.totals(mode)
+        rows: list[list[float]] = []
+        computed = 0
+        pruned = 0
+        for i in range(start, stop):
+            # Zero-overlap default: union is max(total) = total_a +
+            # total_b - 0, distance 1.0 — or 0.0 when both are empty.
+            total_i = totals[i]
+            row = [
+                1.0 if total_i or totals[j] else 0.0
+                for j in range(i + 1, size)
+            ]
+            neighbors = self._neighbors_after(i)
+            pruned += len(row) - neighbors.size
+            computed += neighbors.size
+            if neighbors.size:
+                keys_i, counts_i, _total = self._view(i, mode)
+                js = [int(j) for j in neighbors]
+                views = [self._view(j, mode) for j in js]
+                segment_sizes = [view[0].size for view in views]
+                starts = np.concatenate(
+                    ([0], np.cumsum(segment_sizes[:-1]))
+                ).astype(np.int64)
+                candidates = np.concatenate([view[0] for view in views])
+                positions = np.searchsorted(keys_i, candidates)
+                clipped = np.minimum(positions, keys_i.size - 1)
+                matched = keys_i[clipped] == candidates
+                matched &= positions < keys_i.size
+                if multiset:
+                    candidate_counts = np.concatenate(
+                        [view[1] for view in views]
+                    )
+                    overlap = np.where(
+                        matched,
+                        np.minimum(counts_i[clipped], candidate_counts),
+                        0,
+                    )
+                else:
+                    overlap = matched.astype(np.int64)
+                intersections = np.add.reduceat(overlap, starts)
+                neighbor_totals = np.asarray(
+                    [totals[j] for j in js], dtype=np.int64
+                )
+                unions = total_i + neighbor_totals - intersections
+                values = 1.0 - intersections / unions
+                for j, value in zip(js, values):
+                    row[j - i - 1] = float(value)
+            rows.append(row)
+        return rows, computed, pruned
+
+    def matrix(
+        self, mode: DistanceMode | str = DistanceMode.DIST_OCCUR
+    ) -> list[list[float]]:
+        """The full symmetric distance matrix (zero diagonal)."""
+        rows, _computed, _pruned = self.triangle(0, len(self), mode)
+        return assemble_matrix(len(self), [(0, rows)])
+
+    # ------------------------------------------------------------------
+    # Pickling (workers receive the raw arrays, index included)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+def assemble_matrix(
+    size: int, tiles: Iterable[tuple[int, list[list[float]]]]
+) -> list[list[float]]:
+    """Mirror triangle tiles into one symmetric nested-list matrix.
+
+    ``tiles`` holds ``(start_row, rows)`` pieces as produced by
+    :meth:`DistanceVectors.triangle`; together they must cover rows
+    ``0..size``.  The diagonal is zero.
+    """
+    matrix = [[0.0] * size for _ in range(size)]
+    for start, rows in tiles:
+        for offset, row in enumerate(rows):
+            i = start + offset
+            for step, value in enumerate(row):
+                j = i + step + 1
+                matrix[i][j] = value
+                matrix[j][i] = value
+    return matrix

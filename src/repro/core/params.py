@@ -23,8 +23,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import MiningParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.distance import DistanceMode
 
 __all__ = [
     "MiningParams",
@@ -32,6 +36,7 @@ __all__ = [
     "validate_maxdist",
     "validate_minoccur",
     "validate_minsup",
+    "validate_mode",
 ]
 
 
@@ -72,6 +77,34 @@ def validate_minsup(minsup: int) -> int:
             f"minsup must be >= 1, got {minsup!r}"
         )
     return minsup
+
+
+def validate_mode(mode: "DistanceMode | str") -> "DistanceMode":
+    """Normalise one raw distance ``mode`` knob to a ``DistanceMode``.
+
+    Accepts a :class:`repro.core.distance.DistanceMode` member or its
+    string value (``"plain"``, ``"dist"``, ``"occur"``,
+    ``"dist_occur"``) and returns the member; anything else raises
+    :class:`MiningParameterError`.  This is the single validation
+    point for the Section 5.3 distance variant knob, the same pattern
+    rule ``RPL004`` enforces for the mining knobs.  Usable directly as
+    an ``argparse`` ``type=`` callable (the error subclasses
+    ``ValueError``, so bad values become a clean usage message).
+    """
+    # Imported lazily: distance.py sits above params in the import
+    # chain (distance -> pairset -> fastmine -> params), so a
+    # module-level import here would be circular.
+    from repro.core.distance import DistanceMode
+
+    if isinstance(mode, DistanceMode):
+        return mode
+    try:
+        return DistanceMode(mode)
+    except ValueError:
+        values = ", ".join(member.value for member in DistanceMode)
+        raise MiningParameterError(
+            f"mode must be one of {values}, got {mode!r}"
+        ) from None
 
 
 @dataclass(frozen=True)

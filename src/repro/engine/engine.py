@@ -40,6 +40,7 @@ deterministic.  ``tests/engine`` and
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import time
@@ -48,9 +49,11 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
 from repro.core.cousins import CousinPairItem
+from repro.core.distance import DistanceMode
+from repro.core.distvec import DistanceVectors, assemble_matrix
 from repro.core.fastmine import PackedCounts, mine_arena
 from repro.core.pairset import CousinPairSet
-from repro.core.params import MiningParams
+from repro.core.params import MiningParams, validate_mode
 from repro.engine.cache import PairSetCache, arena_cache_key
 from repro.engine.stats import EngineStats
 from repro.errors import EngineError
@@ -91,6 +94,22 @@ def _mine_chunk(
     """
     chunk, params = payload
     return [(key, mine_arena(arena, params)) for key, arena in chunk]
+
+
+def _distance_tile(
+    payload: tuple[DistanceVectors, int, int, str],
+) -> tuple[int, list[list[float]], int, int]:
+    """Worker task: one row band of a distance-matrix triangle.
+
+    Module-level so it pickles; the vectors travel as their raw sorted
+    arrays (inverted index included — the parent builds it once before
+    fanning out) and each band comes back as ``(start, rows,
+    pairs_computed, pairs_pruned)`` ready for
+    :func:`repro.core.distvec.assemble_matrix`.
+    """
+    vectors, start, stop, mode = payload
+    rows, computed, pruned = vectors.triangle(start, stop, mode)
+    return start, rows, computed, pruned
 
 
 class MiningEngine:
@@ -340,6 +359,146 @@ class MiningEngine:
         packed: PackedCounts, params: MiningParams
     ) -> CousinPairSet:
         return CousinPairSet(packed.filtered_counter(params.minoccur))
+
+    # ------------------------------------------------------------------
+    # Distance kernel (Section 5.3 matrix builds)
+    # ------------------------------------------------------------------
+    def distance_vectors(
+        self,
+        trees: Sequence[Tree],
+        params: MiningParams | None = None,
+        *,
+        maxdist: float = 1.5,
+        minoccur: int = 1,
+        max_generation_gap: int = 1,
+        max_height: int | None = None,
+    ) -> DistanceVectors:
+        """Packed distance vectors for ``trees``, cached end to end.
+
+        Identical to :meth:`repro.core.distvec.DistanceVectors
+        .from_trees` without an engine: per-tree mining goes through
+        the content-addressed cache, and the assembled vectors are
+        memoised by a fingerprint of the per-tree content addresses
+        (plus ``minoccur``), so a repeat forest skips the re-interning
+        pass too.  The fingerprint is left on the returned object
+        (``vectors.fingerprint``) and keys matrix memoisation in
+        :meth:`distance_matrix`.
+        """
+        params = self._resolve(
+            params, maxdist, minoccur, max_generation_gap, max_height
+        )
+        keys, resolved = self._resolved_packed(trees, params)
+        digest = hashlib.sha256("|".join(keys).encode("ascii"))
+        digest.update(f"|minoccur={params.minoccur}".encode("ascii"))
+        fingerprint = digest.hexdigest()
+        vectors = self._projection(
+            ("distvec", fingerprint),
+            [resolved[key] for key in keys],
+            params,
+            self._build_vectors,
+        )
+        vectors.fingerprint = fingerprint
+        return vectors
+
+    @staticmethod
+    def _build_vectors(
+        packed: Sequence[PackedCounts], params: MiningParams
+    ) -> DistanceVectors:
+        return DistanceVectors.from_packed(packed, minoccur=params.minoccur)
+
+    def distance_matrix(
+        self,
+        vectors: DistanceVectors,
+        mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    ) -> list[list[float]]:
+        """Full symmetric distance matrix over prebuilt vectors.
+
+        Identical to ``vectors.matrix(mode)``: the upper triangle is
+        split into deterministic row bands balanced by pair count and —
+        when a pool is worth it (``jobs > 1`` and at least
+        ``min_parallel_trees`` trees) — fanned out to worker processes;
+        tiles are reassembled by row index, not completion order.
+        Whole matrices are memoised by the vectors' engine fingerprint,
+        and every call updates the ``distance_*`` counters of
+        :class:`repro.engine.stats.EngineStats`.
+        """
+        mode = validate_mode(mode)
+        memo_key = (
+            ("distmat", vectors.fingerprint, mode.value)
+            if vectors.fingerprint is not None and self._projection_cap != 0
+            else None
+        )
+        if memo_key is not None:
+            cached = self._projections.get(memo_key)
+            if cached is not None:
+                self._projections.move_to_end(memo_key)
+                matrix, tile_count = cached
+                self.stats.distance_tile_hits += tile_count
+                return [row[:] for row in matrix]
+        size = len(vectors)
+        bands = self._distance_bands(size)
+        self.stats.distance_tiles += len(bands)
+        tiles: list[tuple[int, list[list[float]]]] = []
+        computed = 0
+        pruned = 0
+        if len(bands) == 1:
+            rows, computed, pruned = vectors.triangle(0, size, mode)
+            tiles.append((0, rows))
+        else:
+            # Workers inherit the prebuilt inverted index instead of
+            # each rebuilding it from the pair keys.
+            vectors.build_index()
+            payloads = [
+                (vectors, start, stop, mode.value) for start, stop in bands
+            ]
+            workers = min(self.jobs, len(bands))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for start, rows, band_computed, band_pruned in pool.map(
+                    _distance_tile, payloads
+                ):
+                    tiles.append((start, rows))
+                    computed += band_computed
+                    pruned += band_pruned
+        self.stats.distance_pairs_computed += computed
+        self.stats.distance_pairs_pruned += pruned
+        matrix = assemble_matrix(size, tiles)
+        if memo_key is not None:
+            self._projections[memo_key] = (matrix, len(bands))
+            if self._projection_cap is not None:
+                while len(self._projections) > self._projection_cap:
+                    self._projections.popitem(last=False)
+        return [row[:] for row in matrix]
+
+    def _distance_bands(self, size: int) -> list[tuple[int, int]]:
+        """Deterministic row bands of the triangle, balanced by pairs.
+
+        Row ``i`` joins against ``size - 1 - i`` later rows, so
+        equal-width bands would hand the first worker nearly all the
+        pairs; instead each band closes once its cumulative pair count
+        reaches an equal share of ``size * (size - 1) / 2``.  Serial
+        configurations (or small matrices) get one band covering
+        everything — no pool, no pickling.
+        """
+        if (
+            size <= 1
+            or self.jobs == 1
+            or size < self.min_parallel_trees
+        ):
+            return [(0, size)]
+        target_bands = min(size, self.jobs * self.chunks_per_job)
+        per_band = (size * (size - 1) / 2) / target_bands
+        bands: list[tuple[int, int]] = []
+        start = 0
+        accumulated = 0
+        for row in range(size):
+            accumulated += size - 1 - row
+            if accumulated >= per_band and row + 1 < size:
+                bands.append((start, row + 1))
+                start = row + 1
+                accumulated = 0
+        if start < size:
+            bands.append((start, size))
+        return bands
 
     def _projection(self, memo_key: tuple, packed, params: MiningParams, build):
         """Serve a derived view of cached packed counts, memoised by address.

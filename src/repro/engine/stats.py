@@ -47,6 +47,20 @@ class EngineStats:
         Wall time spent mining misses (serial or parallel).
     total_seconds:
         Wall time of whole batch calls (lookups + mining + assembly).
+    distance_pairs_computed:
+        Tree pairs whose distance took an actual merge-join during
+        engine matrix builds (:meth:`repro.engine.MiningEngine
+        .distance_matrix`).
+    distance_pairs_pruned:
+        Tree pairs the inverted pair-key index proved zero-overlap —
+        filled from totals alone, no join.
+    distance_tiles:
+        Triangle row tiles executed across all matrix builds (1 per
+        build on the serial path, ~``jobs * chunks_per_job`` when
+        fanned out).
+    distance_tile_hits:
+        Tiles *not* executed because a whole matrix was served from
+        the projection memo.
     """
 
     trees_seen: int = 0
@@ -59,6 +73,10 @@ class EngineStats:
     chunks: int = 0
     mine_seconds: float = 0.0
     total_seconds: float = 0.0
+    distance_pairs_computed: int = 0
+    distance_pairs_pruned: int = 0
+    distance_tiles: int = 0
+    distance_tile_hits: int = 0
 
     @property
     def hits(self) -> int:
@@ -86,11 +104,24 @@ class EngineStats:
 
     def describe(self) -> str:
         """One-line human rendering used by ``--engine-stats``."""
-        return (
+        line = (
             f"engine: {self.trees_seen} tree lookup(s), "
             f"{self.memory_hits} memory hit(s), {self.disk_hits} disk hit(s), "
             f"{self.misses} miss(es) mined in {self.mine_seconds:.3f}s "
             f"({self.parallel_batches}/{self.batches} batch(es) parallel, "
             f"hit rate {self.hit_rate:.0%})"
         )
+        if (
+            self.distance_tiles
+            or self.distance_tile_hits
+            or self.distance_pairs_computed
+            or self.distance_pairs_pruned
+        ):
+            line += (
+                f"; distance: {self.distance_pairs_computed} pair join(s), "
+                f"{self.distance_pairs_pruned} pruned, "
+                f"{self.distance_tiles} tile(s), "
+                f"{self.distance_tile_hits} tile hit(s)"
+            )
+        return line
 

@@ -30,6 +30,7 @@ __all__ = [
     "LABEL_BITS",
     "HALF_STEP_BITS",
     "LABEL_MASK",
+    "PAIR_MASK",
     "DIST_SHIFT",
     "MAX_LABELS",
     "MAX_HALF_STEPS",
@@ -46,6 +47,15 @@ HALF_STEP_BITS = 21
 
 LABEL_MASK = (1 << LABEL_BITS) - 1
 """Mask isolating one label-id field of a packed key."""
+
+PAIR_MASK = (LABEL_MASK << LABEL_BITS) | LABEL_MASK
+"""Mask isolating both label-id fields of a packed key.
+
+``key & PAIR_MASK`` drops the distance field, collapsing a full
+``(labels, distance)`` key onto its unordered label pair — the
+identity the distance-vector kernel's ``plain``/``occur`` projections
+compare (:mod:`repro.core.distvec`).
+"""
 
 DIST_SHIFT = 2 * LABEL_BITS
 """Left shift that places ``half_steps`` above both label fields."""

@@ -1,0 +1,176 @@
+"""Unit tests for the packed sparse-vector distance kernel."""
+
+import pickle
+
+import pytest
+
+from repro.core.distance import (
+    DistanceMode,
+    pairset_distance,
+    pairset_distance_matrix,
+)
+from repro.core.distvec import DistanceVectors, assemble_matrix
+from repro.core.fastmine import mine_tree_counter
+from repro.core.pairset import CousinPairSet
+from repro.errors import MiningParameterError
+from repro.trees.newick import parse_newick
+
+from tests.conftest import make_random_tree
+
+FOREST_NEWICKS = [
+    "((a,b),(c,d));",
+    "((a,b),(c,e));",
+    "((a,c),(b,d),(a,b));",
+    "(((a,b),c),d);",
+    "(a,(b,(c,(d,e))));",
+]
+
+
+@pytest.fixture
+def forest():
+    return [parse_newick(text) for text in FOREST_NEWICKS]
+
+
+class TestConstruction:
+    def test_from_trees_matches_from_counters(self, forest):
+        direct = DistanceVectors.from_trees(forest)
+        via_counters = DistanceVectors.from_counters(
+            [mine_tree_counter(tree) for tree in forest]
+        )
+        for mode in DistanceMode:
+            assert direct.matrix(mode) == via_counters.matrix(mode)
+
+    def test_from_counters_rejects_non_canonical_keys(self):
+        with pytest.raises(ValueError):
+            DistanceVectors.from_counters([{("b", "a", 0.0): 1}])
+
+    def test_minoccur_filters_before_pair_collapse(self, forest):
+        vectors = DistanceVectors.from_trees(forest, minoccur=2)
+        pair_sets = [
+            CousinPairSet.from_tree(tree, minoccur=2) for tree in forest
+        ]
+        for mode in DistanceMode:
+            assert vectors.matrix(mode) == pairset_distance_matrix(
+                pair_sets, mode
+            )
+
+    def test_invalid_minoccur_rejected(self, forest):
+        with pytest.raises(MiningParameterError):
+            DistanceVectors.from_trees(forest, minoccur=0)
+
+    def test_len_and_labels(self, forest):
+        vectors = DistanceVectors.from_trees(forest)
+        assert len(vectors) == len(forest)
+        assert set("abcde") <= set(vectors.labels)
+
+
+class TestDistances:
+    def test_matches_reference_all_modes(self, forest):
+        vectors = DistanceVectors.from_trees(forest)
+        pair_sets = [CousinPairSet.from_tree(tree) for tree in forest]
+        for mode in DistanceMode:
+            for i in range(len(forest)):
+                for j in range(len(forest)):
+                    assert vectors.distance(i, j, mode) == pairset_distance(
+                        pair_sets[i], pair_sets[j], mode
+                    )
+
+    def test_mode_accepts_strings(self, forest):
+        vectors = DistanceVectors.from_trees(forest)
+        assert vectors.distance(0, 1, "plain") == vectors.distance(
+            0, 1, DistanceMode.PLAIN
+        )
+
+    def test_invalid_mode_rejected(self, forest):
+        vectors = DistanceVectors.from_trees(forest)
+        with pytest.raises(MiningParameterError):
+            vectors.distance(0, 1, "bogus")
+
+    def test_totals_match_projection_cardinalities(self, forest):
+        vectors = DistanceVectors.from_trees(forest)
+        pair_sets = [CousinPairSet.from_tree(tree) for tree in forest]
+        for i, pair_set in enumerate(pair_sets):
+            full = pair_set.with_distance_and_occurrence()
+            assert vectors.totals(DistanceMode.DIST_OCCUR)[i] == sum(
+                full.values()
+            )
+            assert vectors.totals(DistanceMode.DIST)[i] == len(
+                pair_set.with_distance()
+            )
+            assert vectors.totals(DistanceMode.OCCUR)[i] == sum(
+                pair_set.with_occurrence().values()
+            )
+            assert vectors.totals(DistanceMode.PLAIN)[i] == len(
+                pair_set.label_pairs()
+            )
+
+    def test_lower_bound_admissible_on_random_forest(self, rng):
+        forest = [make_random_tree(rng, max_size=20) for _ in range(8)]
+        vectors = DistanceVectors.from_trees(forest)
+        for mode in DistanceMode:
+            for i in range(len(forest)):
+                for j in range(len(forest)):
+                    bound = vectors.lower_bound(i, j, mode)
+                    assert bound <= vectors.distance(i, j, mode)
+
+
+class TestTriangle:
+    def test_tiles_reassemble_to_full_matrix(self, forest):
+        vectors = DistanceVectors.from_trees(forest)
+        full = vectors.matrix(DistanceMode.DIST_OCCUR)
+        tiles = []
+        for start, stop in ((0, 2), (2, 3), (3, len(forest))):
+            rows, _computed, _pruned = vectors.triangle(
+                start, stop, DistanceMode.DIST_OCCUR
+            )
+            tiles.append((start, rows))
+        assert assemble_matrix(len(forest), tiles) == full
+
+    def test_disjoint_trees_are_pruned_not_joined(self):
+        trees = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((e,f),(g,h));"),
+            parse_newick("((a,b),x);"),
+        ]
+        vectors = DistanceVectors.from_trees(trees)
+        rows, computed, pruned = vectors.triangle(
+            0, len(trees), DistanceMode.DIST_OCCUR
+        )
+        # Tree 1 shares no label pair with anyone: both its pairs are
+        # pruned; (0, 2) share (a, b) and take the one real join.
+        assert computed == 1
+        assert pruned == 2
+        assert rows[0][0] == 1.0  # (0, 1): zero overlap
+        assert rows[1][0] == 1.0  # (1, 2): zero overlap
+        assert 0.0 < rows[0][1] < 1.0  # (0, 2): genuine join
+
+    def test_empty_forest_conventions(self):
+        lone = parse_newick("(a);")
+        other = parse_newick("(b);")
+        vectors = DistanceVectors.from_trees([lone, other])
+        rows, computed, pruned = vectors.triangle(0, 2, DistanceMode.PLAIN)
+        assert rows[0] == [0.0]
+        assert computed == 0
+        assert pruned == 1
+
+
+class TestPickling:
+    def test_round_trip_preserves_distances(self, forest):
+        vectors = DistanceVectors.from_trees(forest)
+        vectors.build_index()
+        clone = pickle.loads(pickle.dumps(vectors))
+        for mode in DistanceMode:
+            assert clone.matrix(mode) == vectors.matrix(mode)
+
+
+class TestAssembleMatrix:
+    def test_symmetric_with_zero_diagonal(self):
+        matrix = assemble_matrix(3, [(0, [[0.25, 0.5], [0.75]])])
+        assert matrix == [
+            [0.0, 0.25, 0.5],
+            [0.25, 0.0, 0.75],
+            [0.5, 0.75, 0.0],
+        ]
+
+    def test_empty(self):
+        assert assemble_matrix(0, [(0, [])]) == []

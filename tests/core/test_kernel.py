@@ -63,23 +63,48 @@ class TestExactness:
 
 
 class TestBookkeeping:
-    def test_pairwise_evaluation_count(self, rng):
+    def test_evaluated_plus_pruned_covers_all_pairs(self, rng):
         sizes = [2, 3, 4]
         groups = [
             [make_random_tree(rng, max_size=10) for _ in range(size)]
             for size in sizes
         ]
         result = find_kernel_trees(groups)
-        assert result.pairwise_evaluations == 2 * 3 + 2 * 4 + 3 * 4
+        total_cross_pairs = 2 * 3 + 2 * 4 + 3 * 4
+        assert result.pairs_pruned >= 0
+        assert 0 < result.pairwise_evaluations <= total_cross_pairs
+        assert (
+            result.pairwise_evaluations + result.pairs_pruned
+            == total_cross_pairs
+        )
 
-    def test_evaluations_grow_with_groups(self, rng):
+    def test_prunes_after_perfect_match(self):
+        # Once a distance-0 assignment is found, every remaining
+        # candidate's screen (>= 0) ties or exceeds it, so no further
+        # pair is ever joined.
+        shared = "((a,b),(c,d));"
+        groups = [
+            [parse_newick(shared)],
+            [
+                parse_newick(shared),
+                parse_newick("((e,f),(g,h));"),
+                parse_newick("((i,j),(k,l));"),
+            ],
+        ]
+        result = find_kernel_trees(groups)
+        assert result.indexes == (0, 0)
+        assert result.average_distance == 0.0
+        assert result.pairwise_evaluations == 1
+        assert result.pairs_pruned == 2
+
+    def test_total_pairs_grow_with_groups(self, rng):
         trees = [
             [make_random_tree(rng, max_size=10) for _ in range(3)]
             for _ in range(5)
         ]
-        evaluations = []
+        totals = []
         for count in (2, 3, 4, 5):
             result = find_kernel_trees(trees[:count])
-            evaluations.append(result.pairwise_evaluations)
-        assert evaluations == sorted(evaluations)
-        assert evaluations[0] < evaluations[-1]
+            totals.append(result.pairwise_evaluations + result.pairs_pruned)
+        expected = [9 * count * (count - 1) // 2 for count in (2, 3, 4, 5)]
+        assert totals == expected

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.params import DEFAULT_PARAMS, MiningParams
+from repro.core.params import DEFAULT_PARAMS, MiningParams, validate_mode
 from repro.errors import MiningParameterError
 
 
@@ -35,6 +35,23 @@ class TestValidation:
     def test_bad_gap(self):
         with pytest.raises(MiningParameterError, match="max_generation_gap"):
             MiningParams(max_generation_gap=-1)
+
+    def test_validate_mode_accepts_members_and_values(self):
+        from repro.core.distance import DistanceMode
+
+        for mode in DistanceMode:
+            assert validate_mode(mode) is mode
+            assert validate_mode(mode.value) is mode
+
+    @pytest.mark.parametrize("bad", ["bogus", "", "DIST", 3, None])
+    def test_validate_mode_rejects_unknown(self, bad):
+        with pytest.raises(MiningParameterError, match="mode must be one of"):
+            validate_mode(bad)
+
+    def test_validate_mode_error_is_a_value_error(self):
+        # argparse relies on type= callables raising ValueError.
+        with pytest.raises(ValueError):
+            validate_mode("bogus")
 
     def test_frozen(self):
         with pytest.raises(AttributeError):

@@ -1,0 +1,85 @@
+"""Property tests: the packed distance kernel equals the reference.
+
+:mod:`repro.core.distvec` must agree with the string-keyed
+``pairset_distance`` path *exactly* — same integer intersections and
+unions, same float division — for every mode, forest and ``minoccur``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import (
+    DistanceMode,
+    pairset_distance,
+    pairset_distance_matrix,
+)
+from repro.core.distvec import DistanceVectors
+from repro.core.pairset import CousinPairSet
+from repro.trees.tree import Tree
+
+from tests.property.strategies import trees
+
+MODES = st.sampled_from(list(DistanceMode))
+MINOCCURS = st.sampled_from([1, 2])
+
+
+def forests(min_trees=1, max_trees=5):
+    return st.lists(trees(max_size=16), min_size=min_trees, max_size=max_trees)
+
+
+@settings(max_examples=60, deadline=None)
+@given(forest=forests(min_trees=2), mode=MODES, minoccur=MINOCCURS)
+def test_matches_pairset_distance_exactly(forest, mode, minoccur):
+    vectors = DistanceVectors.from_trees(forest, minoccur=minoccur)
+    pair_sets = [
+        CousinPairSet.from_tree(tree, minoccur=minoccur) for tree in forest
+    ]
+    for i in range(len(forest)):
+        for j in range(len(forest)):
+            expected = pairset_distance(pair_sets[i], pair_sets[j], mode)
+            assert vectors.distance(i, j, mode) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(forest=forests(min_trees=2), mode=MODES)
+def test_matrix_matches_reference_exactly(forest, mode):
+    vectors = DistanceVectors.from_trees(forest)
+    pair_sets = [CousinPairSet.from_tree(tree) for tree in forest]
+    assert vectors.matrix(mode) == pairset_distance_matrix(pair_sets, mode)
+
+
+@settings(max_examples=40, deadline=None)
+@given(forest=forests(min_trees=2), mode=MODES)
+def test_symmetry_and_zero_diagonal(forest, mode):
+    vectors = DistanceVectors.from_trees(forest)
+    for i in range(len(forest)):
+        assert vectors.distance(i, i, mode) == 0.0
+        for j in range(i + 1, len(forest)):
+            forward = vectors.distance(i, j, mode)
+            assert forward == vectors.distance(j, i, mode)
+            assert 0.0 <= forward <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(forest=forests(min_trees=2), mode=MODES)
+def test_lower_bound_is_admissible(forest, mode):
+    vectors = DistanceVectors.from_trees(forest)
+    for i in range(len(forest)):
+        for j in range(len(forest)):
+            assert vectors.lower_bound(i, j, mode) <= vectors.distance(
+                i, j, mode
+            )
+
+
+@given(mode=MODES)
+def test_empty_vs_empty_is_zero(mode):
+    # Single-node trees mine no cousin pairs; the convention puts two
+    # empty collections at distance 0, not 1.
+    bare = []
+    for label in ("x", "y"):
+        tree = Tree()
+        tree.add_root(label=label)
+        bare.append(tree)
+    vectors = DistanceVectors.from_trees(bare)
+    assert vectors.distance(0, 1, mode) == 0.0
+    assert vectors.matrix(mode) == [[0.0, 0.0], [0.0, 0.0]]
