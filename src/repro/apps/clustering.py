@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.distance import DistanceMode, distance_matrix
+from repro.core.params import validate_mode
 from repro.trees.tree import Tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -103,6 +104,8 @@ def cluster_trees(
         matrix's per-tree mining (parallel + cached, identical
         output).
     """
+    # Validate every knob before the expensive matrix build.
+    mode = validate_mode(mode)
     if linkage not in _LINKAGES:
         raise ValueError(f"linkage must be one of {_LINKAGES}, got {linkage!r}")
     if not 1 <= k <= len(trees):

@@ -6,15 +6,26 @@ the full pattern list — it is what *changed*: patterns that newly
 crossed the support threshold, patterns that fell below it, and
 patterns whose support moved.  This module computes that delta from
 two frequent-pattern lists (or directly from two forests).
+
+Forest-level diffs additionally report a single *snapshot distance*:
+the Section 5.3 cousin distance between the two snapshots' aggregated
+cousin-pair collections, computed on the packed vector kernel
+(:meth:`repro.core.distvec.DistanceVectors.from_counters`) — 0.0 for
+identical mining output, approaching 1.0 as the snapshots diverge.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Sequence
 
+from repro.core.distance import DistanceMode
 from repro.core.multi_tree import FrequentCousinPair, mine_forest
 from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.engine import MiningEngine
 
 __all__ = ["PatternDiff", "diff_patterns", "diff_forests"]
 
@@ -43,12 +54,17 @@ class PatternDiff:
         different support or total occurrence count.
     unchanged:
         Patterns identical in both snapshots (support and totals).
+    snapshot_distance:
+        Cousin distance between the snapshots' aggregated pair
+        collections, set by :func:`diff_forests`; ``None`` for
+        pattern-list diffs, which lack the raw counts.
     """
 
     gained: tuple[FrequentCousinPair, ...]
     lost: tuple[FrequentCousinPair, ...]
     changed: tuple[tuple[FrequentCousinPair, FrequentCousinPair], ...]
     unchanged: tuple[FrequentCousinPair, ...] = field(repr=False)
+    snapshot_distance: float | None = None
 
     @property
     def is_empty(self) -> bool:
@@ -71,6 +87,10 @@ class PatternDiff:
                 f"support {old.support} -> {new.support}, "
                 f"occurrences {old.total_occurrences} -> "
                 f"{new.total_occurrences}"
+            )
+        if self.snapshot_distance is not None:
+            lines.append(
+                f"snapshot distance: {self.snapshot_distance:.6f}"
             )
         return "\n".join(lines)
 
@@ -123,14 +143,24 @@ def diff_forests(
     minoccur: int = 1,
     minsup: int = 2,
     max_generation_gap: int = 1,
+    mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    engine: "MiningEngine | None" = None,
 ) -> PatternDiff:
-    """Mine both snapshots with identical parameters and diff them."""
+    """Mine both snapshots with identical parameters and diff them.
+
+    Besides the pattern delta, the result carries
+    ``snapshot_distance``: the ``mode`` cousin distance between the
+    snapshots' aggregated (occurrence-summed) pair collections.  With
+    an ``engine``, per-tree mining for both the patterns and the
+    distance is cached, with identical output.
+    """
     old = mine_forest(
         old_trees,
         maxdist=maxdist,
         minoccur=minoccur,
         minsup=minsup,
         max_generation_gap=max_generation_gap,
+        engine=engine,
     )
     new = mine_forest(
         new_trees,
@@ -138,5 +168,58 @@ def diff_forests(
         minoccur=minoccur,
         minsup=minsup,
         max_generation_gap=max_generation_gap,
+        engine=engine,
     )
-    return diff_patterns(old, new)
+    distance = _snapshot_distance(
+        old_trees,
+        new_trees,
+        maxdist=maxdist,
+        max_generation_gap=max_generation_gap,
+        mode=mode,
+        engine=engine,
+    )
+    return replace(diff_patterns(old, new), snapshot_distance=distance)
+
+
+def _snapshot_distance(
+    old_trees: Sequence[Tree],
+    new_trees: Sequence[Tree],
+    maxdist: float,
+    max_generation_gap: int,
+    mode: DistanceMode | str,
+    engine: "MiningEngine | None",
+) -> float:
+    """Cousin distance between two snapshots' aggregate collections.
+
+    Each snapshot is flattened to one counter (per-tree occurrence
+    counts summed across the forest), then the two counters are
+    compared on the packed vector kernel exactly like two trees.
+    """
+    from repro.core.distvec import DistanceVectors
+    from repro.core.fastmine import mine_tree_counter
+    from repro.core.params import validate_mode
+
+    mode = validate_mode(mode)
+    aggregates: list[Counter] = []
+    for trees in (old_trees, new_trees):
+        if engine is not None:
+            counters = engine.counters(
+                trees,
+                maxdist=maxdist,
+                max_generation_gap=max_generation_gap,
+            )
+        else:
+            counters = [
+                mine_tree_counter(
+                    tree,
+                    maxdist=maxdist,
+                    max_generation_gap=max_generation_gap,
+                )
+                for tree in trees
+            ]
+        aggregate: Counter = Counter()
+        for counter in counters:
+            aggregate.update(counter)
+        aggregates.append(aggregate)
+    vectors = DistanceVectors.from_counters(aggregates)
+    return vectors.distance(0, 1, mode)

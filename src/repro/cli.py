@@ -32,6 +32,7 @@ from repro.core.distance import DistanceMode, tree_distance
 from repro.core.kernel import find_kernel_trees
 from repro.core.multi_tree import mine_forest, support
 from repro.core.fastmine import mine_tree
+from repro.core.params import validate_mode
 from repro.core.similarity import average_similarity
 from repro.core.treerank import rank_trees
 from repro.errors import ReproError
@@ -72,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="max_height",
                        help="optional horizontal limit: levels below "
                             "the LCA for the shallower cousin")
+
+    def add_mode_arg(p: argparse.ArgumentParser) -> None:
+        # validate_mode as the type callable: bad values raise
+        # MiningParameterError (a ValueError), which argparse turns
+        # into a clean usage message; good ones arrive as members.
+        p.add_argument("--mode", default="dist_occur",
+                       type=validate_mode,
+                       choices=[mode.value for mode in DistanceMode],
+                       help="distance variant (default dist_occur)")
 
     def add_engine_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=None,
@@ -126,15 +136,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_dist = sub.add_parser("distance", help="cousin-based tree distance")
     p_dist.add_argument("first")
     p_dist.add_argument("second")
-    p_dist.add_argument("--mode", default="dist_occur",
-                        choices=[mode.value for mode in DistanceMode])
+    add_mode_arg(p_dist)
     add_mining_args(p_dist)
+    add_engine_args(p_dist)
 
     p_kern = sub.add_parser("kernel", help="kernel trees across groups")
     p_kern.add_argument("files", nargs="+",
                         help="one Newick file per group (>= 2 files)")
-    p_kern.add_argument("--mode", default="dist_occur",
-                        choices=[mode.value for mode in DistanceMode])
+    add_mode_arg(p_kern)
     add_mining_args(p_kern)
     add_engine_args(p_kern)
 
@@ -154,8 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="number of clusters")
     p_clust.add_argument("--linkage", default="average",
                          choices=["single", "complete", "average"])
-    p_clust.add_argument("--mode", default="dist_occur",
-                         choices=[mode.value for mode in DistanceMode])
+    add_mode_arg(p_clust)
     add_engine_args(p_clust)
 
     p_super = sub.add_parser(
@@ -171,6 +179,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("new", help="new snapshot (tree file)")
     add_mining_args(p_diff)
     p_diff.add_argument("--minsup", type=int, default=2)
+    add_mode_arg(p_diff)
+    add_engine_args(p_diff)
 
     p_report = sub.add_parser(
         "report",
@@ -299,6 +309,7 @@ def _cmd_distance(args: argparse.Namespace) -> int:
     if len(first) != 1 or len(second) != 1:
         print("distance expects exactly one tree per file", file=sys.stderr)
         return 2
+    engine = _make_engine(args)
     value = tree_distance(
         first[0],
         second[0],
@@ -306,7 +317,9 @@ def _cmd_distance(args: argparse.Namespace) -> int:
         maxdist=args.maxdist,
         minoccur=args.minoccur,
         max_generation_gap=args.gap,
+        engine=engine,
     )
+    _report_engine_stats(engine, args)
     print(f"{value:.6f}")
     return 0
 
@@ -384,6 +397,7 @@ def _cmd_supertree(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.apps.diff import diff_forests
 
+    engine = _make_engine(args)
     delta = diff_forests(
         load_trees(args.old),
         load_trees(args.new),
@@ -391,7 +405,10 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         minoccur=args.minoccur,
         minsup=args.minsup,
         max_generation_gap=args.gap,
+        mode=args.mode,
+        engine=engine,
     )
+    _report_engine_stats(engine, args)
     print(delta.describe())
     return 0
 

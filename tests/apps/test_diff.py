@@ -15,6 +15,32 @@ class TestDiffForests:
         delta = diff_forests(trees, trees)
         assert delta.is_empty
         assert len(delta.unchanged) == len(mine_forest(trees))
+        assert delta.snapshot_distance == 0.0
+
+    def test_snapshot_distance_grows_with_divergence(self):
+        old = forest("((a,b),(c,d));", "((a,b),e);")
+        near = forest("((a,b),(c,d));", "((a,c),e);")
+        far = forest("((x,y),(z,w));")
+        small = diff_forests(old, near).snapshot_distance
+        large = diff_forests(old, far).snapshot_distance
+        assert 0.0 < small < large == 1.0
+
+    def test_snapshot_distance_engine_and_mode(self):
+        from repro.engine import MiningEngine
+
+        old = forest("((a,b),(c,d));", "((a,b),e);")
+        new = forest("((a,b),(c,d));", "((a,c),e);")
+        serial = diff_forests(old, new, mode="plain")
+        engined = diff_forests(
+            old, new, mode="plain", engine=MiningEngine(jobs=1)
+        )
+        assert engined.snapshot_distance == serial.snapshot_distance
+        assert "snapshot distance:" in serial.describe()
+
+    def test_pattern_diffs_have_no_snapshot_distance(self):
+        trees = forest("((a,b),c);", "((a,b),d);")
+        patterns = mine_forest(trees)
+        assert diff_patterns(patterns, patterns).snapshot_distance is None
 
     def test_gained_pattern(self):
         old = forest("((a,b),c);", "((x,y),c);")
