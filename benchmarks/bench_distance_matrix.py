@@ -1,0 +1,216 @@
+"""Distance-matrix benchmark: packed kernel vs legacy (BENCH_distance.json).
+
+Times the Section 5.3 pairwise distance matrix over a 200-tree,
+~50-node synthetic corpus, for all four :class:`DistanceMode`
+variants:
+
+- ``legacy`` — :func:`repro.core.distance.pairset_distance_matrix`
+  over prebuilt :class:`CousinPairSet` objects: string-keyed
+  ``Counter``/``set`` projections compared pair by pair (projections
+  hoisted, one per tree — the PR-4 satellite fix);
+- ``packed`` — :class:`repro.core.distvec.DistanceVectors`: sorted
+  packed-int key arrays merge-joined with ``numpy.searchsorted``,
+  inverted-index pruning for zero-overlap pairs.  The timed region
+  covers the *whole* packed path — re-interning the mined counts onto
+  the shared label table, building the inverted index, and all four
+  matrices — while the legacy side is only charged for the matrix
+  loops.
+
+Per-tree mining is identical input to both sides and excluded from
+both timings.  The gate asserts the packed path is >= 3x the legacy
+total across the four modes, and that every matrix is *exactly* equal
+(``==`` on nested float lists — same integer intersections and unions,
+same divisions) to the legacy result.
+
+Run under pytest (``pytest benchmarks/bench_distance_matrix.py``) to
+regenerate ``BENCH_distance.json``, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_distance_matrix.py          # full gate
+    PYTHONPATH=src python benchmarks/bench_distance_matrix.py --smoke  # CI smoke
+
+Smoke mode runs a tiny corpus and only asserts no regression
+(>= 1x) plus exact equality — enough for CI to catch a broken or
+slowed kernel without a long perf job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.core.distance import DistanceMode, pairset_distance_matrix
+from repro.core.distvec import DistanceVectors
+from repro.core.fastmine import mine_arena
+from repro.core.pairset import CousinPairSet
+from repro.core.params import MiningParams
+from repro.generate.random_trees import SyntheticTreeParams, synthetic_forest
+from repro.trees.arena import forest_arenas
+
+COUNT = 200
+TREESIZE = 50
+MAXDIST = 1.5
+REPEATS = 3  # every pass is best-of-N to shrug off scheduler noise
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_distance.json"
+
+SMOKE_COUNT = 40
+SMOKE_TREESIZE = 20
+
+
+def make_corpus(count: int = COUNT, treesize: int = TREESIZE) -> list:
+    params = SyntheticTreeParams(
+        treesize=treesize, databasesize=count, fanout=5, alphabetsize=200
+    )
+    return synthetic_forest(params, random.Random(5300 + count))
+
+
+def best_of(repeats: int, pass_fn):
+    """Fastest wall time of ``repeats`` runs (results identical)."""
+    result, seconds = None, float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = pass_fn()
+        seconds = min(seconds, time.perf_counter() - started)
+    return result, seconds
+
+
+def run(count: int, treesize: int, smoke: bool) -> dict:
+    corpus = make_corpus(count, treesize)
+    params = MiningParams(maxdist=MAXDIST, minsup=1)
+
+    # Mine once; both sides start from the same per-tree counts.
+    _table, arenas = forest_arenas(corpus)
+    packed = [mine_arena(arena, params) for arena in arenas]
+    pair_sets = [
+        CousinPairSet(counts.filtered_counter(params.minoccur))
+        for counts in packed
+    ]
+
+    legacy_seconds: dict[str, float] = {}
+    legacy_matrices: dict[DistanceMode, list] = {}
+    for mode in DistanceMode:
+        matrix, seconds = best_of(
+            REPEATS, lambda m=mode: pairset_distance_matrix(pair_sets, m)
+        )
+        legacy_matrices[mode] = matrix
+        legacy_seconds[mode.value] = seconds
+
+    def build_pass():
+        vectors = DistanceVectors.from_packed(
+            packed, minoccur=params.minoccur
+        )
+        vectors.build_index()
+        return vectors
+
+    vectors, build_seconds = best_of(REPEATS, build_pass)
+
+    packed_seconds: dict[str, float] = {}
+    packed_matrices: dict[DistanceMode, list] = {}
+    for mode in DistanceMode:
+        matrix, seconds = best_of(
+            REPEATS, lambda m=mode: vectors.matrix(m)
+        )
+        packed_matrices[mode] = matrix
+        packed_seconds[mode.value] = seconds
+
+    identical = all(
+        packed_matrices[mode] == legacy_matrices[mode]
+        for mode in DistanceMode
+    )
+    legacy_total = sum(legacy_seconds.values())
+    packed_total = build_seconds + sum(packed_seconds.values())
+
+    gate = 1.0 if smoke else 3.0
+    return {
+        "mode": "smoke" if smoke else "full",
+        "corpus": {"trees": count, "treesize": treesize, "fanout": 5,
+                   "alphabetsize": 200},
+        "maxdist": MAXDIST,
+        "repeats": REPEATS,
+        "legacy_seconds": legacy_seconds,
+        "legacy_total_seconds": legacy_total,
+        "packed_build_seconds": build_seconds,
+        "packed_seconds": packed_seconds,
+        "packed_total_seconds": packed_total,
+        "speedup": legacy_total / packed_total,
+        "identical": identical,
+        "gate": gate,
+        "note": (
+            "single-thread; 'packed' total includes re-interning the "
+            "mined counts into DistanceVectors and building the "
+            "inverted index; per-tree mining is excluded from both "
+            f"sides; the gate asserts speedup >= {gate}x across all "
+            "four modes with exactly equal matrices"
+        ),
+    }
+
+
+def check(payload: dict) -> None:
+    assert payload["identical"], (
+        "packed distance matrices diverged from the pairset reference"
+    )
+    assert payload["speedup"] >= payload["gate"], payload
+
+
+def report_rows(payload: dict) -> list[str]:
+    rows = [
+        f"corpus: {payload['corpus']['trees']} trees x "
+        f"~{payload['corpus']['treesize']} nodes (best of "
+        f"{payload['repeats']})",
+    ]
+    for mode in DistanceMode:
+        rows.append(
+            f"{mode.value:>10}: legacy "
+            f"{payload['legacy_seconds'][mode.value]:.3f}s, packed "
+            f"{payload['packed_seconds'][mode.value]:.3f}s"
+        )
+    rows += [
+        f"packed build (intern + index): "
+        f"{payload['packed_build_seconds']:.3f}s",
+        f"total: legacy {payload['legacy_total_seconds']:.3f}s, packed "
+        f"{payload['packed_total_seconds']:.3f}s "
+        f"({payload['speedup']:.2f}x, gate {payload['gate']:.0f}x)",
+        f"identical: {payload['identical']}",
+    ]
+    return rows
+
+
+def test_distance_matrix_speedup_gate(benchmark, print_rows):
+    payload = benchmark.pedantic(
+        lambda: run(COUNT, TREESIZE, smoke=False), rounds=1, iterations=1
+    )
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print_rows(
+        "Distance matrix — packed kernel vs pairset "
+        "(BENCH_distance.json)",
+        report_rows(payload),
+    )
+    check(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny corpus, >=1x no-regression gate (CI-sized)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload = run(SMOKE_COUNT, SMOKE_TREESIZE, smoke=True)
+    else:
+        payload = run(COUNT, TREESIZE, smoke=False)
+        OUTPUT.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+    print(f"[distance matrix benchmark — {payload['mode']}]")
+    for row in report_rows(payload):
+        print(f"  {row}")
+    check(payload)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
