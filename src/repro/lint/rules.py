@@ -201,7 +201,9 @@ class NoMagicPackingLiterals(Rule):
     lb``; a module that re-derives 21, 42 or the 0x1FFFFF mask inline
     will silently disagree with the real layout the day it changes.
     Shift amounts, masks and capacity constants must be imported from
-    the packing module, never spelled as literals.
+    the packing module, never spelled as literals.  Literals wrapped
+    in numpy scalar constructors (``keys >> np.uint64(42)``, the
+    ``core/distvec.py`` idiom) count the same as bare ones.
     """
 
     id = "RPL002"
@@ -225,10 +227,31 @@ class NoMagicPackingLiterals(Rule):
     _const_names = re.compile(r"BIT|MASK|SHIFT|LABELS|HALF_STEP", re.IGNORECASE)
     _bit_ops = (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor)
 
-    @staticmethod
-    def _int_const(node: ast.AST) -> int | None:
+    _scalar_ctors = frozenset(
+        {"uint64", "int64", "uint32", "int32", "intp", "uint", "int_"}
+    )
+
+    @classmethod
+    def _int_const(cls, node: ast.AST) -> int | None:
         if isinstance(node, ast.Constant) and type(node.value) is int:
             return node.value
+        # np.uint64(42) wraps the literal in a numpy scalar: same magic
+        # number, one AST level down.
+        if (
+            isinstance(node, ast.Call)
+            and not node.keywords
+            and len(node.args) == 1
+        ):
+            func = node.func
+            name = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if name in cls._scalar_ctors:
+                return cls._int_const(node.args[0])
         return None
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:

@@ -1,0 +1,13 @@
+"""RPL002 trigger: numpy-wrapped packed-key literals, distvec style."""
+
+import numpy as np
+
+
+def collapse(keys):
+    # The pair projection mask spelled as a literal inside np.int64.
+    return keys & np.int64(0x3FFFFFFFFFF)
+
+
+def half_steps(keys):
+    # The distance shift re-derived inline.
+    return keys.astype(np.uint64) >> np.uint64(42)

@@ -1,0 +1,18 @@
+"""RPL002 pass: distvec routes the layout through the packing module."""
+
+import numpy as np
+
+from repro.trees.packing import DIST_SHIFT, PAIR_MASK
+
+
+def collapse(keys):
+    return keys & np.int64(PAIR_MASK)
+
+
+def half_steps(keys):
+    return keys.astype(np.uint64) >> np.uint64(DIST_SHIFT)
+
+
+def unrelated_scalar():
+    # Wrapped numbers outside bitwise expressions are ordinary numbers.
+    return np.int64(42) + np.int64(21)

@@ -21,6 +21,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 MODULE_KEYS = {
     "rpl001": "repro/apps/fixture.py",
     "rpl002": "repro/core/fixture.py",
+    "rpl002distvec": "repro/core/distvec.py",
     "rpl003": "repro/core/fastmine.py",
     "rpl004": "repro/apps/fixture.py",
     "rpl005": "repro/generate/fixture.py",
@@ -98,6 +99,17 @@ class TestRPL002:
         source = "MASK_BITS = 21\nx = 1 << 21\n"
         assert lint_source(source, module="repro/trees/packing.py") == []
         assert lint_source(source, module="repro/trees/arena.py")
+
+    def test_numpy_wrapped_literals_reported(self):
+        # The distvec idiom: layout literals inside np scalar ctors.
+        findings = lint_fixture("rpl002distvec_bad", select=["RPL002"])
+        assert len(findings) == 2
+        messages = " ".join(f.message for f in findings)
+        assert "4398046511103" in messages  # the PAIR_MASK value
+        assert "42" in messages
+
+    def test_distvec_named_constants_pass(self):
+        assert lint_fixture("rpl002distvec_good", select=["RPL002"]) == []
 
 
 class TestRPL003:
