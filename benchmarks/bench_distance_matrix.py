@@ -41,12 +41,19 @@ import random
 import time
 from pathlib import Path
 
+try:
+    from benchmarks.conftest import write_run_manifest
+except ImportError:  # script invocation: sys.path[0] is benchmarks/
+    from conftest import write_run_manifest
+
 from repro.core.distance import DistanceMode, pairset_distance_matrix
 from repro.core.distvec import DistanceVectors
 from repro.core.fastmine import mine_arena
 from repro.core.pairset import CousinPairSet
 from repro.core.params import MiningParams
 from repro.generate.random_trees import SyntheticTreeParams, synthetic_forest
+from repro.obs.context import scope
+from repro.obs.metrics import MetricsRegistry, stopwatch
 from repro.trees.arena import forest_arenas
 
 COUNT = 200
@@ -76,44 +83,50 @@ def best_of(repeats: int, pass_fn):
     return result, seconds
 
 
-def run(count: int, treesize: int, smoke: bool) -> dict:
-    corpus = make_corpus(count, treesize)
+def run(
+    count: int, treesize: int, smoke: bool
+) -> tuple[dict, MetricsRegistry]:
+    registry = MetricsRegistry()
+    with scope(registry), stopwatch() as corpus_watch:
+        corpus = make_corpus(count, treesize)
     params = MiningParams(maxdist=MAXDIST, minsup=1)
 
     # Mine once; both sides start from the same per-tree counts.
-    _table, arenas = forest_arenas(corpus)
-    packed = [mine_arena(arena, params) for arena in arenas]
-    pair_sets = [
-        CousinPairSet(counts.filtered_counter(params.minoccur))
-        for counts in packed
-    ]
+    with scope(registry), stopwatch() as mine_watch:
+        _table, arenas = forest_arenas(corpus)
+        packed = [mine_arena(arena, params) for arena in arenas]
+        pair_sets = [
+            CousinPairSet(counts.filtered_counter(params.minoccur))
+            for counts in packed
+        ]
 
-    legacy_seconds: dict[str, float] = {}
-    legacy_matrices: dict[DistanceMode, list] = {}
-    for mode in DistanceMode:
-        matrix, seconds = best_of(
-            REPEATS, lambda m=mode: pairset_distance_matrix(pair_sets, m)
-        )
-        legacy_matrices[mode] = matrix
-        legacy_seconds[mode.value] = seconds
+    with scope(registry):
+        legacy_seconds: dict[str, float] = {}
+        legacy_matrices: dict[DistanceMode, list] = {}
+        for mode in DistanceMode:
+            matrix, seconds = best_of(
+                REPEATS, lambda m=mode: pairset_distance_matrix(pair_sets, m)
+            )
+            legacy_matrices[mode] = matrix
+            legacy_seconds[mode.value] = seconds
 
-    def build_pass():
-        vectors = DistanceVectors.from_packed(
-            packed, minoccur=params.minoccur
-        )
-        vectors.build_index()
-        return vectors
+        def build_pass():
+            vectors = DistanceVectors.from_packed(
+                packed, minoccur=params.minoccur
+            )
+            vectors.build_index()
+            return vectors
 
-    vectors, build_seconds = best_of(REPEATS, build_pass)
+        vectors, build_seconds = best_of(REPEATS, build_pass)
 
-    packed_seconds: dict[str, float] = {}
-    packed_matrices: dict[DistanceMode, list] = {}
-    for mode in DistanceMode:
-        matrix, seconds = best_of(
-            REPEATS, lambda m=mode: vectors.matrix(m)
-        )
-        packed_matrices[mode] = matrix
-        packed_seconds[mode.value] = seconds
+        packed_seconds: dict[str, float] = {}
+        packed_matrices: dict[DistanceMode, list] = {}
+        for mode in DistanceMode:
+            matrix, seconds = best_of(
+                REPEATS, lambda m=mode: vectors.matrix(m)
+            )
+            packed_matrices[mode] = matrix
+            packed_seconds[mode.value] = seconds
 
     identical = all(
         packed_matrices[mode] == legacy_matrices[mode]
@@ -123,7 +136,14 @@ def run(count: int, treesize: int, smoke: bool) -> dict:
     packed_total = build_seconds + sum(packed_seconds.values())
 
     gate = 1.0 if smoke else 3.0
-    return {
+    phases = {
+        "corpus": corpus_watch.seconds,
+        "mine": mine_watch.seconds,
+        "legacy": legacy_total,
+        "packed_build": build_seconds,
+        "packed": sum(packed_seconds.values()),
+    }
+    payload = {
         "mode": "smoke" if smoke else "full",
         "corpus": {"trees": count, "treesize": treesize, "fanout": 5,
                    "alphabetsize": 200},
@@ -137,6 +157,10 @@ def run(count: int, treesize: int, smoke: bool) -> dict:
         "speedup": legacy_total / packed_total,
         "identical": identical,
         "gate": gate,
+        "phases": [
+            {"name": name, "seconds": seconds}
+            for name, seconds in phases.items()
+        ],
         "note": (
             "single-thread; 'packed' total includes re-interning the "
             "mined counts into DistanceVectors and building the "
@@ -145,6 +169,7 @@ def run(count: int, treesize: int, smoke: bool) -> dict:
             "four modes with exactly equal matrices"
         ),
     }
+    return payload, registry
 
 
 def check(payload: dict) -> None:
@@ -178,10 +203,11 @@ def report_rows(payload: dict) -> list[str]:
 
 
 def test_distance_matrix_speedup_gate(benchmark, print_rows):
-    payload = benchmark.pedantic(
+    payload, registry = benchmark.pedantic(
         lambda: run(COUNT, TREESIZE, smoke=False), rounds=1, iterations=1
     )
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_run_manifest("bench_distance", payload, OUTPUT, registry=registry)
     print_rows(
         "Distance matrix — packed kernel vs pairset "
         "(BENCH_distance.json)",
@@ -196,13 +222,26 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="tiny corpus, >=1x no-regression gate (CI-sized)",
     )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="also write the run manifest (params, git revision, "
+             "phase timings, metrics snapshot) to PATH",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        payload = run(SMOKE_COUNT, SMOKE_TREESIZE, smoke=True)
+        payload, registry = run(SMOKE_COUNT, SMOKE_TREESIZE, smoke=True)
     else:
-        payload = run(COUNT, TREESIZE, smoke=False)
+        payload, registry = run(COUNT, TREESIZE, smoke=False)
         OUTPUT.write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        write_run_manifest(
+            "bench_distance", payload, OUTPUT, registry=registry
+        )
+    if args.manifest:
+        write_run_manifest(
+            "bench_distance", payload, OUTPUT,
+            registry=registry, path=args.manifest,
         )
     print(f"[distance matrix benchmark — {payload['mode']}]")
     for row in report_rows(payload):

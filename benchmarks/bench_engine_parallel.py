@@ -29,11 +29,12 @@ import multiprocessing
 import random
 from pathlib import Path
 
-from benchmarks.conftest import wall_time
+from benchmarks.conftest import wall_time, write_run_manifest
 from repro.core import fastmine, single_tree
 from repro.core.multi_tree import mine_forest
 from repro.engine import MiningEngine
 from repro.generate.random_trees import SyntheticTreeParams, synthetic_forest
+from repro.obs.metrics import MetricsRegistry
 
 COUNT = 600
 TREESIZE = 50  # Table 3's 200 scaled down, matching bench_fig6
@@ -85,8 +86,14 @@ def test_engine_parallel_and_cache_speedup(benchmark, print_rows):
         assert strict(warm) == strict(reference)
         assert cached_engine.stats.misses <= len(corpus)
 
+        # One merged snapshot for the manifest: the parallel engine's
+        # counters plus the cold/warm cache passes.
+        registry = MetricsRegistry()
+        registry.merge_snapshot(parallel_engine.registry.snapshot())
+        registry.merge_snapshot(cached_engine.registry.snapshot())
+
         hardware_capped = cpus < JOBS
-        return {
+        payload = {
             "corpus": {"trees": COUNT, "treesize": TREESIZE, "fanout": 5,
                        "alphabetsize": 200},
             "cpu_count": cpus,
@@ -102,6 +109,14 @@ def test_engine_parallel_and_cache_speedup(benchmark, print_rows):
             "cache_warm_seconds": cache_warm_seconds,
             "cache_speedup": cache_cold_seconds / max(cache_warm_seconds, 1e-9),
             "hardware_capped": hardware_capped,
+            "phases": [
+                {"name": "kernel_legacy", "seconds": legacy_seconds},
+                {"name": "kernel_fastmine", "seconds": fastmine_seconds},
+                {"name": "serial", "seconds": serial_seconds},
+                {"name": "parallel", "seconds": parallel_seconds},
+                {"name": "cache_cold", "seconds": cache_cold_seconds},
+                {"name": "cache_warm", "seconds": cache_warm_seconds},
+            ],
             "note": (
                 f"only {cpus} CPU(s) visible: jobs={JOBS} is clamped to "
                 f"{parallel_engine.jobs} and the engine takes the serial "
@@ -110,9 +125,11 @@ def test_engine_parallel_and_cache_speedup(benchmark, print_rows):
                 "documented rather than asserted"
             ) if hardware_capped else "parallel gate asserted at >=1.5x",
         }
+        return payload, registry
 
-    payload = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    payload, registry = benchmark.pedantic(sweep, rounds=1, iterations=1)
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_run_manifest("bench_engine", payload, OUTPUT, registry=registry)
 
     print_rows(
         "Engine — kernels, fan-out and cache (BENCH_engine.json)",

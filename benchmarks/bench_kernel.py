@@ -40,10 +40,17 @@ import time
 from collections import Counter
 from pathlib import Path
 
+try:
+    from benchmarks.conftest import write_run_manifest
+except ImportError:  # script invocation: sys.path[0] is benchmarks/
+    from conftest import write_run_manifest
+
 from repro.core import fastmine, single_tree
 from repro.core.fastmine import mine_arena
 from repro.core.params import MiningParams
 from repro.generate.random_trees import SyntheticTreeParams, synthetic_forest
+from repro.obs.context import scope
+from repro.obs.metrics import MetricsRegistry, stopwatch
 from repro.trees.arena import TreeArena
 
 COUNT = 600
@@ -92,21 +99,30 @@ def canonical_bytes(counters: list[Counter]) -> bytes:
     return "\n".join(lines).encode("utf-8")
 
 
-def run(count: int, treesize: int, smoke: bool) -> dict:
-    corpus = make_corpus(count, treesize)
+def run(
+    count: int, treesize: int, smoke: bool
+) -> tuple[dict, MetricsRegistry]:
+    registry = MetricsRegistry()
+    with scope(registry), stopwatch() as corpus_watch:
+        corpus = make_corpus(count, treesize)
     params = MiningParams(maxdist=MAXDIST)
 
-    reference, reference_seconds = best_of(
-        REPEATS, lambda t: single_tree.mine_tree_counter(t, MAXDIST), corpus
-    )
-    dropin, dropin_seconds = best_of(
-        REPEATS, lambda t: fastmine.mine_tree_counter(t, MAXDIST), corpus
-    )
-    packed, kernel_seconds = best_of(
-        REPEATS, lambda t: mine_arena(TreeArena.from_tree(t), params), corpus
-    )
-    # Boundary materialisation, outside the timed region by design.
-    decoded = [p.to_counter() for p in packed]
+    with scope(registry):
+        reference, reference_seconds = best_of(
+            REPEATS,
+            lambda t: single_tree.mine_tree_counter(t, MAXDIST),
+            corpus,
+        )
+        dropin, dropin_seconds = best_of(
+            REPEATS, lambda t: fastmine.mine_tree_counter(t, MAXDIST), corpus
+        )
+        packed, kernel_seconds = best_of(
+            REPEATS,
+            lambda t: mine_arena(TreeArena.from_tree(t), params),
+            corpus,
+        )
+        # Boundary materialisation, outside the timed region by design.
+        decoded = [p.to_counter() for p in packed]
 
     reference_bytes = canonical_bytes(reference)
     byte_identical = (
@@ -115,7 +131,13 @@ def run(count: int, treesize: int, smoke: bool) -> dict:
     )
 
     gate = 1.0 if smoke else 3.0
-    return {
+    phases = {
+        "corpus": corpus_watch.seconds,
+        "reference": reference_seconds,
+        "dropin": dropin_seconds,
+        "kernel": kernel_seconds,
+    }
+    payload = {
         "mode": "smoke" if smoke else "full",
         "corpus": {"trees": count, "treesize": treesize, "fanout": 5,
                    "alphabetsize": 200},
@@ -128,6 +150,10 @@ def run(count: int, treesize: int, smoke: bool) -> dict:
         "kernel_speedup": reference_seconds / kernel_seconds,
         "byte_identical": byte_identical,
         "gate": gate,
+        "phases": [
+            {"name": name, "seconds": seconds}
+            for name, seconds in phases.items()
+        ],
         "note": (
             "single-thread; 'kernel' times TreeArena.from_tree + "
             "mine_arena (packed counts, as the engine caches them); "
@@ -136,6 +162,7 @@ def run(count: int, treesize: int, smoke: bool) -> dict:
             "output"
         ),
     }
+    return payload, registry
 
 
 def check(payload: dict) -> None:
@@ -160,10 +187,11 @@ def report_rows(payload: dict) -> list[str]:
 
 
 def test_kernel_speedup_gate(benchmark, print_rows):
-    payload = benchmark.pedantic(
+    payload, registry = benchmark.pedantic(
         lambda: run(COUNT, TREESIZE, smoke=False), rounds=1, iterations=1
     )
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_run_manifest("bench_kernel", payload, OUTPUT, registry=registry)
     print_rows(
         "Kernel — fastmine vs single_tree (BENCH_kernel.json)",
         report_rows(payload),
@@ -177,13 +205,24 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="tiny corpus, >=1x no-regression gate (CI-sized)",
     )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="also write the run manifest (params, git revision, "
+             "phase timings, metrics snapshot) to PATH",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        payload = run(SMOKE_COUNT, SMOKE_TREESIZE, smoke=True)
+        payload, registry = run(SMOKE_COUNT, SMOKE_TREESIZE, smoke=True)
     else:
-        payload = run(COUNT, TREESIZE, smoke=False)
+        payload, registry = run(COUNT, TREESIZE, smoke=False)
         OUTPUT.write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        write_run_manifest("bench_kernel", payload, OUTPUT, registry=registry)
+    if args.manifest:
+        write_run_manifest(
+            "bench_kernel", payload, OUTPUT,
+            registry=registry, path=args.manifest,
         )
     print(f"[kernel benchmark — {payload['mode']}]")
     for row in report_rows(payload):

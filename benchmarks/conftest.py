@@ -15,6 +15,7 @@ Run with::
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 import pytest
 
@@ -24,6 +25,38 @@ def wall_time(function, *args, **kwargs):
     started = time.perf_counter()
     result = function(*args, **kwargs)
     return result, time.perf_counter() - started
+
+
+def manifest_path(output: Path) -> Path:
+    """``BENCH_x.json`` -> its sibling ``BENCH_x.manifest.json``."""
+    return output.with_name(output.stem + ".manifest.json")
+
+
+def write_run_manifest(name, payload, output, registry=None, path=None):
+    """Write the run manifest next to a ``BENCH_*.json`` payload.
+
+    The manifest (``schemas/manifest.schema.json``) records the run's
+    parameters, the current git revision, the ``phases`` breakdown the
+    payload carries, and — when a registry is passed — a full metrics
+    snapshot.  Returns the path written.
+    """
+    from repro.obs.export import build_manifest, write_manifest
+
+    phases = {
+        phase["name"]: phase["seconds"]
+        for phase in payload.get("phases", [])
+    }
+    params = {
+        key: value
+        for key, value in payload.items()
+        if key not in ("phases", "note") and not key.endswith("_seconds")
+    }
+    manifest = build_manifest(
+        name, params=params, phases=phases, registry=registry
+    )
+    target = Path(path) if path is not None else manifest_path(output)
+    write_manifest(target, manifest)
+    return target
 
 
 @pytest.fixture

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.core.distance import DistanceMode, distance_matrix
 from repro.core.params import validate_mode
+from repro.obs.context import get_registry, get_tracer
 from repro.trees.tree import Tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -112,38 +113,46 @@ def cluster_trees(
         raise ValueError(
             f"k must be between 1 and {len(trees)}, got {k}"
         )
-    matrix = distance_matrix(
-        trees, mode=mode, maxdist=maxdist, minoccur=minoccur, engine=engine
-    )
+    tracer = get_tracer()
+    with tracer.span("cluster.matrix", trees=len(trees), mode=mode.value):
+        matrix = distance_matrix(
+            trees, mode=mode, maxdist=maxdist, minoccur=minoccur, engine=engine
+        )
     clusters: list[list[int]] = [[position] for position in range(len(trees))]
-    while len(clusters) > k:
-        best_pair = None
-        best_value = None
-        for i in range(len(clusters)):
-            for j in range(i + 1, len(clusters)):
-                value = _linkage_distance(
-                    matrix, clusters[i], clusters[j], linkage
-                )
-                if best_value is None or value < best_value:
-                    best_value = value
-                    best_pair = (i, j)
-        assert best_pair is not None
-        i, j = best_pair
-        clusters[i] = sorted(clusters[i] + clusters[j])
-        del clusters[j]
-    clusters.sort(key=lambda cluster: cluster[0])
+    with tracer.span("cluster.agglomerate", k=k, linkage=linkage):
+        merges = 0
+        while len(clusters) > k:
+            best_pair = None
+            best_value = None
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    value = _linkage_distance(
+                        matrix, clusters[i], clusters[j], linkage
+                    )
+                    if best_value is None or value < best_value:
+                        best_value = value
+                        best_pair = (i, j)
+            assert best_pair is not None
+            i, j = best_pair
+            clusters[i] = sorted(clusters[i] + clusters[j])
+            del clusters[j]
+            merges += 1
+        clusters.sort(key=lambda cluster: cluster[0])
+        if merges:
+            get_registry().counter("cluster.merges").add(merges)
 
     medoids = []
-    for cluster in clusters:
-        medoids.append(
-            min(
-                cluster,
-                key=lambda member: (
-                    sum(matrix[member][other] for other in cluster),
-                    member,
-                ),
+    with tracer.span("cluster.medoids", clusters=len(clusters)):
+        for cluster in clusters:
+            medoids.append(
+                min(
+                    cluster,
+                    key=lambda member: (
+                        sum(matrix[member][other] for other in cluster),
+                        member,
+                    ),
+                )
             )
-        )
     return ClusteringResult(
         clusters=tuple(tuple(cluster) for cluster in clusters),
         medoids=tuple(medoids),

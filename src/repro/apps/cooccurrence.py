@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Sequence
 from repro.core.cousins import CousinPair, kinship_name
 from repro.core.multi_tree import FrequentCousinPair, mine_forest
 from repro.core.fastmine import enumerate_cousin_pairs
+from repro.obs.context import get_registry, get_tracer
 from repro.trees.tree import Tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -86,38 +87,45 @@ def find_cooccurring_patterns(
     :class:`repro.engine.MiningEngine` with identical output.
     """
     trees = list(trees)
-    patterns = mine_forest(
-        trees,
-        maxdist=maxdist,
-        minoccur=minoccur,
-        minsup=minsup,
-        ignore_distance=ignore_distance,
-        max_generation_gap=max_generation_gap,
-        engine=engine,
-    )
-    # Enumerate concrete pairs once per tree, then attribute them.
-    per_tree_pairs: list[list[CousinPair]] = [
-        list(
-            enumerate_cousin_pairs(
-                tree, maxdist=maxdist, max_generation_gap=max_generation_gap
-            )
+    tracer = get_tracer()
+    with tracer.span("cooccurrence.mine", trees=len(trees)):
+        patterns = mine_forest(
+            trees,
+            maxdist=maxdist,
+            minoccur=minoccur,
+            minsup=minsup,
+            ignore_distance=ignore_distance,
+            max_generation_gap=max_generation_gap,
+            engine=engine,
         )
-        for tree in trees
-    ]
-    occurrences: list[dict[int, list[CousinPair]]] = []
-    for pattern in patterns:
-        label_key = (pattern.label_a, pattern.label_b)
-        spots: dict[int, list[CousinPair]] = {}
-        for tree_index in pattern.tree_indexes:
-            matching = [
-                pair
-                for pair in per_tree_pairs[tree_index]
-                if pair.label_key == label_key
-                and (pattern.distance is None or pair.distance == pattern.distance)
-            ]
-            if matching:
-                spots[tree_index] = matching
-        occurrences.append(spots)
+    get_registry().counter("cooccurrence.patterns").add(len(patterns))
+    with tracer.span("cooccurrence.occurrences", patterns=len(patterns)):
+        # Enumerate concrete pairs once per tree, then attribute them.
+        per_tree_pairs: list[list[CousinPair]] = [
+            list(
+                enumerate_cousin_pairs(
+                    tree, maxdist=maxdist, max_generation_gap=max_generation_gap
+                )
+            )
+            for tree in trees
+        ]
+        occurrences: list[dict[int, list[CousinPair]]] = []
+        for pattern in patterns:
+            label_key = (pattern.label_a, pattern.label_b)
+            spots: dict[int, list[CousinPair]] = {}
+            for tree_index in pattern.tree_indexes:
+                matching = [
+                    pair
+                    for pair in per_tree_pairs[tree_index]
+                    if pair.label_key == label_key
+                    and (
+                        pattern.distance is None
+                        or pair.distance == pattern.distance
+                    )
+                ]
+                if matching:
+                    spots[tree_index] = matching
+            occurrences.append(spots)
     return CooccurrenceReport(
         trees=trees, patterns=patterns, occurrences=occurrences
     )

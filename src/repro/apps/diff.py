@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.core.distance import DistanceMode
 from repro.core.multi_tree import FrequentCousinPair, mine_forest
+from repro.obs.context import get_tracer
 from repro.trees.tree import Tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -154,31 +155,36 @@ def diff_forests(
     an ``engine``, per-tree mining for both the patterns and the
     distance is cached, with identical output.
     """
-    old = mine_forest(
-        old_trees,
-        maxdist=maxdist,
-        minoccur=minoccur,
-        minsup=minsup,
-        max_generation_gap=max_generation_gap,
-        engine=engine,
-    )
-    new = mine_forest(
-        new_trees,
-        maxdist=maxdist,
-        minoccur=minoccur,
-        minsup=minsup,
-        max_generation_gap=max_generation_gap,
-        engine=engine,
-    )
-    distance = _snapshot_distance(
-        old_trees,
-        new_trees,
-        maxdist=maxdist,
-        max_generation_gap=max_generation_gap,
-        mode=mode,
-        engine=engine,
-    )
-    return replace(diff_patterns(old, new), snapshot_distance=distance)
+    tracer = get_tracer()
+    with tracer.span("diff.mine", snapshot="old", trees=len(old_trees)):
+        old = mine_forest(
+            old_trees,
+            maxdist=maxdist,
+            minoccur=minoccur,
+            minsup=minsup,
+            max_generation_gap=max_generation_gap,
+            engine=engine,
+        )
+    with tracer.span("diff.mine", snapshot="new", trees=len(new_trees)):
+        new = mine_forest(
+            new_trees,
+            maxdist=maxdist,
+            minoccur=minoccur,
+            minsup=minsup,
+            max_generation_gap=max_generation_gap,
+            engine=engine,
+        )
+    with tracer.span("diff.snapshot_distance"):
+        distance = _snapshot_distance(
+            old_trees,
+            new_trees,
+            maxdist=maxdist,
+            max_generation_gap=max_generation_gap,
+            mode=mode,
+            engine=engine,
+        )
+    with tracer.span("diff.delta"):
+        return replace(diff_patterns(old, new), snapshot_distance=distance)
 
 
 def _snapshot_distance(

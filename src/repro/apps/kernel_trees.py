@@ -9,13 +9,13 @@ Figure 10 plots that time against ``g``.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.distance import DistanceMode
 from repro.core.kernel import KernelResult, find_kernel_trees
 from repro.datasets.ascomycetes import ascomycete_groups
+from repro.obs.metrics import stopwatch
 from repro.trees.tree import Tree
 
 __all__ = ["KernelExperimentRow", "kernel_tree_experiment", "run_kernel_search"]
@@ -37,10 +37,9 @@ def run_kernel_search(
     maxdist: float = 1.5,
 ) -> tuple[KernelResult, float]:
     """Time one kernel-tree selection; returns (result, seconds)."""
-    started = time.perf_counter()
-    result = find_kernel_trees(groups, mode=mode, maxdist=maxdist)
-    elapsed = time.perf_counter() - started
-    return result, elapsed
+    with stopwatch() as watch:
+        result = find_kernel_trees(groups, mode=mode, maxdist=maxdist)
+    return result, watch.seconds
 
 
 def kernel_tree_experiment(

@@ -25,7 +25,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine import MiningEngine
 
 from repro.consensus.base import CONSENSUS_METHODS, consensus
 from repro.core.distance import DistanceMode, tree_distance
@@ -96,6 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="engine_stats",
                        help="print cache and parallelism statistics "
                             "to stderr")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record spans and write a JSON-lines "
+                            "trace of the run to PATH")
 
     p_mine = sub.add_parser("mine", help="mine cousin pair items of each tree")
     p_mine.add_argument("file", help="Newick file (one or more trees)")
@@ -196,16 +203,47 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_engine(args: argparse.Namespace):
-    """Build the MiningEngine the engine-enabled subcommands share."""
+@contextmanager
+def _engine_session(args: argparse.Namespace) -> Iterator[MiningEngine]:
+    """Build the engine and install its observability scope.
+
+    While the scope is active, ambient metrics and spans (kernel
+    search, clustering, diff phases, cache internals) land in the
+    engine's registry, so ``--engine-stats`` and ``--trace`` see the
+    whole run.  On exit ``--trace PATH`` writes the JSON-lines trace
+    (also for failed runs — a partial trace aids debugging).
+    """
     from repro.engine import MiningEngine
+    from repro.obs.context import scope
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
 
-    return MiningEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+    trace_path = getattr(args, "trace", None)
+    registry = MetricsRegistry()
+    tracer = Tracer(registry, enabled=trace_path is not None)
+    engine = MiningEngine(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        registry=registry,
+        tracer=tracer,
+    )
+    try:
+        with scope(registry, tracer):
+            yield engine
+    finally:
+        if trace_path is not None:
+            from repro.obs.export import write_trace
+
+            write_trace(trace_path, tracer, registry, command=args.command)
 
 
-def _report_engine_stats(engine, args: argparse.Namespace) -> None:
+def _report_engine_stats(engine: MiningEngine, args: argparse.Namespace) -> None:
     if args.engine_stats:
+        from repro.obs.export import render_stats
+
         print(engine.stats.describe(), file=sys.stderr)
+        for line in render_stats(engine.registry):
+            print(line, file=sys.stderr)
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -254,18 +292,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 def _cmd_frequent(args: argparse.Namespace) -> int:
     trees = load_trees(args.file)
-    engine = _make_engine(args)
-    patterns = mine_forest(
-        trees,
-        maxdist=args.maxdist,
-        minoccur=args.minoccur,
-        minsup=args.minsup,
-        ignore_distance=args.ignore_distance,
-        max_generation_gap=args.gap,
-        max_height=args.max_height,
-        engine=engine,
-    )
-    _report_engine_stats(engine, args)
+    with _engine_session(args) as engine:
+        patterns = mine_forest(
+            trees,
+            maxdist=args.maxdist,
+            minoccur=args.minoccur,
+            minsup=args.minsup,
+            ignore_distance=args.ignore_distance,
+            max_generation_gap=args.gap,
+            max_height=args.max_height,
+            engine=engine,
+        )
+        _report_engine_stats(engine, args)
     if args.format == "json":
         from repro.io import patterns_to_json
 
@@ -309,17 +347,17 @@ def _cmd_distance(args: argparse.Namespace) -> int:
     if len(first) != 1 or len(second) != 1:
         print("distance expects exactly one tree per file", file=sys.stderr)
         return 2
-    engine = _make_engine(args)
-    value = tree_distance(
-        first[0],
-        second[0],
-        mode=args.mode,
-        maxdist=args.maxdist,
-        minoccur=args.minoccur,
-        max_generation_gap=args.gap,
-        engine=engine,
-    )
-    _report_engine_stats(engine, args)
+    with _engine_session(args) as engine:
+        value = tree_distance(
+            first[0],
+            second[0],
+            mode=args.mode,
+            maxdist=args.maxdist,
+            minoccur=args.minoccur,
+            max_generation_gap=args.gap,
+            engine=engine,
+        )
+        _report_engine_stats(engine, args)
     print(f"{value:.6f}")
     return 0
 
@@ -329,16 +367,16 @@ def _cmd_kernel(args: argparse.Namespace) -> int:
         print("kernel needs at least two group files", file=sys.stderr)
         return 2
     groups = [load_trees(path) for path in args.files]
-    engine = _make_engine(args)
-    result = find_kernel_trees(
-        groups,
-        mode=args.mode,
-        maxdist=args.maxdist,
-        minoccur=args.minoccur,
-        max_generation_gap=args.gap,
-        engine=engine,
-    )
-    _report_engine_stats(engine, args)
+    with _engine_session(args) as engine:
+        result = find_kernel_trees(
+            groups,
+            mode=args.mode,
+            maxdist=args.maxdist,
+            minoccur=args.minoccur,
+            max_generation_gap=args.gap,
+            engine=engine,
+        )
+        _report_engine_stats(engine, args)
     print(f"# average pairwise distance: {result.average_distance:.6f}")
     for path, index, tree in zip(args.files, result.indexes, result.trees):
         name = tree.name or f"tree {index}"
@@ -363,11 +401,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.apps.clustering import cluster_trees
 
     trees = load_trees(args.file)
-    engine = _make_engine(args)
-    result = cluster_trees(
-        trees, args.k, mode=args.mode, linkage=args.linkage, engine=engine
-    )
-    _report_engine_stats(engine, args)
+    with _engine_session(args) as engine:
+        result = cluster_trees(
+            trees, args.k, mode=args.mode, linkage=args.linkage, engine=engine
+        )
+        _report_engine_stats(engine, args)
     for index, (cluster, medoid) in enumerate(
         zip(result.clusters, result.medoids)
     ):
@@ -397,18 +435,18 @@ def _cmd_supertree(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.apps.diff import diff_forests
 
-    engine = _make_engine(args)
-    delta = diff_forests(
-        load_trees(args.old),
-        load_trees(args.new),
-        maxdist=args.maxdist,
-        minoccur=args.minoccur,
-        minsup=args.minsup,
-        max_generation_gap=args.gap,
-        mode=args.mode,
-        engine=engine,
-    )
-    _report_engine_stats(engine, args)
+    with _engine_session(args) as engine:
+        delta = diff_forests(
+            load_trees(args.old),
+            load_trees(args.new),
+            maxdist=args.maxdist,
+            minoccur=args.minoccur,
+            minsup=args.minsup,
+            max_generation_gap=args.gap,
+            mode=args.mode,
+            engine=engine,
+        )
+        _report_engine_stats(engine, args)
     print(delta.describe())
     return 0
 
@@ -418,16 +456,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.trees.drawing import render_pattern_report
 
     trees = load_trees(args.file)
-    engine = _make_engine(args)
-    report = find_cooccurring_patterns(
-        trees,
-        maxdist=args.maxdist,
-        minoccur=args.minoccur,
-        minsup=args.minsup,
-        max_generation_gap=args.gap,
-        engine=engine,
-    )
-    _report_engine_stats(engine, args)
+    with _engine_session(args) as engine:
+        report = find_cooccurring_patterns(
+            trees,
+            maxdist=args.maxdist,
+            minoccur=args.minoccur,
+            minsup=args.minsup,
+            max_generation_gap=args.gap,
+            engine=engine,
+        )
+        _report_engine_stats(engine, args)
     print(render_pattern_report(report, max_patterns=args.patterns))
     return 0
 

@@ -53,6 +53,7 @@ import numpy as np
 from repro.core.distance import DistanceMode
 from repro.core.fastmine import PackedCounts, mine_arena
 from repro.core.params import MiningParams, validate_minoccur, validate_mode
+from repro.obs.context import get_registry, get_tracer
 from repro.trees.arena import LabelTable, forest_arenas
 from repro.trees.packing import DIST_SHIFT, LABEL_BITS, LABEL_MASK, PAIR_MASK, pack_key
 from repro.trees.tree import Tree
@@ -185,15 +186,20 @@ class DistanceVectors:
         """
         minoccur = validate_minoccur(minoccur)
         packed = list(packed)
-        table = LabelTable(
-            label for counts in packed for label in counts.labels
-        )
-        remapped = [_remap_packed(counts, table, minoccur) for counts in packed]
-        return cls(
-            table.labels,
-            [keys for keys, _ in remapped],
-            [counts for _, counts in remapped],
-        )
+        with get_tracer().span(
+            "distvec.build", metric="distvec.build.seconds", trees=len(packed)
+        ):
+            table = LabelTable(
+                label for counts in packed for label in counts.labels
+            )
+            remapped = [
+                _remap_packed(counts, table, minoccur) for counts in packed
+            ]
+            return cls(
+                table.labels,
+                [keys for keys, _ in remapped],
+                [counts for _, counts in remapped],
+            )
 
     @classmethod
     def from_trees(
@@ -323,6 +329,15 @@ class DistanceVectors:
         (two empty collections are at distance 0 by convention).
         """
         mode = validate_mode(mode)
+        get_registry().counter("distvec.joins").add(1)
+        with get_tracer().span(
+            "distvec.join", first=first, second=second, mode=mode.value
+        ):
+            return self._distance(first, second, mode)
+
+    def _distance(
+        self, first: int, second: int, mode: DistanceMode
+    ) -> float:
         multiset = mode in _MULTISET_MODES
         keys_a, counts_a, total_a = self._view(first, mode)
         keys_b, counts_b, total_b = self._view(second, mode)
@@ -399,6 +414,7 @@ class DistanceVectors:
         size bound ``1 - min(total)/max(total)``.
         """
         mode = validate_mode(mode)
+        get_registry().counter("distvec.bounds").add(1)
         total_a = self._view(first, mode)[2]
         total_b = self._view(second, mode)[2]
         span = total_a + total_b
@@ -420,19 +436,22 @@ class DistanceVectors:
         """
         if self._index is not None:
             return
-        sizes = [keys.size for keys in self._pair_keys]
-        if sum(sizes) == 0:
-            empty = np.empty(0, dtype=np.int64)
-            self._index = (empty, empty, empty, empty)
-            return
-        all_keys = np.concatenate(self._pair_keys)
-        owners = np.repeat(np.arange(len(self), dtype=np.int64), sizes)
-        order = np.argsort(all_keys, kind="stable")
-        sorted_keys = all_keys[order]
-        sorted_owners = owners[order]
-        unique, starts = np.unique(sorted_keys, return_index=True)
-        ends = np.append(starts[1:], sorted_keys.size)
-        self._index = (unique, starts, ends, sorted_owners)
+        with get_tracer().span(
+            "distvec.index", metric="distvec.index.seconds", trees=len(self)
+        ):
+            sizes = [keys.size for keys in self._pair_keys]
+            if sum(sizes) == 0:
+                empty = np.empty(0, dtype=np.int64)
+                self._index = (empty, empty, empty, empty)
+                return
+            all_keys = np.concatenate(self._pair_keys)
+            owners = np.repeat(np.arange(len(self), dtype=np.int64), sizes)
+            order = np.argsort(all_keys, kind="stable")
+            sorted_keys = all_keys[order]
+            sorted_owners = owners[order]
+            unique, starts = np.unique(sorted_keys, return_index=True)
+            ends = np.append(starts[1:], sorted_keys.size)
+            self._index = (unique, starts, ends, sorted_owners)
 
     def _neighbors_after(self, row: int) -> np.ndarray:
         """Trees ``j > row`` sharing at least one label pair with ``row``.
@@ -467,8 +486,29 @@ class DistanceVectors:
         every ``j > i``.  Pairs with provably empty intersection (no
         shared label pair) are filled from totals alone and counted as
         pruned; the rest get one batched merge-join per row.
+
+        One ``distvec.triangle`` span per band; the joined/pruned
+        totals also land on the ambient registry
+        (``distvec.pairs.joined`` / ``distvec.pairs.pruned``), so
+        worker-side bands merge back into engine-level counts.
         """
         mode = validate_mode(mode)
+        with get_tracer().span(
+            "distvec.triangle",
+            metric="distvec.triangle.seconds",
+            start=start,
+            stop=stop,
+            mode=mode.value,
+        ):
+            rows, computed, pruned = self._triangle(start, stop, mode)
+        registry = get_registry()
+        registry.counter("distvec.pairs.joined").add(computed)
+        registry.counter("distvec.pairs.pruned").add(pruned)
+        return rows, computed, pruned
+
+    def _triangle(
+        self, start: int, stop: int, mode: DistanceMode
+    ) -> tuple[list[list[float]], int, int]:
         multiset = mode in _MULTISET_MODES
         self.build_index()
         size = len(self)

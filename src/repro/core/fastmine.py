@@ -54,6 +54,7 @@ from typing import Iterator, Sequence
 
 from repro.core.cousins import CousinPair, CousinPairItem, distance_from_heights
 from repro.core.params import MiningParams, validate_minoccur
+from repro.obs.context import get_registry, get_tracer
 from repro.trees.arena import TreeArena
 from repro.trees.packing import DIST_SHIFT, LABEL_BITS, LABEL_MASK
 from repro.trees.tree import Tree
@@ -368,8 +369,20 @@ def mine_arena(arena: TreeArena, params: MiningParams) -> PackedCounts:
     strings, so the result can be cached and shipped across processes
     as-is.  ``params.minoccur``/``minsup`` are not applied here —
     filtering happens at the boundary, as in the reference.
+
+    One ``fastmine.sweep`` span per tree (outside the per-node loops,
+    so a disabled tracer costs two clock reads per *tree*); the
+    ambient registry counts trees, nodes and emitted keys.
     """
-    return PackedCounts(arena.table.labels, _sweep_packed(arena, params))
+    with get_tracer().span(
+        "fastmine.sweep", metric="fastmine.sweep.seconds"
+    ):
+        counts = _sweep_packed(arena, params)
+    registry = get_registry()
+    registry.counter("fastmine.trees").add(1)
+    registry.counter("fastmine.nodes").add(len(arena.parent))
+    registry.counter("fastmine.keys").add(len(counts))
+    return PackedCounts(arena.table.labels, counts)
 
 
 def mine_tree_counter(
@@ -427,6 +440,7 @@ def free_path_counts(
     """
     counts: dict[int, int] = {}
     n = len(arena.parent)
+    get_registry().counter("fastmine.free_sweeps").add(1)
     if n < 2 or limit < 2:
         return counts
     # rows[dl] -> (dr - 1, half_steps << shift) per admissible dr

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from repro.core.distance import DistanceMode
 from repro.core.distvec import DistanceVectors
 from repro.core.params import validate_mode
+from repro.obs.context import get_registry, get_tracer
 from repro.trees.tree import Tree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -110,13 +111,16 @@ def find_kernel_trees(
 
     # Mine every tree once, into one shared vector universe.
     flat = [tree for group in groups for tree in group]
-    vectors = DistanceVectors.from_trees(
-        flat,
-        maxdist=maxdist,
-        minoccur=minoccur,
-        max_generation_gap=max_generation_gap,
-        engine=engine,
-    )
+    with get_tracer().span(
+        "kernel.vectors", metric="kernel.vectors.seconds", trees=len(flat)
+    ):
+        vectors = DistanceVectors.from_trees(
+            flat,
+            maxdist=maxdist,
+            minoccur=minoccur,
+            max_generation_gap=max_generation_gap,
+            engine=engine,
+        )
     offsets: list[int] = []
     cursor = 0
     for group in groups:
@@ -139,7 +143,10 @@ def find_kernel_trees(
             memo[(first, second)] = value
         return value
 
-    best_sum, best_choice = _search(groups, offsets, bound, evaluate)
+    with get_tracer().span(
+        "kernel.search", metric="kernel.search.seconds", groups=len(groups)
+    ):
+        best_sum, best_choice = _search(groups, offsets, bound, evaluate)
 
     evaluations = len(memo)
     total_cross_pairs = sum(
@@ -147,6 +154,9 @@ def find_kernel_trees(
         for group_i, group_j in combinations(range(len(groups)), 2)
     )
     pruned = total_cross_pairs - evaluations
+    registry = get_registry()
+    registry.counter("kernel.evaluations").add(evaluations)
+    registry.counter("kernel.pruned").add(pruned)
     if engine is not None:
         engine.stats.distance_pairs_computed += evaluations
         engine.stats.distance_pairs_pruned += pruned

@@ -47,6 +47,7 @@ from collections import Counter, OrderedDict
 from repro.core.fastmine import PackedCounts
 from repro.core.params import MiningParams
 from repro.errors import EngineError
+from repro.obs.context import get_registry
 from repro.trees.arena import TreeArena
 from repro.trees.packing import PACKED_KEY_SCHEME
 from repro.trees.tree import Tree
@@ -198,8 +199,12 @@ class PairSetCache:
         self._lru[key] = payload
         self._lru.move_to_end(key)
         if self.max_entries is not None:
+            evicted = 0
             while len(self._lru) > self.max_entries:
                 self._lru.popitem(last=False)
+                evicted += 1
+            if evicted:
+                get_registry().counter("cache.memory.evictions").add(evicted)
 
     def _disk_path(self, key: str) -> str:
         assert self.cache_dir is not None
@@ -210,11 +215,16 @@ class PairSetCache:
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
-            # Missing, truncated or corrupt entry: treat as a miss.
+            # Truncated or corrupt entry (the file exists but cannot be
+            # decoded): treat as a miss, but count the degradation.
+            get_registry().counter("cache.disk.read_errors").add(1)
             return None
         if not isinstance(payload, (PackedCounts, Counter)):
+            get_registry().counter("cache.disk.read_errors").add(1)
             return None
         return payload
 
@@ -234,7 +244,8 @@ class PairSetCache:
                 except OSError:
                     pass
                 raise
+            get_registry().counter("cache.disk.writes").add(1)
         except OSError:
             # A read-only or full disk never fails the mining run; the
             # result simply stays uncached.
-            pass
+            get_registry().counter("cache.disk.write_errors").add(1)

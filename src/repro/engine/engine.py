@@ -43,10 +43,9 @@ from __future__ import annotations
 import hashlib
 import math
 import os
-import time
 from collections import Counter, OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.core.cousins import CousinPairItem
 from repro.core.distance import DistanceMode
@@ -57,6 +56,9 @@ from repro.core.params import MiningParams, validate_mode
 from repro.engine.cache import PairSetCache, arena_cache_key
 from repro.engine.stats import EngineStats
 from repro.errors import EngineError
+from repro.obs.context import scope as obs_scope
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.trees.arena import TreeArena
 from repro.trees.tree import Tree
 
@@ -84,32 +86,42 @@ def available_cpus() -> int:
 
 def _mine_chunk(
     payload: tuple[list[tuple[str, TreeArena]], MiningParams],
-) -> list[tuple[str, PackedCounts]]:
+) -> tuple[list[tuple[str, PackedCounts]], dict[str, Any]]:
     """Worker task: mine one chunk of (key, arena) pairs.
 
     Module-level so it pickles; arenas travel as their raw array
     buffers (see :meth:`repro.trees.arena.TreeArena.__getstate__`) —
     no node graph is ever shipped — and the interned results come back
-    as :class:`PackedCounts`, ready for the cache.
+    as :class:`PackedCounts` plus a snapshot of the worker-side
+    metrics, ready for the cache and the parent registry.  The worker
+    counts into a *fresh* registry: the parent's fork-inherited totals
+    must not ride back and be double-merged.
     """
     chunk, params = payload
-    return [(key, mine_arena(arena, params)) for key, arena in chunk]
+    registry = MetricsRegistry()
+    with obs_scope(registry=registry):
+        mined = [(key, mine_arena(arena, params)) for key, arena in chunk]
+    return mined, registry.snapshot()
 
 
 def _distance_tile(
     payload: tuple[DistanceVectors, int, int, str],
-) -> tuple[int, list[list[float]], int, int]:
+) -> tuple[int, list[list[float]], int, int, dict[str, Any]]:
     """Worker task: one row band of a distance-matrix triangle.
 
     Module-level so it pickles; the vectors travel as their raw sorted
     arrays (inverted index included — the parent builds it once before
     fanning out) and each band comes back as ``(start, rows,
-    pairs_computed, pairs_pruned)`` ready for
-    :func:`repro.core.distvec.assemble_matrix`.
+    pairs_computed, pairs_pruned, metrics_snapshot)`` ready for
+    :func:`repro.core.distvec.assemble_matrix` and the parent
+    registry.  Like :func:`_mine_chunk`, the worker counts into a
+    fresh registry so fork-inherited totals never double-merge.
     """
     vectors, start, stop, mode = payload
-    rows, computed, pruned = vectors.triangle(start, stop, mode)
-    return start, rows, computed, pruned
+    registry = MetricsRegistry()
+    with obs_scope(registry=registry):
+        rows, computed, pruned = vectors.triangle(start, stop, mode)
+    return start, rows, computed, pruned, registry.snapshot()
 
 
 class MiningEngine:
@@ -144,6 +156,17 @@ class MiningEngine:
         CPUs only adds pickling overhead (a measured 0.69x *slowdown*
         at ``jobs=4`` on a 1-CPU box).  Set false to force a real pool
         regardless, e.g. to exercise the parallel path in tests.
+    registry:
+        The :class:`repro.obs.metrics.MetricsRegistry` backing
+        ``engine.stats`` and every kernel metric counted during this
+        engine's batches.  A private registry when omitted; pass one to
+        share it with a CLI session or a manifest writer.
+    tracer:
+        The :class:`repro.obs.trace.Tracer` used for the engine's
+        spans (``engine.batch`` / ``engine.lookup`` / ``engine.mine`` /
+        ``engine.distance.*``).  A *disabled* tracer over ``registry``
+        when omitted — spans then cost nothing beyond the timing
+        histograms the stats surface needs.
     """
 
     def __init__(
@@ -155,6 +178,8 @@ class MiningEngine:
         min_parallel_trees: int = 8,
         chunks_per_job: int = 4,
         clamp_jobs: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if jobs is None:
             jobs = available_cpus()
@@ -181,7 +206,13 @@ class MiningEngine:
         )
         self.min_parallel_trees = min_parallel_trees
         self.chunks_per_job = chunks_per_job
-        self.stats = EngineStats()
+        if registry is None:
+            registry = tracer.registry if tracer is not None else MetricsRegistry()
+        self.registry = registry
+        self.tracer = (
+            tracer if tracer is not None else Tracer(registry, enabled=False)
+        )
+        self.stats = EngineStats(registry)
         # Derived-projection memo: profiling shows building and sorting
         # the CousinPairItem lists costs ~2x the counter mining itself,
         # so warm passes also skip the projection.  Keyed by
@@ -227,49 +258,60 @@ class MiningEngine:
         objects — internal callers only read them; the public surface
         materialises fresh counters / item lists from them.
         """
-        started = time.perf_counter()
-        self.stats.batches += 1
-        self.stats.trees_seen += len(trees)
+        stats = self.stats
+        tracer = self.tracer
+        with obs_scope(self.registry, tracer), tracer.span(
+            "engine.batch", metric="engine.batch.seconds", trees=len(trees)
+        ):
+            stats.batches += 1
+            stats.trees_seen += len(trees)
 
-        arenas = [TreeArena.from_tree(tree) for tree in trees]
-        keys = [arena_cache_key(arena, params) for arena in arenas]
-        resolved: dict[str, object] = {}
-        to_mine: list[tuple[str, TreeArena]] = []
-        for arena, key in zip(arenas, keys):
-            if key in resolved:
-                # Same content seen earlier in this batch (cached or
-                # queued for mining): served from process memory.
-                self.stats.memory_hits += 1
-                continue
-            found = self.cache.lookup(key)
-            if found is not None and not self._admissible(found[1], arena):
-                # A payload that is not interned packed counts, or whose
-                # label table disagrees with the arena it is being served
-                # for (poisoned disk entry, stale scheme, hash collision):
-                # reject it and re-mine rather than decode garbage.
-                self.stats.rejected += 1
-                found = None
-            if found is None:
-                self.stats.misses += 1
-                resolved[key] = _PENDING
-                to_mine.append((key, arena))
-            else:
-                layer, packed = found
-                if layer == "memory":
-                    self.stats.memory_hits += 1
-                else:
-                    self.stats.disk_hits += 1
-                resolved[key] = packed
+            resolved: dict[str, object] = {}
+            to_mine: list[tuple[str, TreeArena]] = []
+            with tracer.span("engine.lookup"):
+                arenas = [TreeArena.from_tree(tree) for tree in trees]
+                keys = [arena_cache_key(arena, params) for arena in arenas]
+                for arena, key in zip(arenas, keys):
+                    if key in resolved:
+                        # Same content seen earlier in this batch (cached
+                        # or queued for mining): served from process
+                        # memory.
+                        stats.memory_hits += 1
+                        continue
+                    found = self.cache.lookup(key)
+                    if found is not None and not self._admissible(
+                        found[1], arena
+                    ):
+                        # A payload that is not interned packed counts, or
+                        # whose label table disagrees with the arena it is
+                        # being served for (poisoned disk entry, stale
+                        # scheme, hash collision): reject it and re-mine
+                        # rather than decode garbage.
+                        stats.rejected += 1
+                        found = None
+                    if found is None:
+                        stats.misses += 1
+                        resolved[key] = _PENDING
+                        to_mine.append((key, arena))
+                    else:
+                        layer, packed = found
+                        if layer == "memory":
+                            stats.memory_hits += 1
+                        else:
+                            stats.disk_hits += 1
+                        resolved[key] = packed
 
-        if to_mine:
-            mine_started = time.perf_counter()
-            for key, packed in self._mine(to_mine, params):
-                resolved[key] = packed
-                self.cache.put(key, packed)
-            self.stats.mine_seconds += time.perf_counter() - mine_started
+            if to_mine:
+                with tracer.span(
+                    "engine.mine",
+                    metric="engine.mine.seconds",
+                    misses=len(to_mine),
+                ):
+                    for key, packed in self._mine(to_mine, params):
+                        resolved[key] = packed
+                        self.cache.put(key, packed)
 
-        self.stats.total_seconds += time.perf_counter() - started
-        return keys, resolved
+            return keys, resolved
 
     def _mine(
         self, to_mine: list[tuple[str, TreeArena]], params: MiningParams
@@ -290,10 +332,11 @@ class MiningEngine:
         workers = min(self.jobs, len(chunks))
         results: list[tuple[str, PackedCounts]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for part in pool.map(
+            for part, snapshot in pool.map(
                 _mine_chunk, [(chunk, params) for chunk in chunks]
             ):
                 results.extend(part)
+                self.registry.merge_snapshot(snapshot)
         return results
 
     # ------------------------------------------------------------------
@@ -387,18 +430,22 @@ class MiningEngine:
         params = self._resolve(
             params, maxdist, minoccur, max_generation_gap, max_height
         )
-        keys, resolved = self._resolved_packed(trees, params)
-        digest = hashlib.sha256("|".join(keys).encode("ascii"))
-        digest.update(f"|minoccur={params.minoccur}".encode("ascii"))
-        fingerprint = digest.hexdigest()
-        vectors = self._projection(
-            ("distvec", fingerprint),
-            [resolved[key] for key in keys],
-            params,
-            self._build_vectors,
-        )
-        vectors.fingerprint = fingerprint
-        return vectors
+        with obs_scope(self.registry, self.tracer), self.tracer.span(
+            "engine.distance.vectors", trees=len(trees)
+        ):
+            self.stats.distance_builds += 1
+            keys, resolved = self._resolved_packed(trees, params)
+            digest = hashlib.sha256("|".join(keys).encode("ascii"))
+            digest.update(f"|minoccur={params.minoccur}".encode("ascii"))
+            fingerprint = digest.hexdigest()
+            vectors = self._projection(
+                ("distvec", fingerprint),
+                [resolved[key] for key in keys],
+                params,
+                self._build_vectors,
+            )
+            vectors.fingerprint = fingerprint
+            return vectors
 
     @staticmethod
     def _build_vectors(
@@ -423,51 +470,59 @@ class MiningEngine:
         :class:`repro.engine.stats.EngineStats`.
         """
         mode = validate_mode(mode)
-        memo_key = (
-            ("distmat", vectors.fingerprint, mode.value)
-            if vectors.fingerprint is not None and self._projection_cap != 0
-            else None
-        )
-        if memo_key is not None:
-            cached = self._projections.get(memo_key)
-            if cached is not None:
-                self._projections.move_to_end(memo_key)
-                matrix, tile_count = cached
-                self.stats.distance_tile_hits += tile_count
-                return [row[:] for row in matrix]
-        size = len(vectors)
-        bands = self._distance_bands(size)
-        self.stats.distance_tiles += len(bands)
-        tiles: list[tuple[int, list[list[float]]]] = []
-        computed = 0
-        pruned = 0
-        if len(bands) == 1:
-            rows, computed, pruned = vectors.triangle(0, size, mode)
-            tiles.append((0, rows))
-        else:
-            # Workers inherit the prebuilt inverted index instead of
-            # each rebuilding it from the pair keys.
-            vectors.build_index()
-            payloads = [
-                (vectors, start, stop, mode.value) for start, stop in bands
-            ]
-            workers = min(self.jobs, len(bands))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for start, rows, band_computed, band_pruned in pool.map(
-                    _distance_tile, payloads
-                ):
-                    tiles.append((start, rows))
-                    computed += band_computed
-                    pruned += band_pruned
-        self.stats.distance_pairs_computed += computed
-        self.stats.distance_pairs_pruned += pruned
-        matrix = assemble_matrix(size, tiles)
-        if memo_key is not None:
-            self._projections[memo_key] = (matrix, len(bands))
-            if self._projection_cap is not None:
-                while len(self._projections) > self._projection_cap:
-                    self._projections.popitem(last=False)
-        return [row[:] for row in matrix]
+        with obs_scope(self.registry, self.tracer), self.tracer.span(
+            "engine.distance.matrix",
+            metric="engine.distance.seconds",
+            trees=len(vectors),
+            mode=mode.value,
+        ):
+            self.stats.distance_builds += 1
+            memo_key = (
+                ("distmat", vectors.fingerprint, mode.value)
+                if vectors.fingerprint is not None and self._projection_cap != 0
+                else None
+            )
+            if memo_key is not None:
+                cached = self._projections.get(memo_key)
+                if cached is not None:
+                    self._projections.move_to_end(memo_key)
+                    matrix, tile_count = cached
+                    self.stats.distance_tile_hits += tile_count
+                    return [row[:] for row in matrix]
+            size = len(vectors)
+            bands = self._distance_bands(size)
+            self.stats.distance_tiles += len(bands)
+            tiles: list[tuple[int, list[list[float]]]] = []
+            computed = 0
+            pruned = 0
+            if len(bands) == 1:
+                rows, computed, pruned = vectors.triangle(0, size, mode)
+                tiles.append((0, rows))
+            else:
+                # Workers inherit the prebuilt inverted index instead of
+                # each rebuilding it from the pair keys.
+                vectors.build_index()
+                payloads = [
+                    (vectors, start, stop, mode.value) for start, stop in bands
+                ]
+                workers = min(self.jobs, len(bands))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    for start, rows, band_computed, band_pruned, snapshot in (
+                        pool.map(_distance_tile, payloads)
+                    ):
+                        tiles.append((start, rows))
+                        computed += band_computed
+                        pruned += band_pruned
+                        self.registry.merge_snapshot(snapshot)
+            self.stats.distance_pairs_computed += computed
+            self.stats.distance_pairs_pruned += pruned
+            matrix = assemble_matrix(size, tiles)
+            if memo_key is not None:
+                self._projections[memo_key] = (matrix, len(bands))
+                if self._projection_cap is not None:
+                    while len(self._projections) > self._projection_cap:
+                        self._projections.popitem(last=False)
+            return [row[:] for row in matrix]
 
     def _distance_bands(self, size: int) -> list[tuple[int, int]]:
         """Deterministic row bands of the triangle, balanced by pairs.

@@ -1,23 +1,103 @@
-"""Execution counters for the mining engine.
+"""Execution counters for the mining engine — a view over a registry.
 
 Every :class:`repro.engine.MiningEngine` owns one
-:class:`EngineStats` instance and updates it on each batch: how many
-per-tree lookups were served from the in-process LRU, from the on-disk
-cache, or had to be mined; whether mining ran serially or fanned out to
-a process pool; and how long the mining section took.  The object is
-cheap plain state — read it after a run (``engine.stats``), reset it
-between phases (:meth:`EngineStats.reset`), or ship it as JSON
-(:meth:`EngineStats.as_dict`).
+:class:`EngineStats` instance.  Since the observability pass the
+object holds no state of its own: each public field is a property
+over a named metric in a :class:`repro.obs.metrics.MetricsRegistry`
+(``trees_seen`` reads the ``engine.lookups`` counter,
+``mine_seconds`` the ``engine.mine.seconds`` histogram total, and so
+on — the full name map is ``docs/observability.md``).  The engine's
+hot loops increment the *metric objects* directly and spans observe
+the timing histograms, so the legacy surface here — read it after a
+run (``engine.stats``), reset it between phases
+(:meth:`EngineStats.reset`), ship it as JSON
+(:meth:`EngineStats.as_dict`) — is unchanged while ``--trace`` and
+run manifests see the same numbers through the registry.
+
+:meth:`reset` resets the backing registry in place, so metric
+references the engine cached stay valid; :meth:`as_dict` keeps the
+exact legacy key set (``tests/property/test_prop_stats.py`` pins it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["EngineStats"]
 
+# Legacy field -> backing counter, in the original dataclass order.
+_COUNTER_FIELDS: dict[str, str] = {
+    "trees_seen": "engine.lookups",
+    "memory_hits": "engine.cache.memory_hits",
+    "disk_hits": "engine.cache.disk_hits",
+    "misses": "engine.cache.misses",
+    "rejected": "engine.cache.rejected",
+    "batches": "engine.batches",
+    "parallel_batches": "engine.batches.parallel",
+    "chunks": "engine.chunks",
+    "distance_pairs_computed": "engine.distance.pairs_computed",
+    "distance_pairs_pruned": "engine.distance.pairs_pruned",
+    "distance_tiles": "engine.distance.tiles",
+    "distance_tile_hits": "engine.distance.tile_hits",
+}
 
-@dataclass
+# Legacy wall-time field -> backing histogram (the field reads the
+# histogram *total*; per-batch distributions ride along for free).
+_HISTOGRAM_FIELDS: dict[str, str] = {
+    "mine_seconds": "engine.mine.seconds",
+    "total_seconds": "engine.batch.seconds",
+}
+
+# Registry-only counter (not part of the legacy as_dict surface):
+# distance-vector/matrix builds started, including ones whose every
+# pair was pruned or filtered to nothing.  describe() uses it so an
+# all-zero build still reports its distance section.
+DISTANCE_BUILDS_METRIC = "engine.distance.builds"
+
+# The as_dict key order of the original dataclass.
+_FIELD_ORDER: tuple[str, ...] = (
+    "trees_seen",
+    "memory_hits",
+    "disk_hits",
+    "misses",
+    "rejected",
+    "batches",
+    "parallel_batches",
+    "chunks",
+    "mine_seconds",
+    "total_seconds",
+    "distance_pairs_computed",
+    "distance_pairs_pruned",
+    "distance_tiles",
+    "distance_tile_hits",
+)
+
+
+def _counter_property(metric: str) -> property:
+    def fget(self: EngineStats) -> int:
+        return self.registry.counter(metric).value
+
+    def fset(self: EngineStats, value: int) -> None:
+        self.registry.counter(metric).value = value
+
+    return property(fget, fset)
+
+
+def _histogram_property(metric: str) -> property:
+    def fget(self: EngineStats) -> float:
+        return self.registry.histogram(metric).total
+
+    def fset(self: EngineStats, value: float) -> None:
+        # Assignment replaces the accumulated total (legacy dataclass
+        # semantics); the distribution restarts from the new value.
+        histogram = self.registry.histogram(metric)
+        histogram.reset()
+        if value:
+            histogram.observe(value)
+
+    return property(fget, fset)
+
+
 class EngineStats:
     """Counters accumulated across the batches an engine has run.
 
@@ -50,10 +130,10 @@ class EngineStats:
     distance_pairs_computed:
         Tree pairs whose distance took an actual merge-join during
         engine matrix builds (:meth:`repro.engine.MiningEngine
-        .distance_matrix`).
+        .distance_matrix`) or kernel searches.
     distance_pairs_pruned:
-        Tree pairs the inverted pair-key index proved zero-overlap —
-        filled from totals alone, no join.
+        Tree pairs the inverted pair-key index or size bound proved
+        irrelevant — filled from totals alone, no join.
     distance_tiles:
         Triangle row tiles executed across all matrix builds (1 per
         build on the serial path, ~``jobs * chunks_per_job`` when
@@ -61,43 +141,82 @@ class EngineStats:
     distance_tile_hits:
         Tiles *not* executed because a whole matrix was served from
         the projection memo.
+    distance_builds:
+        Distance-vector builds started (registry-only; not part of
+        :meth:`as_dict`).  Nonzero whenever the distance path ran at
+        all, even if every pair was pruned to nothing.
     """
 
-    trees_seen: int = 0
-    memory_hits: int = 0
-    disk_hits: int = 0
-    misses: int = 0
-    rejected: int = 0
-    batches: int = 0
-    parallel_batches: int = 0
-    chunks: int = 0
-    mine_seconds: float = 0.0
-    total_seconds: float = 0.0
-    distance_pairs_computed: int = 0
-    distance_pairs_pruned: int = 0
-    distance_tiles: int = 0
-    distance_tile_hits: int = 0
+    registry: MetricsRegistry
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # Materialise every backing metric up front so snapshots and
+        # as_dict always carry the full field set, zeros included.
+        for metric in _COUNTER_FIELDS.values():
+            self.registry.counter(metric)
+        self.registry.counter(DISTANCE_BUILDS_METRIC)
+        for metric in _HISTOGRAM_FIELDS.values():
+            self.registry.histogram(metric)
+
+    trees_seen = _counter_property(_COUNTER_FIELDS["trees_seen"])
+    memory_hits = _counter_property(_COUNTER_FIELDS["memory_hits"])
+    disk_hits = _counter_property(_COUNTER_FIELDS["disk_hits"])
+    misses = _counter_property(_COUNTER_FIELDS["misses"])
+    rejected = _counter_property(_COUNTER_FIELDS["rejected"])
+    batches = _counter_property(_COUNTER_FIELDS["batches"])
+    parallel_batches = _counter_property(_COUNTER_FIELDS["parallel_batches"])
+    chunks = _counter_property(_COUNTER_FIELDS["chunks"])
+    mine_seconds = _histogram_property(_HISTOGRAM_FIELDS["mine_seconds"])
+    total_seconds = _histogram_property(_HISTOGRAM_FIELDS["total_seconds"])
+    distance_pairs_computed = _counter_property(
+        _COUNTER_FIELDS["distance_pairs_computed"]
+    )
+    distance_pairs_pruned = _counter_property(
+        _COUNTER_FIELDS["distance_pairs_pruned"]
+    )
+    distance_tiles = _counter_property(_COUNTER_FIELDS["distance_tiles"])
+    distance_tile_hits = _counter_property(
+        _COUNTER_FIELDS["distance_tile_hits"]
+    )
+    distance_builds = _counter_property(DISTANCE_BUILDS_METRIC)
 
     @property
     def hits(self) -> int:
         """Lookups served without mining (memory + disk)."""
-        return self.memory_hits + self.disk_hits
+        return (
+            self.registry.counter(_COUNTER_FIELDS["memory_hits"]).value
+            + self.registry.counter(_COUNTER_FIELDS["disk_hits"]).value
+        )
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from a cache layer (0 when idle)."""
-        if self.trees_seen == 0:
+        seen = self.registry.counter(_COUNTER_FIELDS["trees_seen"]).value
+        if seen == 0:
             return 0.0
-        return self.hits / self.trees_seen
+        return self.hits / seen
 
     def reset(self) -> None:
-        """Zero every counter in place."""
-        for spec in fields(self):
-            setattr(self, spec.name, spec.default)
+        """Zero every counter in place — the whole backing registry.
 
-    def as_dict(self) -> dict:
-        """Plain-JSON form (fields plus the derived rates)."""
-        payload = {spec.name: getattr(self, spec.name) for spec in fields(self)}
+        Registry metrics outside the legacy field set (cache layer
+        counters, kernel histograms) reset too: the stats view and any
+        exported snapshot always describe the same window.
+        """
+        self.registry.reset()
+
+    def as_dict(self) -> dict[str, int | float]:
+        """Plain-JSON form (legacy fields plus the derived rates)."""
+        payload: dict[str, int | float] = {}
+        for field in _FIELD_ORDER:
+            counter = _COUNTER_FIELDS.get(field)
+            if counter is not None:
+                payload[field] = self.registry.counter(counter).value
+            else:
+                payload[field] = self.registry.histogram(
+                    _HISTOGRAM_FIELDS[field]
+                ).total
         payload["hits"] = self.hits
         payload["hit_rate"] = self.hit_rate
         return payload
@@ -112,11 +231,15 @@ class EngineStats:
             f"hit rate {self.hit_rate:.0%})"
         )
         if (
-            self.distance_tiles
+            self.distance_builds
+            or self.distance_tiles
             or self.distance_tile_hits
             or self.distance_pairs_computed
             or self.distance_pairs_pruned
         ):
+            # distance_builds alone is enough: a build whose pairs were
+            # all pruned (or an empty forest) still reports the
+            # distance section rather than silently vanishing.
             line += (
                 f"; distance: {self.distance_pairs_computed} pair join(s), "
                 f"{self.distance_pairs_pruned} pruned, "
@@ -125,3 +248,8 @@ class EngineStats:
             )
         return line
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{field}={value}" for field, value in self.as_dict().items()
+        )
+        return f"EngineStats({parts})"

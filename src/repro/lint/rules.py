@@ -598,6 +598,61 @@ class UnpicklableWorkerPayload(Rule):
                         )
 
 
+class UntracedTimers(Rule):
+    """RPL007: no ad-hoc monotonic clocks outside ``repro/obs/``.
+
+    Hand-rolled ``time.perf_counter()`` pairs measure a duration and
+    then drop it on the floor — the reading never reaches the metrics
+    registry, never lands in a trace, and every call site re-invents
+    the subtraction.  All timing goes through :mod:`repro.obs`:
+    ``stopwatch()`` for a bare reading, ``registry.time(name)`` to
+    accumulate a histogram, ``tracer.span(...)`` for a traced phase.
+    Only ``repro/obs/`` itself may touch the raw clock.
+    """
+
+    id = "RPL007"
+    name = "untraced-timers"
+    summary = (
+        "no direct time.perf_counter()/time.monotonic() outside "
+        "repro/obs/; use obs stopwatches, timers or spans"
+    )
+    exclude = ("repro/obs/",)
+
+    _clocks = frozenset(
+        {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+                and node.attr in self._clocks
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct time.{node.attr} outside repro/obs/; use "
+                    "repro.obs.metrics.stopwatch(), registry.time() or "
+                    "a tracer span so the reading reaches the registry",
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name in self._clocks
+                ]
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"importing {', '.join(bad)} from time outside "
+                        "repro/obs/; use repro.obs.metrics.stopwatch(), "
+                        "registry.time() or a tracer span instead",
+                    )
+
+
 RULES: tuple[Rule, ...] = (
     NoRecursiveTraversal(),
     NoMagicPackingLiterals(),
@@ -605,5 +660,6 @@ RULES: tuple[Rule, ...] = (
     UnvalidatedMiningKnobs(),
     DeterministicGenerators(),
     UnpicklableWorkerPayload(),
+    UntracedTimers(),
 )
 """Every registered rule, in id order."""

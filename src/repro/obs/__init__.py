@@ -1,0 +1,72 @@
+"""repro.obs — zero-dependency instrumentation for the mining stack.
+
+Spans, metrics and exporters in one package:
+
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and fixed-bucket histograms; :class:`Stopwatch` / ``Timer``
+  for elapsed-seconds timing (the only sanctioned wall-clock readers
+  outside this package — RPL007).
+- :mod:`repro.obs.trace` — context-manager :class:`Span`s with parent
+  links and labels via :class:`Tracer`; a disabled tracer hands out
+  true no-ops so hot loops pay nothing.
+- :mod:`repro.obs.context` — the ambient scope
+  (:func:`get_registry` / :func:`get_tracer` / :func:`scope`) that
+  lets engine-less kernel calls still count into *some* registry and
+  lets the engine/CLI redirect them into their own.
+- :mod:`repro.obs.export` — JSON-lines traces (``--trace PATH``),
+  ``--engine-stats`` renderings and per-benchmark run manifests.
+- :mod:`repro.obs.schema` — the minimal JSON-schema validator CI uses
+  on emitted traces/manifests (``python -m repro.obs.schema``).
+
+See ``docs/observability.md`` for the span taxonomy and metric names.
+"""
+
+from repro.obs.context import get_registry, get_tracer, global_registry, scope
+from repro.obs.export import (
+    MANIFEST_VERSION,
+    TRACE_VERSION,
+    build_manifest,
+    git_revision,
+    render_stats,
+    trace_lines,
+    write_manifest,
+    write_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Stopwatch,
+    Timer,
+    stopwatch,
+)
+from repro.obs.trace import NULL_SPAN, Span, SpanRecord, Tracer
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "MANIFEST_VERSION",
+    "NULL_SPAN",
+    "TRACE_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "Stopwatch",
+    "Timer",
+    "Tracer",
+    "build_manifest",
+    "get_registry",
+    "get_tracer",
+    "git_revision",
+    "global_registry",
+    "render_stats",
+    "scope",
+    "stopwatch",
+    "trace_lines",
+    "write_manifest",
+    "write_trace",
+]

@@ -1,0 +1,159 @@
+"""Exporters: JSON-lines traces, stats renderings and run manifests.
+
+Three consumers share the registry/tracer state:
+
+- :func:`write_trace` serialises a tracer's spans (plus an optional
+  registry snapshot) as JSON lines — one object per line, ``type``
+  discriminated (``meta`` / ``span`` / ``snapshot``) — the format the
+  CLI's ``--trace PATH`` emits and ``schemas/trace.schema.json``
+  validates.
+- :func:`render_stats` turns a registry into the human lines appended
+  to ``--engine-stats`` output.
+- :func:`build_manifest` / :func:`write_manifest` produce the
+  per-benchmark run manifest (params, git revision, phase timings,
+  registry snapshot) validated by ``schemas/manifest.schema.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from typing import Any, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "TRACE_VERSION",
+    "MANIFEST_VERSION",
+    "build_manifest",
+    "git_revision",
+    "render_stats",
+    "trace_lines",
+    "write_manifest",
+    "write_trace",
+]
+
+TRACE_VERSION = 1
+MANIFEST_VERSION = 1
+
+
+def trace_lines(
+    tracer: Tracer,
+    registry: MetricsRegistry | None = None,
+    command: str | None = None,
+) -> list[dict[str, Any]]:
+    """The JSON-able line objects of a trace file, in emission order."""
+    lines: list[dict[str, Any]] = [
+        {
+            "type": "meta",
+            "version": TRACE_VERSION,
+            "command": command,
+            "python": platform.python_version(),
+            "spans": len(tracer.records),
+        }
+    ]
+    for record in tracer.records:
+        lines.append(
+            {
+                "type": "span",
+                "id": record.span_id,
+                "parent": record.parent_id,
+                "name": record.name,
+                "start": record.start,
+                "seconds": record.seconds,
+                "labels": record.labels,
+            }
+        )
+    if registry is not None:
+        lines.append({"type": "snapshot", "registry": registry.snapshot()})
+    return lines
+
+
+def write_trace(
+    path: str | os.PathLike[str],
+    tracer: Tracer,
+    registry: MetricsRegistry | None = None,
+    command: str | None = None,
+) -> None:
+    """Write the trace as JSON lines (one compact object per line)."""
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        for line in trace_lines(tracer, registry, command):
+            handle.write(json.dumps(line, separators=(",", ":"), default=str))
+            handle.write("\n")
+
+
+def render_stats(registry: MetricsRegistry) -> list[str]:
+    """Human lines for every nonzero metric (``--engine-stats`` tail)."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snapshot["counters"].items():
+        if value:
+            lines.append(f"obs: {name} = {value}")
+    for name, value in snapshot["gauges"].items():
+        if value:
+            lines.append(f"obs: {name} = {value:g}")
+    for name, payload in snapshot["histograms"].items():
+        if payload["count"]:
+            mean = payload["total"] / payload["count"]
+            lines.append(
+                f"obs: {name} count={payload['count']} "
+                f"total={payload['total']:.3f}s mean={mean:.4f}s "
+                f"max={payload['max']:.4f}s"
+            )
+    return lines
+
+
+def git_revision(root: str | os.PathLike[str] | None = None) -> str | None:
+    """The current git commit hash, or ``None`` outside a work tree."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=os.fspath(root) if root is not None else None,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if probe.returncode != 0:
+        return None
+    revision = probe.stdout.strip()
+    return revision or None
+
+
+def build_manifest(
+    name: str,
+    params: Mapping[str, Any] | None = None,
+    phases: Mapping[str, float] | None = None,
+    registry: MetricsRegistry | None = None,
+    root: str | os.PathLike[str] | None = None,
+) -> dict[str, Any]:
+    """Assemble one run manifest (``schemas/manifest.schema.json``).
+
+    ``phases`` maps phase name to wall seconds, in run order (mapping
+    order is preserved); ``params`` is whatever knob set the run used.
+    """
+    return {
+        "version": MANIFEST_VERSION,
+        "name": name,
+        "params": dict(params) if params is not None else {},
+        "git_revision": git_revision(root),
+        "python": platform.python_version(),
+        "phases": [
+            {"name": phase, "seconds": float(seconds)}
+            for phase, seconds in (phases or {}).items()
+        ],
+        "registry": registry.snapshot() if registry is not None else None,
+    }
+
+
+def write_manifest(
+    path: str | os.PathLike[str], manifest: Mapping[str, Any]
+) -> None:
+    """Write a manifest as stable, indented JSON."""
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")

@@ -1,0 +1,14 @@
+"""RPL007 trigger (linted as repro/apps/x.py): raw monotonic clocks."""
+
+import time
+from time import monotonic, perf_counter
+
+
+def timed_mine(mine, tree):
+    started = time.perf_counter()
+    result = mine(tree)
+    return result, time.perf_counter() - started
+
+
+def coarse_clock():
+    return monotonic() - perf_counter()

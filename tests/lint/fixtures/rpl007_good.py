@@ -1,0 +1,27 @@
+"""RPL007 pass (linted as repro/apps/x.py): timing through repro.obs."""
+
+import time
+
+from repro.obs.context import get_registry, get_tracer
+from repro.obs.metrics import stopwatch
+
+
+def timed_mine(mine, tree):
+    with stopwatch() as watch:
+        result = mine(tree)
+    return result, watch.seconds
+
+
+def accumulated_mine(mine, tree):
+    with get_registry().time("apps.mine.seconds"):
+        return mine(tree)
+
+
+def traced_mine(mine, tree):
+    with get_tracer().span("apps.mine", metric="apps.mine.seconds"):
+        return mine(tree)
+
+
+def wall_clock_timestamp():
+    # Wall-clock reads (not monotonic measurement clocks) stay legal.
+    return time.time()

@@ -26,6 +26,7 @@ MODULE_KEYS = {
     "rpl004": "repro/apps/fixture.py",
     "rpl005": "repro/generate/fixture.py",
     "rpl006": "repro/engine/fixture.py",
+    "rpl007": "repro/apps/fixture.py",
 }
 
 
@@ -168,6 +169,34 @@ class TestRPL006:
         )
         assert (
             lint_source(source, module="repro/engine/x.py", select=["RPL006"])
+            == []
+        )
+
+
+class TestRPL007:
+    def test_attribute_and_import_forms_each_reported(self):
+        findings = lint_fixture("rpl007_bad", select=["RPL007"])
+        messages = " ".join(f.message for f in findings)
+        assert "time.perf_counter" in messages
+        assert "importing" in messages
+        # Two attribute reads plus the from-import line.
+        assert len(findings) == 3
+
+    def test_obs_package_is_exempt(self):
+        source = (
+            "import time\n"
+            "def now():\n"
+            "    return time.perf_counter()\n"
+        )
+        assert lint_source(source, module="repro/obs/trace.py") == []
+        assert lint_source(
+            source, module="repro/engine/engine.py", select=["RPL007"]
+        )
+
+    def test_wall_clock_is_not_flagged(self):
+        source = "import time\n\ndef stamp():\n    return time.time()\n"
+        assert (
+            lint_source(source, module="repro/apps/x.py", select=["RPL007"])
             == []
         )
 

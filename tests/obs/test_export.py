@@ -1,0 +1,127 @@
+"""Exporter tests: traces, stats rendering, manifests, schemas."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.export import (
+    MANIFEST_VERSION,
+    TRACE_VERSION,
+    build_manifest,
+    git_revision,
+    render_stats,
+    trace_lines,
+    write_manifest,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate
+from repro.obs.trace import Tracer
+
+REPO_ROOT = Path(__file__).parents[2]
+TRACE_SCHEMA = json.loads(
+    (REPO_ROOT / "schemas" / "trace.schema.json").read_text(encoding="utf-8")
+)
+MANIFEST_SCHEMA = json.loads(
+    (REPO_ROOT / "schemas" / "manifest.schema.json").read_text(
+        encoding="utf-8"
+    )
+)
+
+
+def traced_registry():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    with tracer.span("outer", metric="outer.seconds", trees=2):
+        with tracer.span("inner"):
+            pass
+    registry.counter("events").add(3)
+    return registry, tracer
+
+
+class TestTraceExport:
+    def test_line_structure(self):
+        registry, tracer = traced_registry()
+        lines = trace_lines(tracer, registry, command="distance")
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["version"] == TRACE_VERSION
+        assert lines[0]["command"] == "distance"
+        assert lines[0]["spans"] == 2
+        assert [line["type"] for line in lines[1:-1]] == ["span", "span"]
+        assert lines[-1]["type"] == "snapshot"
+        assert lines[-1]["registry"]["counters"]["events"] == 3
+
+    def test_written_file_is_json_lines_and_schema_valid(self, tmp_path):
+        registry, tracer = traced_registry()
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, tracer, registry, command="kernel")
+        raw_lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(raw_lines) == 4  # meta + 2 spans + snapshot
+        for raw in raw_lines:
+            assert validate(json.loads(raw), TRACE_SCHEMA) == []
+
+    def test_parent_ids_resolve_within_the_file(self, tmp_path):
+        registry, tracer = traced_registry()
+        path = tmp_path / "trace.jsonl"
+        write_trace(path, tracer, registry)
+        spans = [
+            json.loads(raw)
+            for raw in path.read_text(encoding="utf-8").splitlines()
+            if json.loads(raw)["type"] == "span"
+        ]
+        ids = {span["id"] for span in spans}
+        for span in spans:
+            assert span["parent"] is None or span["parent"] in ids
+
+
+class TestRenderStats:
+    def test_only_nonzero_metrics_rendered(self):
+        registry = MetricsRegistry()
+        registry.counter("zero")
+        registry.counter("hits").add(2)
+        registry.histogram("empty.seconds")
+        registry.histogram("busy.seconds").observe(0.5)
+        lines = render_stats(registry)
+        text = "\n".join(lines)
+        assert "obs: hits = 2" in text
+        assert "busy.seconds count=1" in text
+        assert "zero" not in text
+        assert "empty.seconds" not in text
+
+
+class TestManifest:
+    def test_build_and_write_round_trip(self, tmp_path):
+        registry, _tracer = traced_registry()
+        manifest = build_manifest(
+            "bench_x",
+            params={"trees": 10},
+            phases={"mine": 0.5, "join": 0.25},
+            registry=registry,
+            root=REPO_ROOT,
+        )
+        assert manifest["version"] == MANIFEST_VERSION
+        assert manifest["name"] == "bench_x"
+        assert [phase["name"] for phase in manifest["phases"]] == [
+            "mine", "join",
+        ]
+        assert validate(manifest, MANIFEST_SCHEMA) == []
+        path = tmp_path / "manifest.json"
+        write_manifest(path, manifest)
+        assert json.loads(path.read_text(encoding="utf-8")) == manifest
+
+    def test_registry_is_optional(self):
+        manifest = build_manifest("bench_y")
+        assert manifest["registry"] is None
+        assert manifest["params"] == {}
+        assert validate(manifest, MANIFEST_SCHEMA) == []
+
+    def test_git_revision_inside_this_repo(self):
+        revision = git_revision(REPO_ROOT)
+        assert revision is None or (
+            len(revision) == 40
+            and all(c in "0123456789abcdef" for c in revision)
+        )
+
+    def test_git_revision_outside_a_repo(self, tmp_path):
+        assert git_revision(tmp_path) is None

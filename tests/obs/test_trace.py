@@ -1,0 +1,127 @@
+"""Unit tests for spans, tracers and the ambient scope."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.context import get_registry, get_tracer, global_registry, scope
+from repro.obs.metrics import MetricsRegistry, Timer
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class TestEnabledSpans:
+    def test_parent_links_follow_with_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        names = {record.name: record for record in tracer.records}
+        # Children exit (and record) before the parent.
+        assert [r.name for r in tracer.records] == [
+            "inner.a", "inner.b", "outer",
+        ]
+        outer = names["outer"]
+        assert outer.parent_id is None
+        assert names["inner.a"].parent_id == outer.span_id
+        assert names["inner.b"].parent_id == outer.span_id
+        assert names["inner.a"].span_id != names["inner.b"].span_id
+
+    def test_labels_and_annotate(self):
+        tracer = Tracer()
+        with tracer.span("s", trees=3) as span:
+            span.annotate(misses=1)
+        record = tracer.records[0]
+        assert record.labels == {"trees": 3, "misses": 1}
+
+    def test_metric_spans_observe_registry_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with tracer.span("s", metric="s.seconds"):
+            pass
+        histogram = registry.histogram("s.seconds")
+        assert histogram.count == 1
+        assert histogram.total == pytest.approx(tracer.records[0].seconds)
+
+    def test_start_offsets_are_epoch_relative_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        first, second = tracer.records
+        assert 0.0 <= first.start <= second.start
+
+    def test_reset_restarts_ids(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.records == []
+        with tracer.span("b"):
+            pass
+        assert tracer.records[0].span_id == 0
+
+
+class TestDisabledSpans:
+    def test_no_metric_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("s", trees=3)
+        assert span is NULL_SPAN
+        with span as entered:
+            entered.annotate(anything=True)
+        assert tracer.records == []
+
+    def test_metric_spans_still_accumulate(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry, enabled=False)
+        span = tracer.span("s", metric="s.seconds")
+        assert isinstance(span, Timer)
+        with span:
+            pass
+        assert registry.histogram("s.seconds").count == 1
+        assert tracer.records == []
+
+
+class TestScope:
+    def test_base_scope_is_global_registry_disabled_tracer(self):
+        assert get_registry() is global_registry()
+        assert get_tracer().enabled is False
+
+    def test_scope_installs_and_restores(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry)
+        with scope(registry, tracer):
+            assert get_registry() is registry
+            assert get_tracer() is tracer
+            inner = MetricsRegistry()
+            with scope(inner):
+                assert get_registry() is inner
+                assert get_tracer().enabled is False
+            assert get_registry() is registry
+        assert get_registry() is global_registry()
+
+    def test_scope_restores_after_exception(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with scope(registry):
+                raise RuntimeError("boom")
+        assert get_registry() is global_registry()
+
+    def test_registry_only_scope_still_accumulates_metrics(self):
+        registry = MetricsRegistry()
+        with scope(registry):
+            with get_tracer().span("s", metric="s.seconds"):
+                pass
+        assert registry.histogram("s.seconds").count == 1
+
+    def test_tracer_only_scope_uses_its_registry(self):
+        tracer = Tracer()
+        with scope(tracer=tracer):
+            assert get_registry() is tracer.registry
+
+    def test_empty_scope_rejected(self):
+        with pytest.raises(ValueError, match="registry, a tracer, or both"):
+            with scope():
+                pass
