@@ -1,0 +1,198 @@
+"""Persistent versioned corpora: the store behind ``repro-mine corpus``.
+
+A corpus store is one directory holding ``corpus.json`` — the current
+trees (as Newick), the mining parameters fixed at ``init``, the stable
+per-tree uids, and the full :class:`~repro.engine.delta.CorpusDelta`
+log.  Each CLI invocation loads the store into a live
+:class:`~repro.engine.delta.VersionedCorpus`
+(:meth:`VersionedCorpus.restore` — per-tree mining comes from the
+engine cache when a ``--cache-dir`` is shared across runs), applies
+one mutation, and writes the file back atomically, so the version
+history and ``diff`` spans survive across processes.
+
+This mirrors the paper's incremental phylogeny workload: a TreeBASE-
+style database that grows submission by submission, with every state
+queryable and every transition auditable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.core.params import MiningParams
+from repro.engine.delta import VersionedCorpus
+from repro.errors import ReproError
+from repro.trees.newick import parse_newick, write_newick
+from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine import MiningEngine
+
+__all__ = ["CorpusStore", "CORPUS_FILE", "CORPUS_FORMAT"]
+
+CORPUS_FILE = "corpus.json"
+CORPUS_FORMAT = 1
+
+
+def _params_to_dict(params: MiningParams) -> dict:
+    return {
+        "maxdist": params.maxdist,
+        "minoccur": params.minoccur,
+        "minsup": params.minsup,
+        "max_generation_gap": params.max_generation_gap,
+        "max_height": params.max_height,
+    }
+
+
+def _params_from_dict(payload: Mapping) -> MiningParams:
+    return MiningParams(
+        maxdist=float(payload["maxdist"]),
+        minoccur=int(payload["minoccur"]),
+        minsup=int(payload["minsup"]),
+        max_generation_gap=int(payload["max_generation_gap"]),
+        max_height=(
+            None
+            if payload["max_height"] is None
+            else int(payload["max_height"])
+        ),
+    )
+
+
+class CorpusStore:
+    """One on-disk versioned corpus: a directory with ``corpus.json``.
+
+    Use :meth:`create` to initialise a directory and :meth:`open` to
+    load one; both return a store whose :attr:`corpus` is the live
+    :class:`~repro.engine.delta.VersionedCorpus`.  Mutate the corpus
+    through its own API, then :meth:`save` to persist the new state.
+    Mining parameters are fixed at ``create`` time — they shape every
+    cached contribution, so changing them means a new corpus.
+    """
+
+    def __init__(
+        self, directory: str, corpus: VersionedCorpus, names: list[str]
+    ) -> None:
+        self.directory = directory
+        self.corpus = corpus
+        # Display names, aligned with corpus positions (tree.name or a
+        # stable "t<uid>" fallback assigned when the tree entered).
+        self.names = names
+
+    # ------------------------------------------------------------------
+    # Creation / loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        trees: Sequence[Tree],
+        params: MiningParams | None = None,
+        *,
+        engine: "MiningEngine | None" = None,
+    ) -> "CorpusStore":
+        """Initialise ``directory`` with ``trees`` at version 0."""
+        path = os.path.join(directory, CORPUS_FILE)
+        if os.path.exists(path):
+            raise ReproError(f"corpus already initialised at {path}")
+        os.makedirs(directory, exist_ok=True)
+        corpus = VersionedCorpus(trees, params, engine=engine)
+        names = [
+            tree.name or f"t{ref.uid}"
+            for tree, ref in zip(corpus.trees, corpus.snapshot().refs)
+        ]
+        store = cls(directory, corpus, names)
+        store.save()
+        return store
+
+    @classmethod
+    def open(
+        cls, directory: str, *, engine: "MiningEngine | None" = None
+    ) -> "CorpusStore":
+        """Load the store in ``directory`` into a live corpus."""
+        path = os.path.join(directory, CORPUS_FILE)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            raise ReproError(
+                f"no corpus at {directory!r} (run 'corpus init' first)"
+            ) from None
+        except (OSError, json.JSONDecodeError) as error:
+            raise ReproError(
+                f"cannot read corpus file {path!r}: {error}"
+            ) from error
+        if payload.get("format") != CORPUS_FORMAT:
+            raise ReproError(
+                f"unsupported corpus format {payload.get('format')!r} "
+                f"in {path!r} (expected {CORPUS_FORMAT})"
+            )
+        members = payload["trees"]
+        trees = [parse_newick(member["newick"]) for member in members]
+        corpus = VersionedCorpus.restore(
+            trees,
+            _params_from_dict(payload["params"]),
+            engine=engine,
+            version=int(payload["version"]),
+            history=payload["log"],
+            uids=[member["uid"] for member in members],
+        )
+        names = [str(member["name"]) for member in members]
+        return cls(directory, corpus, names)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self) -> None:
+        """Write the current corpus state back, atomically."""
+        corpus = self.corpus
+        refs = corpus.snapshot().refs
+        payload = {
+            "format": CORPUS_FORMAT,
+            "version": corpus.version,
+            "params": _params_to_dict(corpus.params),
+            "trees": [
+                {
+                    "uid": ref.uid,
+                    "name": name,
+                    "newick": write_newick(tree, include_lengths=False),
+                }
+                for ref, name, tree in zip(refs, self.names, corpus.trees)
+            ],
+            "log": [delta.as_dict() for delta in corpus.log()],
+        }
+        path = os.path.join(self.directory, CORPUS_FILE)
+        handle, temp_path = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, indent=1)
+                stream.write("\n")
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Mutations (corpus + name bookkeeping in one step)
+    # ------------------------------------------------------------------
+    def add_trees(self, trees: Sequence[Tree]) -> list[int]:
+        """Append trees and their display names; returns positions."""
+        trees = list(trees)
+        positions = self.corpus.add_trees(trees)
+        refs = self.corpus.snapshot().refs
+        for position, tree in zip(positions, trees):
+            self.names.append(tree.name or f"t{refs[position].uid}")
+        return positions
+
+    def remove_trees(self, indexes: Sequence[int]) -> None:
+        """Remove the trees at ``indexes``; later trees shift down."""
+        self.corpus.remove_trees(indexes)
+        for index in sorted(set(indexes), reverse=True):
+            del self.names[index]

@@ -14,6 +14,11 @@ plus the extension workflows::
     repro-mine supertree study1.nex study2.nex
     repro-mine report trees.nwk --patterns 2
     repro-mine diff old.nwk new.nwk
+    repro-mine corpus init DIR --trees trees.nwk
+    repro-mine corpus add DIR more.nwk
+    repro-mine corpus remove DIR 3 7
+    repro-mine corpus log DIR
+    repro-mine corpus diff DIR 0 4
 
 Input files may be Newick or NEXUS (sniffed by the ``#NEXUS`` header);
 subcommands print plain text to stdout (``--format json|csv`` where
@@ -199,6 +204,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--patterns", type=int, default=2,
                           help="how many top patterns to mark (default 2)")
     add_engine_args(p_report)
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="maintain a versioned corpus with incremental delta-mining",
+    )
+    corpus_sub = p_corpus.add_subparsers(dest="action", required=True)
+
+    pc_init = corpus_sub.add_parser(
+        "init", help="initialise a corpus directory from a tree file"
+    )
+    pc_init.add_argument("dir", help="corpus directory (created if missing)")
+    pc_init.add_argument("--trees", default=None, metavar="FILE",
+                         help="initial tree file (omit for an empty corpus)")
+    add_mining_args(pc_init)
+    add_engine_args(pc_init)
+
+    pc_add = corpus_sub.add_parser(
+        "add", help="append the trees of a file to the corpus"
+    )
+    pc_add.add_argument("dir")
+    pc_add.add_argument("file", help="tree file with the new members")
+    add_engine_args(pc_add)
+
+    pc_remove = corpus_sub.add_parser(
+        "remove", help="remove trees by position (later trees shift down)"
+    )
+    pc_remove.add_argument("dir")
+    pc_remove.add_argument("indexes", nargs="+", type=int, metavar="INDEX")
+    add_engine_args(pc_remove)
+
+    pc_log = corpus_sub.add_parser(
+        "log", help="show the corpus delta log"
+    )
+    pc_log.add_argument("dir")
+    add_engine_args(pc_log)
+
+    pc_diff = corpus_sub.add_parser(
+        "diff", help="net structural change between two versions"
+    )
+    pc_diff.add_argument("dir")
+    pc_diff.add_argument("old", type=int, help="older version number")
+    pc_diff.add_argument("new", type=int, help="newer version number")
+    add_engine_args(pc_diff)
 
     return parser
 
@@ -470,6 +518,63 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.apps.corpus import CorpusStore
+    from repro.core.params import MiningParams
+
+    with _engine_session(args) as engine:
+        if args.action == "init":
+            trees = load_trees(args.trees) if args.trees is not None else []
+            params = MiningParams(
+                maxdist=args.maxdist,
+                minoccur=args.minoccur,
+                minsup=1,
+                max_generation_gap=args.gap,
+                max_height=args.max_height,
+            )
+            store = CorpusStore.create(args.dir, trees, params, engine=engine)
+            print(
+                f"initialised corpus at {args.dir}: "
+                f"{len(store.corpus)} tree(s), v{store.corpus.version}"
+            )
+        elif args.action == "add":
+            store = CorpusStore.open(args.dir, engine=engine)
+            trees = load_trees(args.file)
+            positions = store.add_trees(trees)
+            store.save()
+            print(store.corpus.log()[-1].describe())
+            for position in positions:
+                print(f"  added {store.names[position]} at #{position}")
+        elif args.action == "remove":
+            store = CorpusStore.open(args.dir, engine=engine)
+            # Out-of-range indexes are rejected by the corpus itself
+            # (before any mutation); only name the valid ones here.
+            gone = [
+                store.names[index]
+                for index in sorted(set(args.indexes))
+                if 0 <= index < len(store.names)
+            ]
+            store.remove_trees(args.indexes)
+            store.save()
+            print(store.corpus.log()[-1].describe())
+            for name in gone:
+                print(f"  removed {name}")
+        elif args.action == "log":
+            store = CorpusStore.open(args.dir, engine=engine)
+            for delta in store.corpus.log():
+                print(delta.describe())
+        else:  # diff
+            store = CorpusStore.open(args.dir, engine=engine)
+            diff = store.corpus.diff(args.old, args.new)
+            print(diff.describe())
+            for ref in diff.added:
+                print(f"  + {ref.describe()}")
+            for ref in diff.removed:
+                print(f"  - {ref.describe()}")
+        _report_engine_stats(engine, args)
+    return 0
+
+
 _COMMANDS = {
     "mine": _cmd_mine,
     "frequent": _cmd_frequent,
@@ -482,6 +587,7 @@ _COMMANDS = {
     "supertree": _cmd_supertree,
     "report": _cmd_report,
     "diff": _cmd_diff,
+    "corpus": _cmd_corpus,
 }
 
 

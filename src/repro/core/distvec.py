@@ -42,6 +42,20 @@ worker processes and fan a matrix out in row tiles
 (:meth:`repro.engine.MiningEngine.distance_matrix`).  See
 ``docs/perf.md`` for the representation details and the
 ``BENCH_distance.json`` numbers.
+
+Since the delta-mining pass the vectors are also *patchable*:
+:meth:`DistanceVectors.append_packed`,
+:meth:`DistanceVectors.remove_rows` and
+:meth:`DistanceVectors.replace_rows` mutate the per-tree rows in
+place without touching the unaffected trees, and the inverted
+pair-key → tree index is patched (a linear merge for additions, a
+mask-and-renumber for removals) rather than rebuilt.  Growing the
+label universe re-interns existing keys through a *monotone* id remap
+(old sorted labels are a subsequence of the new sorted labels), so
+every per-tree key array stays sorted without a re-sort.  A patched
+instance serves distances byte-identical to a from-scratch rebuild
+over the same trees — the contract the ``tests/delta`` churn harness
+enforces at every step.
 """
 
 from __future__ import annotations
@@ -122,6 +136,72 @@ def _collapse_pairs(
     summed = np.zeros(unique.size, dtype=np.int64)
     np.add.at(summed, inverse, counts)
     return unique, summed
+
+
+def _monotone_remap(
+    old_labels: Sequence[str], new_labels: Sequence[str]
+) -> np.ndarray:
+    """Old label id -> new label id, for a grown (superset) table.
+
+    Both tables assign ids in sorted order and ``old_labels`` is a
+    subset of ``new_labels``, so the remap is strictly increasing —
+    applying it to a sorted packed-key array preserves the sort.
+    """
+    positions = {label: index for index, label in enumerate(new_labels)}
+    return np.fromiter(
+        (positions[label] for label in old_labels),
+        dtype=np.int64,
+        count=len(old_labels),
+    )
+
+
+def _remap_full_keys(keys: np.ndarray, remap: np.ndarray) -> np.ndarray:
+    """Re-intern both label fields of full packed keys (distance kept)."""
+    if keys.size == 0:
+        return keys
+    return (
+        ((keys >> DIST_SHIFT) << DIST_SHIFT)
+        | (remap[(keys >> LABEL_BITS) & LABEL_MASK] << LABEL_BITS)
+        | remap[keys & LABEL_MASK]
+    )
+
+
+def _remap_pair_keys(keys: np.ndarray, remap: np.ndarray) -> np.ndarray:
+    """Re-intern both label fields of distance-free pair keys."""
+    if keys.size == 0:
+        return keys
+    return (remap[(keys >> LABEL_BITS) & LABEL_MASK] << LABEL_BITS) | remap[
+        keys & LABEL_MASK
+    ]
+
+
+def _index_from_sorted(
+    sorted_keys: np.ndarray, sorted_owners: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Build the (unique, starts, ends, owners) index from sorted runs.
+
+    ``sorted_keys`` is already sorted, so the unique slots fall out of
+    one boundary scan — no re-sort, unlike ``np.unique``.
+    """
+    if sorted_keys.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return (empty, empty, empty, sorted_owners.astype(np.int64))
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    ).astype(np.int64)
+    unique = sorted_keys[boundaries]
+    ends = np.append(boundaries[1:], sorted_keys.size).astype(np.int64)
+    return unique, boundaries, ends, sorted_owners
+
+
+def _index_entries(
+    index: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten an index back to parallel (sorted_keys, owners) arrays."""
+    unique, starts, ends, owners = index
+    if unique.size == 0:
+        return np.empty(0, dtype=np.int64), owners
+    return np.repeat(unique, ends - starts), owners
 
 
 class DistanceVectors:
@@ -270,6 +350,230 @@ class DistanceVectors:
             for counter in counters
         ]
         return cls.from_packed(packed, minoccur=minoccur)
+
+    # ------------------------------------------------------------------
+    # Row patching (delta-mining)
+    # ------------------------------------------------------------------
+    def _grow_labels(self, packed: Sequence[PackedCounts]) -> None:
+        """Extend the shared label table to cover ``packed``, in place.
+
+        When new labels appear, every existing key array is re-interned
+        through the monotone old → new id remap; sorted order survives
+        (see :func:`_monotone_remap`), and a built inverted index only
+        needs its unique-key array remapped — the slot layout and the
+        owner runs are untouched.
+        """
+        incoming = {
+            label for counts in packed for label in counts.labels
+        }
+        if incoming.issubset(self.labels):
+            return
+        new_labels = tuple(sorted(incoming.union(self.labels)))
+        remap = _monotone_remap(self.labels, new_labels)
+        self._full_keys = [
+            _remap_full_keys(keys, remap) for keys in self._full_keys
+        ]
+        self._pair_keys = [
+            _remap_pair_keys(keys, remap) for keys in self._pair_keys
+        ]
+        if self._index is not None:
+            unique, starts, ends, owners = self._index
+            self._index = (
+                _remap_pair_keys(unique, remap), starts, ends, owners
+            )
+        self.labels = new_labels
+
+    def _append_one(self, keys: np.ndarray, counts: np.ndarray) -> None:
+        """Append one tree's remapped sorted arrays as the last row."""
+        pair_keys, pair_counts = _collapse_pairs(keys, counts)
+        self._full_keys.append(keys)
+        self._full_counts.append(counts)
+        self._pair_keys.append(pair_keys)
+        self._pair_counts.append(pair_counts)
+        self._full_totals.append(int(counts.sum()))
+        self._pair_totals.append(int(pair_counts.sum()))
+
+    def _invalidate_derived(self) -> None:
+        """Drop per-corpus derived state a mutation cannot patch."""
+        self._signatures = {}
+        self.fingerprint = None
+
+    def _merge_index_entries(
+        self, new_keys: np.ndarray, new_owners: np.ndarray
+    ) -> None:
+        """Linear-merge new (pair key, owner) entries into the index.
+
+        ``new_keys`` must be sorted; equal keys keep the order of
+        ``new_owners``.  The merge is ``searchsorted`` plus one
+        ``np.insert`` pass — O(existing + new), no re-sort of the
+        existing runs.
+        """
+        assert self._index is not None
+        sorted_keys, sorted_owners = _index_entries(self._index)
+        positions = np.searchsorted(sorted_keys, new_keys, side="right")
+        merged_keys = np.insert(sorted_keys, positions, new_keys)
+        merged_owners = np.insert(sorted_owners, positions, new_owners)
+        self._index = _index_from_sorted(merged_keys, merged_owners)
+
+    def _drop_index_owners(
+        self, drop: Sequence[int], renumber: np.ndarray | None = None
+    ) -> None:
+        """Remove every index entry owned by a tree in ``drop``.
+
+        ``renumber`` (old tree index -> new tree index) compacts the
+        surviving owner ids after positional removals; ``None`` keeps
+        them (the replace path, where positions are stable).
+        """
+        assert self._index is not None
+        sorted_keys, sorted_owners = _index_entries(self._index)
+        if sorted_keys.size == 0:
+            return
+        # Callers patch the index before deleting rows, so len(self) is
+        # still the pre-removal tree count the owner ids refer to.
+        keep = np.ones(len(self), dtype=bool)
+        keep[np.asarray(sorted(drop), dtype=np.int64)] = False
+        mask = keep[sorted_owners]
+        kept_owners = sorted_owners[mask]
+        if renumber is not None:
+            kept_owners = renumber[kept_owners]
+        self._index = _index_from_sorted(sorted_keys[mask], kept_owners)
+
+    def append_packed(
+        self, packed: Sequence[PackedCounts], minoccur: int = 1
+    ) -> list[int]:
+        """Append trees to the forest in place; returns their indexes.
+
+        Each :class:`PackedCounts` is re-interned onto the (possibly
+        grown) shared label table exactly as :meth:`from_packed` would,
+        so a patched instance is indistinguishable — distance for
+        distance — from a from-scratch rebuild over the extended
+        forest.  A built inverted index is patched by a linear merge;
+        an unbuilt one stays lazy.
+        """
+        minoccur = validate_minoccur(minoccur)
+        packed = list(packed)
+        with get_tracer().span(
+            "distvec.append", trees=len(packed)
+        ):
+            self._grow_labels(packed)
+            table = LabelTable(self.labels)
+            start = len(self)
+            new_pair_keys: list[np.ndarray] = []
+            for counts in packed:
+                keys, values = _remap_packed(counts, table, minoccur)
+                self._append_one(keys, values)
+                new_pair_keys.append(self._pair_keys[-1])
+            if self._index is not None and new_pair_keys:
+                sizes = [keys.size for keys in new_pair_keys]
+                if sum(sizes) > 0:
+                    flat = np.concatenate(new_pair_keys)
+                    owners = np.repeat(
+                        np.arange(
+                            start, start + len(new_pair_keys), dtype=np.int64
+                        ),
+                        sizes,
+                    )
+                    order = np.argsort(flat, kind="stable")
+                    self._merge_index_entries(flat[order], owners[order])
+            self._invalidate_derived()
+            get_registry().counter("distvec.rows.appended").add(len(packed))
+            return list(range(start, start + len(packed)))
+
+    def remove_rows(self, indexes: Sequence[int]) -> None:
+        """Remove the trees at ``indexes`` (positions) in place.
+
+        Later trees shift down, exactly as if the forest had been
+        built without the removed members; the inverted index is
+        patched by masking out the removed owners and renumbering the
+        survivors.  The shared label table deliberately stays a
+        superset — label ids never need to shrink for distances to
+        match a rebuild, because distances only compare keys within
+        the same table.
+        """
+        drop = sorted(set(indexes))
+        if not drop:
+            return
+        size = len(self)
+        for index in drop:
+            if not 0 <= index < size:
+                raise IndexError(
+                    f"tree index {index} out of range for {size} trees"
+                )
+        with get_tracer().span("distvec.remove", trees=len(drop)):
+            if self._index is not None:
+                keep = np.ones(size, dtype=bool)
+                keep[np.asarray(drop, dtype=np.int64)] = False
+                renumber = np.cumsum(keep, dtype=np.int64) - 1
+                self._drop_index_owners(drop, renumber=renumber)
+            for index in reversed(drop):
+                del self._full_keys[index]
+                del self._full_counts[index]
+                del self._pair_keys[index]
+                del self._pair_counts[index]
+                del self._full_totals[index]
+                del self._pair_totals[index]
+            self._invalidate_derived()
+            get_registry().counter("distvec.rows.removed").add(len(drop))
+
+    def replace_rows(
+        self,
+        replacements: Mapping[int, PackedCounts],
+        minoccur: int = 1,
+    ) -> None:
+        """Swap the trees at the given positions in place.
+
+        Positions and the forest size are unchanged — only the
+        replaced rows' arrays (and their index entries) move, which is
+        what keeps an incrementally maintained distance matrix
+        patchable row-by-row.
+        """
+        minoccur = validate_minoccur(minoccur)
+        if not replacements:
+            return
+        size = len(self)
+        for index in replacements:
+            if not 0 <= index < size:
+                raise IndexError(
+                    f"tree index {index} out of range for {size} trees"
+                )
+        with get_tracer().span(
+            "distvec.replace", trees=len(replacements)
+        ):
+            packed = [replacements[index] for index in sorted(replacements)]
+            self._grow_labels(packed)
+            table = LabelTable(self.labels)
+            if self._index is not None:
+                self._drop_index_owners(sorted(replacements))
+            new_entries: list[tuple[int, np.ndarray]] = []
+            for index, counts in zip(sorted(replacements), packed):
+                keys, values = _remap_packed(counts, table, minoccur)
+                pair_keys, pair_counts = _collapse_pairs(keys, values)
+                self._full_keys[index] = keys
+                self._full_counts[index] = values
+                self._pair_keys[index] = pair_keys
+                self._pair_counts[index] = pair_counts
+                self._full_totals[index] = int(values.sum())
+                self._pair_totals[index] = int(pair_counts.sum())
+                new_entries.append((index, pair_keys))
+            if self._index is not None:
+                sizes = [keys.size for _index, keys in new_entries]
+                if sum(sizes) > 0:
+                    flat = np.concatenate(
+                        [keys for _index, keys in new_entries]
+                    )
+                    owners = np.repeat(
+                        np.asarray(
+                            [index for index, _keys in new_entries],
+                            dtype=np.int64,
+                        ),
+                        sizes,
+                    )
+                    order = np.argsort(flat, kind="stable")
+                    self._merge_index_entries(flat[order], owners[order])
+            self._invalidate_derived()
+            get_registry().counter("distvec.rows.replaced").add(
+                len(replacements)
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -472,6 +776,92 @@ class DistanceVectors:
             )
         )
         return neighbors[neighbors > row]
+
+    def _neighbors_all(self, row: int) -> np.ndarray:
+        """Trees ``j != row`` sharing at least one label pair with ``row``."""
+        keys = self._pair_keys[row]
+        unique, starts, ends, owners = self._index  # type: ignore[misc]
+        if keys.size == 0 or unique.size == 0:
+            return np.empty(0, dtype=np.int64)
+        slots = np.searchsorted(unique, keys)
+        neighbors = np.unique(
+            np.concatenate(
+                [owners[starts[slot] : ends[slot]] for slot in slots]
+            )
+        )
+        return neighbors[neighbors != row]
+
+    def row(
+        self,
+        index: int,
+        mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    ) -> tuple[list[float], int, int]:
+        """One full matrix row: distances from ``index`` to every tree.
+
+        Returns ``(row, pairs_computed, pairs_pruned)`` where
+        ``row[index] == 0.0`` and every other entry equals
+        :meth:`distance` bit for bit — the same batched merge-join and
+        zero-overlap fill :meth:`triangle` uses, restricted to one
+        tree.  This is the patch kernel for incrementally maintained
+        matrices (:class:`repro.engine.delta.VersionedCorpus`): adding
+        or replacing a tree costs one row, not a matrix.
+        """
+        mode = validate_mode(mode)
+        size = len(self)
+        if not 0 <= index < size:
+            raise IndexError(
+                f"tree index {index} out of range for {size} trees"
+            )
+        with get_tracer().span(
+            "distvec.row", index=index, mode=mode.value
+        ):
+            self.build_index()
+            multiset = mode in _MULTISET_MODES
+            totals = self.totals(mode)
+            total_i = totals[index]
+            row = [
+                1.0 if total_i or totals[j] else 0.0 for j in range(size)
+            ]
+            row[index] = 0.0
+            neighbors = self._neighbors_all(index)
+            computed = int(neighbors.size)
+            pruned = size - 1 - computed
+            if neighbors.size:
+                keys_i, counts_i, _total = self._view(index, mode)
+                js = [int(j) for j in neighbors]
+                views = [self._view(j, mode) for j in js]
+                segment_sizes = [view[0].size for view in views]
+                starts = np.concatenate(
+                    ([0], np.cumsum(segment_sizes[:-1]))
+                ).astype(np.int64)
+                candidates = np.concatenate([view[0] for view in views])
+                positions = np.searchsorted(keys_i, candidates)
+                clipped = np.minimum(positions, keys_i.size - 1)
+                matched = keys_i[clipped] == candidates
+                matched &= positions < keys_i.size
+                if multiset:
+                    candidate_counts = np.concatenate(
+                        [view[1] for view in views]
+                    )
+                    overlap = np.where(
+                        matched,
+                        np.minimum(counts_i[clipped], candidate_counts),
+                        0,
+                    )
+                else:
+                    overlap = matched.astype(np.int64)
+                intersections = np.add.reduceat(overlap, starts)
+                neighbor_totals = np.asarray(
+                    [totals[j] for j in js], dtype=np.int64
+                )
+                unions = total_i + neighbor_totals - intersections
+                values = 1.0 - intersections / unions
+                for j, value in zip(js, values):
+                    row[j] = float(value)
+        registry = get_registry()
+        registry.counter("distvec.pairs.joined").add(computed)
+        registry.counter("distvec.pairs.pruned").add(pruned)
+        return row, computed, pruned
 
     def triangle(
         self,

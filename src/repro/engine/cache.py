@@ -43,6 +43,7 @@ import os
 import pickle
 import tempfile
 from collections import Counter, OrderedDict
+from dataclasses import dataclass
 
 from repro.core.fastmine import PackedCounts
 from repro.core.params import MiningParams
@@ -52,7 +53,14 @@ from repro.trees.arena import TreeArena
 from repro.trees.packing import PACKED_KEY_SCHEME
 from repro.trees.tree import Tree
 
-__all__ = ["tree_fingerprint", "cache_key", "arena_cache_key", "PairSetCache"]
+__all__ = [
+    "tree_fingerprint",
+    "cache_key",
+    "arena_cache_key",
+    "corpus_cache_key",
+    "CorpusResult",
+    "PairSetCache",
+]
 
 # The packed-layout version tag doubles as the cache key scheme: any
 # change to the key layout must re-address every cached payload.
@@ -113,6 +121,62 @@ def arena_cache_key(arena: TreeArena, params: MiningParams) -> str:
     needs the pointer tree to address the cache.
     """
     return _digest(arena.fingerprint(), params)
+
+
+@dataclass(frozen=True)
+class CorpusResult:
+    """A corpus-level derived payload bound to its corpus state.
+
+    Per-tree payloads are pure functions of their content address, but
+    corpus-level results (frequent pairs over a versioned corpus) also
+    depend on *which* trees the corpus holds right now.  The payload
+    therefore carries the corpus content ``fingerprint`` and
+    ``version`` it was derived from; the delta layer refuses to serve
+    an entry whose binding disagrees with the live corpus, so a stale
+    disk file copied over a fresh key — or a key scheme collision —
+    degrades to a recompute instead of silently serving pre-mutation
+    results.
+    """
+
+    fingerprint: str
+    version: int
+    patterns: tuple
+
+
+def corpus_cache_key(
+    fingerprint: str,
+    version: int,
+    params: MiningParams,
+    *,
+    minsup: int,
+    ignore_distance: bool,
+) -> str:
+    """The address of one frequent-pair result over a versioned corpus.
+
+    Combines the per-tree digest inputs (scheme tag + count-shaping
+    parameters) with the corpus *content* fingerprint (ordered per-tree
+    content addresses), the corpus version, and the post-filters the
+    result bakes in (``minoccur``/``minsup``/``ignore_distance``).
+    Including the version alongside the content fingerprint means a
+    mutated-and-reverted corpus still gets a distinct address — stale
+    disk entries from an earlier version can never be served for a
+    later one even when the tree multiset coincides.
+    """
+    payload = "\n".join(
+        [
+            _KEY_SCHEME,
+            "corpus-result/v1",
+            f"maxdist={float(params.maxdist)!r}",
+            f"gap={int(params.max_generation_gap)!r}",
+            f"height={params.max_height!r}",
+            f"minoccur={int(params.minoccur)!r}",
+            f"minsup={int(minsup)!r}",
+            f"ignore_distance={bool(ignore_distance)!r}",
+            f"version={int(version)!r}",
+            fingerprint,
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class PairSetCache:
@@ -223,7 +287,7 @@ class PairSetCache:
             # decoded): treat as a miss, but count the degradation.
             get_registry().counter("cache.disk.read_errors").add(1)
             return None
-        if not isinstance(payload, (PackedCounts, Counter)):
+        if not isinstance(payload, (PackedCounts, Counter, CorpusResult)):
             get_registry().counter("cache.disk.read_errors").add(1)
             return None
         return payload

@@ -220,6 +220,10 @@ class MiningEngine:
         # content-addressed counter plus the post-filter.
         self._projections: OrderedDict[tuple, object] = OrderedDict()
         self._projection_cap = self.cache.max_entries
+        # A stats reset starts a fresh measurement window: drop the
+        # distance vector/matrix memos with it so the zeroed counters
+        # can never record tile hits against pre-reset state.
+        self.stats.on_reset(self.invalidate_distance_memos)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MiningEngine(jobs={self.jobs}, cache={self.cache!r})"
@@ -246,6 +250,47 @@ class MiningEngine:
         params = self._resolve(params, maxdist, 1, max_generation_gap, max_height)
         keys, resolved = self._resolved_packed(trees, params)
         return [resolved[key].to_counter() for key in keys]
+
+    def packed_counts(
+        self,
+        trees: Sequence[Tree],
+        params: MiningParams | None = None,
+        *,
+        maxdist: float = 1.5,
+        max_generation_gap: int = 1,
+        max_height: int | None = None,
+    ) -> tuple[list[str], list[PackedCounts]]:
+        """Per-tree content addresses plus interned packed counts.
+
+        The delta-mining layer (:class:`repro.engine.delta
+        .VersionedCorpus`) uses this to maintain one contribution per
+        tree: the content address keys its bookkeeping and the
+        :class:`PackedCounts` carry every occurrence at
+        ``minoccur=1`` so any filter can be re-derived later.  The
+        returned objects are the engine's cached instances — callers
+        must treat them as read-only.
+        """
+        params = self._resolve(params, maxdist, 1, max_generation_gap, max_height)
+        keys, resolved = self._resolved_packed(trees, params)
+        return keys, [resolved[key] for key in keys]
+
+    def invalidate_distance_memos(self) -> None:
+        """Drop memoised distance vectors and matrices.
+
+        Per-tree packed counts stay cached — they are content-addressed
+        and remain valid for any corpus — but whole-forest projections
+        (``distvec`` / ``distmat`` entries) are fingerprinted over a
+        *specific* tree sequence and must go when that sequence mutates
+        (a :class:`repro.engine.delta.VersionedCorpus` update) or when
+        a stats reset opens a fresh measurement window.
+        """
+        stale = [
+            key
+            for key in self._projections
+            if key[0] in ("distvec", "distmat")
+        ]
+        for key in stale:
+            del self._projections[key]
 
     def _resolved_packed(
         self, trees: Sequence[Tree], params: MiningParams

@@ -26,6 +26,9 @@ from repro.obs.metrics import MetricsRegistry
 __all__ = ["EngineStats"]
 
 # Legacy field -> backing counter, in the original dataclass order.
+# The delta_* block joined the surface with the delta-mining pass
+# (versioned corpora); it is part of as_dict and pinned alongside the
+# legacy fields by tests/property/test_prop_stats.py.
 _COUNTER_FIELDS: dict[str, str] = {
     "trees_seen": "engine.lookups",
     "memory_hits": "engine.cache.memory_hits",
@@ -39,6 +42,11 @@ _COUNTER_FIELDS: dict[str, str] = {
     "distance_pairs_pruned": "engine.distance.pairs_pruned",
     "distance_tiles": "engine.distance.tiles",
     "distance_tile_hits": "engine.distance.tile_hits",
+    "delta_updates": "engine.delta.updates",
+    "delta_trees_added": "engine.delta.trees_added",
+    "delta_trees_removed": "engine.delta.trees_removed",
+    "delta_rows_patched": "engine.delta.rows_patched",
+    "delta_supports_patched": "engine.delta.supports_patched",
 }
 
 # Legacy wall-time field -> backing histogram (the field reads the
@@ -54,7 +62,9 @@ _HISTOGRAM_FIELDS: dict[str, str] = {
 # all-zero build still reports its distance section.
 DISTANCE_BUILDS_METRIC = "engine.distance.builds"
 
-# The as_dict key order of the original dataclass.
+# The as_dict key order: the original dataclass fields, then the
+# delta-mining counters appended at the end (never interleaved, so
+# legacy consumers reading positionally keep working).
 _FIELD_ORDER: tuple[str, ...] = (
     "trees_seen",
     "memory_hits",
@@ -70,6 +80,11 @@ _FIELD_ORDER: tuple[str, ...] = (
     "distance_pairs_pruned",
     "distance_tiles",
     "distance_tile_hits",
+    "delta_updates",
+    "delta_trees_added",
+    "delta_trees_removed",
+    "delta_rows_patched",
+    "delta_supports_patched",
 )
 
 
@@ -145,6 +160,24 @@ class EngineStats:
         Distance-vector builds started (registry-only; not part of
         :meth:`as_dict`).  Nonzero whenever the distance path ran at
         all, even if every pair was pruned to nothing.
+    delta_updates:
+        Versioned-corpus mutations applied
+        (:class:`repro.engine.delta.VersionedCorpus` add / remove /
+        replace calls that changed the corpus).
+    delta_trees_added:
+        Trees added to versioned corpora (adds plus the new side of
+        replacements).
+    delta_trees_removed:
+        Trees removed from versioned corpora (removals plus the old
+        side of replacements).
+    delta_rows_patched:
+        Distance-matrix rows recomputed or structurally patched by
+        delta updates — the work a full rebuild would have multiplied
+        by the corpus size.
+    delta_supports_patched:
+        Aggregate support entries touched (added, retired or
+        re-pointed) while maintaining the pair-key → tree occurrence
+        map across delta updates.
     """
 
     registry: MetricsRegistry
@@ -158,6 +191,11 @@ class EngineStats:
         self.registry.counter(DISTANCE_BUILDS_METRIC)
         for metric in _HISTOGRAM_FIELDS.values():
             self.registry.histogram(metric)
+        # Owners (the engine) may register cleanups that must ride
+        # along with a stats reset — e.g. dropping the distance
+        # tile/fingerprint memos so a zeroed stats window can never be
+        # polluted by hits against pre-reset state.
+        self._reset_hooks: list = []
 
     trees_seen = _counter_property(_COUNTER_FIELDS["trees_seen"])
     memory_hits = _counter_property(_COUNTER_FIELDS["memory_hits"])
@@ -180,6 +218,17 @@ class EngineStats:
         _COUNTER_FIELDS["distance_tile_hits"]
     )
     distance_builds = _counter_property(DISTANCE_BUILDS_METRIC)
+    delta_updates = _counter_property(_COUNTER_FIELDS["delta_updates"])
+    delta_trees_added = _counter_property(_COUNTER_FIELDS["delta_trees_added"])
+    delta_trees_removed = _counter_property(
+        _COUNTER_FIELDS["delta_trees_removed"]
+    )
+    delta_rows_patched = _counter_property(
+        _COUNTER_FIELDS["delta_rows_patched"]
+    )
+    delta_supports_patched = _counter_property(
+        _COUNTER_FIELDS["delta_supports_patched"]
+    )
 
     @property
     def hits(self) -> int:
@@ -197,14 +246,28 @@ class EngineStats:
             return 0.0
         return self.hits / seen
 
+    def on_reset(self, callback) -> None:
+        """Register ``callback`` to run after every :meth:`reset`.
+
+        The engine uses this to drop its distance tile/fingerprint
+        memos alongside the counters: a freshly zeroed window must not
+        record tile hits against matrices materialised before the
+        reset.  Callbacks run in registration order and must not raise.
+        """
+        self._reset_hooks.append(callback)
+
     def reset(self) -> None:
         """Zero every counter in place — the whole backing registry.
 
         Registry metrics outside the legacy field set (cache layer
         counters, kernel histograms) reset too: the stats view and any
-        exported snapshot always describe the same window.
+        exported snapshot always describe the same window.  Reset hooks
+        registered with :meth:`on_reset` (the engine's distance-memo
+        invalidation) fire afterwards.
         """
         self.registry.reset()
+        for callback in self._reset_hooks:
+            callback()
 
     def as_dict(self) -> dict[str, int | float]:
         """Plain-JSON form (legacy fields plus the derived rates)."""
@@ -245,6 +308,13 @@ class EngineStats:
                 f"{self.distance_pairs_pruned} pruned, "
                 f"{self.distance_tiles} tile(s), "
                 f"{self.distance_tile_hits} tile hit(s)"
+            )
+        if self.delta_updates:
+            line += (
+                f"; delta: {self.delta_updates} update(s), "
+                f"+{self.delta_trees_added}/-{self.delta_trees_removed} "
+                f"tree(s), {self.delta_rows_patched} row(s) patched, "
+                f"{self.delta_supports_patched} support(s) patched"
             )
         return line
 

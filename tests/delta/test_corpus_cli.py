@@ -1,0 +1,158 @@
+"""End-to-end tests for the ``repro-mine corpus`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.corpus import CORPUS_FILE, CorpusStore
+from repro.cli import main
+
+
+@pytest.fixture
+def forest_file(tmp_path):
+    path = tmp_path / "forest.nwk"
+    path.write_text("((a,b),(c,d));\n((a,b),(c,e));\n", encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def more_file(tmp_path):
+    path = tmp_path / "more.nwk"
+    path.write_text("((a,b),f);\n(g,(h,i));\n", encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def corpus_dir(tmp_path, forest_file):
+    directory = str(tmp_path / "corpus")
+    assert main(["corpus", "init", directory, "--trees", forest_file]) == 0
+    return directory
+
+
+class TestInit:
+    def test_creates_directory_and_store(self, tmp_path, forest_file, capsys):
+        directory = str(tmp_path / "corpus")
+        assert main(
+            ["corpus", "init", directory, "--trees", forest_file]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "initialised corpus" in out and "2 tree(s), v0" in out
+        with open(f"{directory}/{CORPUS_FILE}", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["version"] == 0
+        assert len(payload["trees"]) == 2
+
+    def test_empty_corpus_without_trees(self, tmp_path, capsys):
+        directory = str(tmp_path / "empty")
+        assert main(["corpus", "init", directory]) == 0
+        assert "0 tree(s), v0" in capsys.readouterr().out
+
+    def test_refuses_to_clobber(self, corpus_dir, forest_file, capsys):
+        capsys.readouterr()
+        assert main(
+            ["corpus", "init", corpus_dir, "--trees", forest_file]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestAddRemove:
+    def test_add_bumps_version_and_persists(
+        self, corpus_dir, more_file, capsys
+    ):
+        capsys.readouterr()
+        assert main(["corpus", "add", corpus_dir, more_file]) == 0
+        out = capsys.readouterr().out
+        assert "v1" in out
+        assert "at #2" in out and "at #3" in out
+        store = CorpusStore.open(corpus_dir)
+        assert store.corpus.version == 1
+        assert len(store.corpus) == 4
+
+    def test_remove_names_the_departed(self, corpus_dir, capsys):
+        capsys.readouterr()
+        assert main(["corpus", "remove", corpus_dir, "0"]) == 0
+        out = capsys.readouterr().out
+        assert "v1" in out and "removed" in out
+        assert len(CorpusStore.open(corpus_dir).corpus) == 1
+
+    def test_remove_out_of_range_is_a_clean_error(self, corpus_dir, capsys):
+        capsys.readouterr()
+        assert main(["corpus", "remove", corpus_dir, "99"]) == 1
+        assert "out of range" in capsys.readouterr().err
+        # No partial mutation was persisted.
+        assert CorpusStore.open(corpus_dir).corpus.version == 0
+
+
+class TestLogAndDiff:
+    def test_log_lists_every_delta(self, corpus_dir, more_file, capsys):
+        main(["corpus", "add", corpus_dir, more_file])
+        main(["corpus", "remove", corpus_dir, "1"])
+        capsys.readouterr()
+        assert main(["corpus", "log", corpus_dir]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("v0")
+        assert lines[2].startswith("v2")
+
+    def test_diff_shows_membership_change(
+        self, corpus_dir, more_file, capsys
+    ):
+        main(["corpus", "add", corpus_dir, more_file])
+        main(["corpus", "remove", corpus_dir, "0"])
+        capsys.readouterr()
+        assert main(["corpus", "diff", corpus_dir, "0", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "v0..v2" in out
+        assert "+" in out and "-" in out
+
+    def test_diff_bad_range_is_a_clean_error(self, corpus_dir, capsys):
+        capsys.readouterr()
+        assert main(["corpus", "diff", corpus_dir, "0", "5"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEngineFlags:
+    def test_engine_stats_reports_delta_counters(
+        self, corpus_dir, more_file, capsys
+    ):
+        capsys.readouterr()
+        assert main(
+            ["corpus", "add", corpus_dir, more_file, "--engine-stats"]
+        ) == 0
+        assert "delta: 1 update(s)" in capsys.readouterr().err
+
+    def test_trace_flag_records_delta_span(
+        self, corpus_dir, more_file, tmp_path
+    ):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["corpus", "add", corpus_dir, more_file, "--trace", str(trace)]
+        ) == 0
+        assert "delta.update" in trace.read_text(encoding="utf-8")
+
+    def test_jobs_flag_is_accepted(self, corpus_dir, more_file, capsys):
+        capsys.readouterr()
+        assert main(
+            ["corpus", "add", corpus_dir, more_file, "--jobs", "2"]
+        ) == 0
+        assert "v1" in capsys.readouterr().out
+
+
+class TestPersistence:
+    def test_reopened_store_preserves_log_and_results(
+        self, corpus_dir, more_file, capsys
+    ):
+        main(["corpus", "add", corpus_dir, more_file])
+        store = CorpusStore.open(corpus_dir)
+        assert store.corpus.version == 1
+        assert [d.version for d in store.corpus.log()] == [0, 1]
+        pairs = store.corpus.frequent_pairs(minsup=2)
+        assert any(
+            (p.label_a, p.label_b) == ("a", "b") for p in pairs
+        )
+
+    def test_open_missing_directory_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["corpus", "log", str(tmp_path / "absent")]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,146 @@
+"""Satellite 1 regression: stale disk cache entries never serve a
+mutated corpus.
+
+The corpus result cache keys (:func:`repro.engine.cache.corpus_cache_key`)
+incorporate the corpus content fingerprint *and* version, and the
+:class:`~repro.engine.cache.CorpusResult` payload embeds both again so
+a hit is re-validated at serve time.  These tests poison the disk
+layer directly — copying a pre-mutation entry onto the post-mutation
+key's path — and require rejection plus a correct recompute.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.core.multi_tree import mine_forest
+from repro.engine import MiningEngine, VersionedCorpus
+from repro.engine.cache import CorpusResult, corpus_cache_key
+from repro.generate import SyntheticTreeParams, synthetic_forest
+
+from tests.delta.equivalence import pattern_tuples
+
+
+def forest(count, seed):
+    return synthetic_forest(
+        SyntheticTreeParams(treesize=12, databasesize=count, alphabetsize=6),
+        rng=seed,
+    )
+
+
+@pytest.fixture
+def engine(tmp_path):
+    return MiningEngine(cache_dir=str(tmp_path / "cache"))
+
+
+def result_key(corpus, minsup=2, ignore_distance=False):
+    return corpus_cache_key(
+        corpus.fingerprint,
+        corpus.version,
+        corpus.params,
+        minsup=minsup,
+        ignore_distance=ignore_distance,
+    )
+
+
+def rejected(corpus):
+    return corpus.engine.registry.counter("delta.corpus.rejected").value
+
+
+def hits(corpus):
+    return corpus.engine.registry.counter("delta.corpus.hits").value
+
+
+def test_keys_change_when_the_corpus_mutates(engine):
+    corpus = VersionedCorpus(forest(5, 1), engine=engine)
+    before = result_key(corpus)
+    corpus.add_trees(forest(1, 2))
+    after_add = result_key(corpus)
+    assert after_add != before
+    corpus.remove_trees([5])
+    # Same membership as v0, but the version keeps the key fresh.
+    assert corpus.fingerprint == VersionedCorpus(
+        forest(5, 1), engine=engine
+    ).fingerprint
+    assert result_key(corpus) not in (before, after_add)
+
+
+def test_poisoned_disk_entry_is_rejected_and_recomputed(engine):
+    corpus = VersionedCorpus(forest(5, 3), engine=engine)
+    stale = corpus.frequent_pairs(minsup=2)
+    old_path = engine.cache._disk_path(result_key(corpus))
+    assert os.path.exists(old_path)
+
+    corpus.add_trees(forest(2, 4))
+    new_key = result_key(corpus)
+    new_path = engine.cache._disk_path(new_key)
+    os.makedirs(os.path.dirname(new_path), exist_ok=True)
+    shutil.copyfile(old_path, new_path)  # poison: pre-mutation payload
+    engine.cache.clear()  # force the next lookup through the disk layer
+
+    before_rejected = rejected(corpus)
+    fresh = corpus.frequent_pairs(minsup=2)
+    assert rejected(corpus) == before_rejected + 1
+    want = mine_forest(
+        list(corpus.trees),
+        maxdist=corpus.params.maxdist,
+        minoccur=corpus.params.minoccur,
+        minsup=2,
+        max_generation_gap=corpus.params.max_generation_gap,
+        max_height=corpus.params.max_height,
+    )
+    assert pattern_tuples(fresh) == pattern_tuples(want)
+    assert pattern_tuples(fresh) != pattern_tuples(stale)
+    # The recompute overwrote the poisoned entry with a valid binding.
+    engine.cache.clear()
+    before_hits = hits(corpus)
+    assert pattern_tuples(corpus.frequent_pairs(minsup=2)) == pattern_tuples(
+        want
+    )
+    assert hits(corpus) == before_hits + 1
+    assert rejected(corpus) == before_rejected + 1
+
+
+def test_foreign_payload_under_corpus_key_is_rejected(engine):
+    corpus = VersionedCorpus(forest(4, 5), engine=engine)
+    key = result_key(corpus)
+    # A scheme collision or hand-rolled file: right key, wrong binding.
+    engine.cache.put(
+        key, CorpusResult(fingerprint="not-this-corpus", version=99,
+                          patterns=())
+    )
+    before_rejected = rejected(corpus)
+    got = corpus.frequent_pairs(minsup=2)
+    assert rejected(corpus) == before_rejected + 1
+    want = mine_forest(
+        list(corpus.trees),
+        maxdist=corpus.params.maxdist,
+        minoccur=corpus.params.minoccur,
+        minsup=2,
+        max_generation_gap=corpus.params.max_generation_gap,
+        max_height=corpus.params.max_height,
+    )
+    assert pattern_tuples(got) == pattern_tuples(want)
+
+
+def test_repeat_queries_hit_across_a_cold_memory_layer(engine):
+    corpus = VersionedCorpus(forest(5, 6), engine=engine)
+    first = corpus.frequent_pairs(minsup=2)
+    engine.cache.clear()
+    before_hits = hits(corpus)
+    again = corpus.frequent_pairs(minsup=2)
+    assert hits(corpus) == before_hits + 1
+    assert pattern_tuples(again) == pattern_tuples(first)
+
+
+def test_knobs_are_part_of_the_key(engine):
+    corpus = VersionedCorpus(forest(5, 7), engine=engine)
+    keys = {
+        result_key(corpus, minsup=2, ignore_distance=False),
+        result_key(corpus, minsup=3, ignore_distance=False),
+        result_key(corpus, minsup=2, ignore_distance=True),
+    }
+    assert len(keys) == 3

@@ -83,3 +83,135 @@ def test_empty_vs_empty_is_zero(mode):
     vectors = DistanceVectors.from_trees(bare)
     assert vectors.distance(0, 1, mode) == 0.0
     assert vectors.matrix(mode) == [[0.0, 0.0], [0.0, 0.0]]
+
+
+# ----------------------------------------------------------------------
+# Row patching (append_packed / remove_rows / replace_rows) edge cases:
+# the patched object must be indistinguishable from a from-scratch
+# build over the same tree sequence, including after the corpus empties
+# out, loses the last holder of a pair key, or carries duplicates.
+# ----------------------------------------------------------------------
+
+
+def _mined(forest, minoccur=1):
+    from repro.core.fastmine import mine_arena
+    from repro.core.params import MiningParams
+    from repro.trees.arena import forest_arenas
+
+    params = MiningParams(maxdist=1.5, minoccur=minoccur, minsup=1)
+    _table, arenas = forest_arenas(forest)
+    return [mine_arena(arena, params) for arena in arenas]
+
+
+def assert_equals_rebuild(vectors, forest, minoccur=1):
+    # Distances are byte-identical to a rebuild; lower bounds only
+    # promise admissibility (the patched label table stays a superset,
+    # so signature buckets — and thus bound tightness — may differ).
+    reference = DistanceVectors.from_trees(forest, minoccur=minoccur)
+    assert len(vectors) == len(forest)
+    for mode in DistanceMode:
+        matrix = vectors.matrix(mode)
+        assert matrix == reference.matrix(mode)
+        for i in range(len(forest)):
+            for j in range(len(forest)):
+                assert vectors.lower_bound(i, j, mode) <= matrix[i][j]
+
+
+@settings(max_examples=30, deadline=None)
+@given(forest=forests(min_trees=1, max_trees=4), minoccur=MINOCCURS)
+def test_growing_from_an_empty_corpus_matches_rebuild(forest, minoccur):
+    vectors = DistanceVectors.from_packed([], minoccur=minoccur)
+    assert len(vectors) == 0
+    assert vectors.matrix(DistanceMode.DIST) == []
+    built = 0
+    for packed in _mined(forest, minoccur):
+        positions = vectors.append_packed([packed], minoccur=minoccur)
+        built += 1
+        assert positions == [built - 1]
+    assert_equals_rebuild(vectors, forest, minoccur)
+
+
+@settings(max_examples=30, deadline=None)
+@given(forest=forests(min_trees=1, max_trees=5), data=st.data())
+def test_removing_rows_matches_rebuild_of_survivors(forest, data):
+    vectors = DistanceVectors.from_trees(forest)
+    vectors.build_index()
+    gone = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(forest) - 1),
+            min_size=1,
+            max_size=len(forest),
+            unique=True,
+        ),
+        label="removed_rows",
+    )
+    vectors.remove_rows(gone)
+    survivors = [
+        tree for index, tree in enumerate(forest) if index not in set(gone)
+    ]
+    assert_equals_rebuild(vectors, survivors)
+
+
+def test_removing_the_last_holder_of_a_pair_key():
+    # Tree 0 is the sole holder of its (x, y) pairs; dropping it must
+    # purge those keys so the patched index never resurrects them
+    # against a future lookalike.
+    from repro.trees.newick import parse_newick
+
+    loner = parse_newick("((x,y),(x,y));")
+    others = [parse_newick("((a,b),c);"), parse_newick("((a,b),d);")]
+    vectors = DistanceVectors.from_trees([loner] + others)
+    vectors.build_index()
+    vectors.remove_rows([0])
+    assert_equals_rebuild(vectors, others)
+    # Re-adding the loner after the purge still matches a rebuild.
+    vectors.append_packed(_mined([loner]))
+    assert_equals_rebuild(vectors, others + [loner])
+
+
+def test_remove_all_rows_then_refill():
+    from repro.trees.newick import parse_newick
+
+    forest = [parse_newick("((a,b),c);"), parse_newick("(d,(e,f));")]
+    vectors = DistanceVectors.from_trees(forest)
+    vectors.remove_rows([0, 1])
+    assert len(vectors) == 0
+    for mode in DistanceMode:
+        assert vectors.matrix(mode) == []
+    refill = [parse_newick("((g,h),(g,h));")]
+    vectors.append_packed(_mined(refill))
+    assert_equals_rebuild(vectors, refill)
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=trees(max_size=12), copies=st.integers(min_value=2, max_value=4))
+def test_duplicate_fingerprint_trees_patch_cleanly(tree, copies):
+    # Identical trees share one content fingerprint (and in engine use
+    # one PackedCounts object); rows must stay independent.
+    forest = [tree] * copies
+    vectors = DistanceVectors.from_trees(forest)
+    for mode in DistanceMode:
+        for i in range(copies):
+            for j in range(copies):
+                assert vectors.distance(i, j, mode) == 0.0
+    vectors.remove_rows([copies - 1])
+    assert_equals_rebuild(vectors, forest[: copies - 1])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    forest=forests(min_trees=2, max_trees=4),
+    replacement=trees(max_size=12),
+    data=st.data(),
+)
+def test_replace_rows_matches_rebuild(forest, replacement, data):
+    position = data.draw(
+        st.integers(min_value=0, max_value=len(forest) - 1),
+        label="replaced_row",
+    )
+    vectors = DistanceVectors.from_trees(forest)
+    vectors.build_index()
+    vectors.replace_rows({position: _mined([replacement])[0]})
+    patched = list(forest)
+    patched[position] = replacement
+    assert_equals_rebuild(vectors, patched)

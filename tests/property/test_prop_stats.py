@@ -28,6 +28,11 @@ COUNTER_FIELDS = (
     "distance_pairs_pruned",
     "distance_tiles",
     "distance_tile_hits",
+    "delta_updates",
+    "delta_trees_added",
+    "delta_trees_removed",
+    "delta_rows_patched",
+    "delta_supports_patched",
 )
 SECONDS_FIELDS = ("mine_seconds", "total_seconds")
 LEGACY_KEYS = frozenset(COUNTER_FIELDS) | frozenset(SECONDS_FIELDS) | {
