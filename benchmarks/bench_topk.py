@@ -1,0 +1,309 @@
+"""Top-k similarity benchmark: funnel-pruned search vs all-pairs row (BENCH_topk.json).
+
+Answers the ROADMAP's service-shaped query — "find the k trees nearest
+to mine" — two ways over a TreeBASE-like synthetic corpus (studies of
+related trees drawing taxa from a shared namespace, so the inverted
+index alone cannot prune much) and for all four ``DistanceMode``s:
+
+- ``brute`` — the all-pairs path restricted to the query: one full
+  :meth:`repro.core.distvec.DistanceVectors.row` per query (the exact
+  merge-joins ``distance_matrix`` would spend on that row), sorted;
+- ``topk`` — :meth:`repro.engine.MiningEngine.topk_similar`: MinHash
+  visit ordering, bucketed-signature bound pruning, exact joins only
+  for survivors.
+
+The neighbours must be **byte-identical** (same distances, ties broken
+by the smaller tree index) for every query and mode; the gate asserts
+the funnel spends >= 10x fewer exact merge-joins than the brute rows.
+
+Run under pytest (``pytest benchmarks/bench_topk.py``) to regenerate
+``BENCH_topk.json``, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_topk.py          # full gate
+    PYTHONPATH=src python benchmarks/bench_topk.py --smoke  # CI smoke
+
+Smoke mode shrinks the corpus and only asserts no regression (the
+funnel never joins *more* than brute) plus byte identity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+try:
+    from benchmarks.conftest import write_run_manifest
+except ImportError:  # script invocation: sys.path[0] is benchmarks/
+    from conftest import write_run_manifest
+
+from repro.core.distance import DistanceMode
+from repro.core.params import MiningParams
+from repro.engine import MiningEngine
+from repro.generate.treebase import synthetic_treebase_corpus
+from repro.obs.context import scope
+from repro.obs.metrics import MetricsRegistry, stopwatch
+from repro.trees.ops import relabel
+
+COUNT = 400
+ALPHABET = 400
+MIN_NODES = 40
+MAX_NODES = 120
+QUERIES = 8
+K = 10
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_topk.json"
+
+SMOKE_COUNT = 60
+SMOKE_ALPHABET = 120
+SMOKE_MIN_NODES = 15
+SMOKE_MAX_NODES = 40
+SMOKE_QUERIES = 3
+
+
+def make_corpus(count: int, alphabet: int, min_nodes: int, max_nodes: int):
+    studies = synthetic_treebase_corpus(
+        num_trees=count,
+        trees_per_study=4,
+        min_nodes=min_nodes,
+        max_nodes=max_nodes,
+        alphabet_size=alphabet,
+        rng=7000 + count,
+    )
+    return [tree for study in studies for tree in study.trees]
+
+
+def plant_variants(forest, query_indexes, variants, rng):
+    """Append near-duplicates of every query tree to the corpus.
+
+    Variant ``v`` of a query relabels ``v + 1`` of its leaves to fresh
+    taxa — a graded cloud of close neighbours, the TreeBASE situation
+    where later studies republish a phylogeny with a few taxa swapped.
+    With >= k such neighbours the k-th best distance tightens early and
+    the signature bound can refuse the merge-join for every unrelated
+    study; without them the heap never tightens and nothing is pruned.
+    """
+    planted = []
+    for query_position, index in enumerate(query_indexes):
+        source = forest[index]
+        leaves = sorted(source.leaf_labels())
+        for variant in range(variants):
+            chosen = rng.sample(leaves, min(len(leaves), variant + 1))
+            mapping = {
+                label: f"Variant{query_position:02d}_{variant:02d}_{i:02d}"
+                for i, label in enumerate(chosen)
+            }
+            planted.append(relabel(source, mapping))
+    return planted
+
+
+def run(
+    count: int,
+    alphabet: int,
+    min_nodes: int,
+    max_nodes: int,
+    queries: int,
+    smoke: bool,
+) -> tuple[dict, MetricsRegistry]:
+    registry = MetricsRegistry()
+    params = MiningParams(maxdist=1.5, minoccur=1, minsup=1)
+    with scope(registry), stopwatch() as corpus_watch:
+        forest = make_corpus(count, alphabet, min_nodes, max_nodes)
+        # Queries are corpus members spread across studies: the natural
+        # catalog workload ("which trees resemble this study's tree?").
+        # Each query also gets a planted cloud of k + 2 near-duplicates
+        # so the workload has real nearest neighbours to find — and the
+        # funnel has a tight k-th distance to prune against.
+        query_indexes = [i * count // queries for i in range(queries)]
+        forest.extend(
+            plant_variants(forest, query_indexes, K + 2, random.Random(13))
+        )
+    total = len(forest)
+
+    engine = MiningEngine(jobs=1)
+    with scope(registry), stopwatch() as build_watch:
+        vectors = engine.distance_vectors(forest, params)
+        vectors.build_index()
+
+    per_mode = []
+    brute_joins = 0
+    topk_joins = 0
+    brute_seconds = 0.0
+    topk_seconds = 0.0
+    identical = True
+    with scope(registry):
+        for mode in DistanceMode:
+            mode_brute_joins = 0
+            mode_topk_joins = 0
+            started = time.perf_counter()
+            references = []
+            for index in query_indexes:
+                row, computed, _pruned = vectors.row(index, mode)
+                mode_brute_joins += computed
+                ranked = sorted(
+                    (distance, position)
+                    for position, distance in enumerate(row)
+                )
+                references.append(
+                    tuple(
+                        (position, distance)
+                        for distance, position in ranked[:K]
+                    )
+                )
+            mode_brute_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            results = [
+                engine.topk_similar(vectors, forest[index], K, mode, params)
+                for index in query_indexes
+            ]
+            mode_topk_seconds = time.perf_counter() - started
+            mode_topk_joins = sum(result.exact_joins for result in results)
+            mode_identical = all(
+                result.neighbors == reference
+                for result, reference in zip(results, references)
+            )
+            identical = identical and mode_identical
+            brute_joins += mode_brute_joins
+            topk_joins += mode_topk_joins
+            brute_seconds += mode_brute_seconds
+            topk_seconds += mode_topk_seconds
+            per_mode.append(
+                {
+                    "mode": mode.value,
+                    "brute_joins": mode_brute_joins,
+                    "topk_joins": mode_topk_joins,
+                    "identical": mode_identical,
+                    "brute_seconds": mode_brute_seconds,
+                    "topk_seconds": mode_topk_seconds,
+                }
+            )
+
+    gate = 1.0 if smoke else 10.0
+    join_ratio = brute_joins / topk_joins if topk_joins else float(brute_joins)
+    phases = {
+        "corpus": corpus_watch.seconds,
+        "build": build_watch.seconds,
+        "brute": brute_seconds,
+        "topk": topk_seconds,
+    }
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "corpus": {
+            "trees": total,
+            "base_trees": count,
+            "planted_variants": total - count,
+            "min_nodes": min_nodes,
+            "max_nodes": max_nodes,
+            "alphabetsize": alphabet,
+        },
+        "queries": queries,
+        "k": K,
+        "per_mode": per_mode,
+        "brute_joins": brute_joins,
+        "topk_joins": topk_joins,
+        "join_ratio": join_ratio,
+        "brute_seconds": brute_seconds,
+        "topk_seconds": topk_seconds,
+        "identical": identical,
+        "gate": gate,
+        "phases": [
+            {"name": name, "seconds": seconds}
+            for name, seconds in phases.items()
+        ],
+        "note": (
+            "single-thread; TreeBASE-like studies over a shared taxon "
+            "namespace; per query and mode the top-k neighbours must "
+            "equal the sorted all-pairs row exactly (ties by smaller "
+            "index); the gate asserts >= "
+            f"{gate:.0f}x fewer exact merge-joins than the brute rows"
+        ),
+    }
+    return payload, registry
+
+
+def check(payload: dict) -> None:
+    assert payload["identical"], (
+        "top-k neighbours diverged from the sorted all-pairs row"
+    )
+    assert payload["join_ratio"] >= payload["gate"], payload
+
+
+def report_rows(payload: dict) -> list[str]:
+    corpus = payload["corpus"]
+    rows = [
+        f"corpus: {corpus['trees']} trees x {corpus['min_nodes']}-"
+        f"{corpus['max_nodes']} nodes, {corpus['alphabetsize']} taxa; "
+        f"{payload['queries']} queries, k={payload['k']}",
+    ]
+    for entry in payload["per_mode"]:
+        rows.append(
+            f"{entry['mode']:>10}: brute {entry['brute_joins']} join(s) "
+            f"{entry['brute_seconds']:.3f}s vs top-k "
+            f"{entry['topk_joins']} join(s) {entry['topk_seconds']:.3f}s"
+        )
+    rows.append(
+        f"total joins: {payload['brute_joins']} vs "
+        f"{payload['topk_joins']} "
+        f"({payload['join_ratio']:.1f}x, gate {payload['gate']:.0f}x)"
+    )
+    rows.append(f"identical: {payload['identical']}")
+    return rows
+
+
+def test_topk_join_pruning_gate(benchmark, print_rows):
+    payload, registry = benchmark.pedantic(
+        lambda: run(COUNT, ALPHABET, MIN_NODES, MAX_NODES, QUERIES,
+                    smoke=False),
+        rounds=1, iterations=1,
+    )
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_run_manifest("bench_topk", payload, OUTPUT, registry=registry)
+    print_rows(
+        "Top-k similarity — funnel pruning vs all-pairs row "
+        "(BENCH_topk.json)",
+        report_rows(payload),
+    )
+    check(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny corpus, >=1x no-regression gate (CI-sized)",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="also write the run manifest (params, git revision, "
+             "phase timings, metrics snapshot) to PATH",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload, registry = run(
+            SMOKE_COUNT, SMOKE_ALPHABET, SMOKE_MIN_NODES, SMOKE_MAX_NODES,
+            SMOKE_QUERIES, smoke=True,
+        )
+    else:
+        payload, registry = run(
+            COUNT, ALPHABET, MIN_NODES, MAX_NODES, QUERIES, smoke=False
+        )
+        OUTPUT.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        write_run_manifest("bench_topk", payload, OUTPUT, registry=registry)
+    if args.manifest:
+        write_run_manifest(
+            "bench_topk", payload, OUTPUT,
+            registry=registry, path=args.manifest,
+        )
+    print(f"[top-k similarity benchmark — {payload['mode']}]")
+    for row in report_rows(payload):
+        print(f"  {row}")
+    check(payload)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ plus the extension workflows::
     repro-mine distance a.nwk b.nwk --mode dist_occur
     repro-mine kernel g1.nwk g2.nwk g3.nwk
     repro-mine treerank query.nwk database.nwk
+    repro-mine similar query.nwk database.nwk --k 10
     repro-mine cluster trees.nwk -k 3
     repro-mine supertree study1.nex study2.nex
     repro-mine report trees.nwk --patterns 2
@@ -166,6 +167,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_rank.add_argument("database", help="file with the candidate trees")
     p_rank.add_argument("--top", type=int, default=10,
                         help="show the best N matches (default 10)")
+
+    p_sim = sub.add_parser(
+        "similar",
+        help="k nearest database trees under the cousin-based distance",
+    )
+    p_sim.add_argument("query", help="file with exactly one query tree")
+    p_sim.add_argument("database", help="file with the candidate trees")
+    p_sim.add_argument("--k", type=int, default=10,
+                       help="how many neighbours to return (default 10)")
+    add_mode_arg(p_sim)
+    add_mining_args(p_sim)
+    add_engine_args(p_sim)
 
     p_clust = sub.add_parser(
         "cluster", help="cluster trees under the cousin-based distance"
@@ -445,6 +458,38 @@ def _cmd_treerank(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_similar(args: argparse.Namespace) -> int:
+    queries = load_trees(args.query)
+    if len(queries) != 1:
+        print("similar expects exactly one query tree", file=sys.stderr)
+        return 2
+    database = load_trees(args.database)
+    with _engine_session(args) as engine:
+        vectors = engine.distance_vectors(
+            database,
+            maxdist=args.maxdist,
+            minoccur=args.minoccur,
+            max_generation_gap=args.gap,
+            max_height=args.max_height,
+        )
+        result = engine.topk_similar(
+            vectors,
+            queries[0],
+            args.k,
+            mode=args.mode,
+            maxdist=args.maxdist,
+            minoccur=args.minoccur,
+            max_generation_gap=args.gap,
+            max_height=args.max_height,
+        )
+        _report_engine_stats(engine, args)
+    print(f"# {result.describe()}")
+    for index, distance in result.neighbors:
+        name = database[index].name or f"tree {index}"
+        print(f"{distance:.6f}  {name} (#{index})")
+    return 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     from repro.apps.clustering import cluster_trees
 
@@ -583,6 +628,7 @@ _COMMANDS = {
     "distance": _cmd_distance,
     "kernel": _cmd_kernel,
     "treerank": _cmd_treerank,
+    "similar": _cmd_similar,
     "cluster": _cmd_cluster,
     "supertree": _cmd_supertree,
     "report": _cmd_report,

@@ -22,6 +22,8 @@ Modules
   Section 5.3 (Equation 6);
 - :mod:`repro.core.distvec` — the packed sparse-vector distance kernel
   those distances (and every matrix build) run on;
+- :mod:`repro.core.topk` — single-query top-k similarity search over
+  those vectors (sketch prefilter, bound-pruned exact re-ranking);
 - :mod:`repro.core.kernel` — kernel-tree selection across groups of
   phylogenies (Section 5.3);
 - :mod:`repro.core.freetree` — the free-tree / undirected-acyclic-graph
@@ -56,6 +58,7 @@ from repro.core.distance import (
     DistanceMode,
 )
 from repro.core.distvec import DistanceVectors
+from repro.core.topk import TopKResult, topk_search, topk_similar
 from repro.core.kernel import KernelResult, find_kernel_trees
 from repro.core.freetree import FreeTree, mine_free_tree, mine_graph_forest
 from repro.core.treerank import updown_matrix, updown_distance, treerank_score, rank_trees
@@ -85,6 +88,9 @@ __all__ = [
     "pairset_distance_matrix",
     "DistanceMode",
     "DistanceVectors",
+    "TopKResult",
+    "topk_search",
+    "topk_similar",
     "KernelResult",
     "find_kernel_trees",
     "FreeTree",

@@ -66,7 +66,13 @@ import numpy as np
 
 from repro.core.distance import DistanceMode
 from repro.core.fastmine import PackedCounts, mine_arena
-from repro.core.params import MiningParams, validate_minoccur, validate_mode
+from repro.core.params import (
+    DEFAULT_SKETCH_PARAMS,
+    MiningParams,
+    SketchParams,
+    validate_minoccur,
+    validate_mode,
+)
 from repro.obs.context import get_registry, get_tracer
 from repro.trees.arena import LabelTable, forest_arenas
 from repro.trees.packing import DIST_SHIFT, LABEL_BITS, LABEL_MASK, PAIR_MASK, pack_key
@@ -75,20 +81,66 @@ from repro.trees.tree import Tree
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.engine import MiningEngine
 
-__all__ = ["DistanceVectors", "assemble_matrix"]
+__all__ = [
+    "DistanceVectors",
+    "assemble_matrix",
+    "bucket_signature",
+    "merge_intersection",
+    "signature_geometry",
+]
 
 _MULTISET_MODES = frozenset({DistanceMode.OCCUR, DistanceMode.DIST_OCCUR})
 _FULL_MODES = frozenset({DistanceMode.DIST, DistanceMode.DIST_OCCUR})
 
-# Count-signature buckets for :meth:`DistanceVectors.lower_bound`.
+# Count-signature hashing for :meth:`DistanceVectors.lower_bound`.
 # Keys are spread over a power-of-two bucket count with a Fibonacci
 # multiplicative hash (the packed layout concentrates entropy in the
 # low label bits; the multiply mixes it into the high bits the shift
 # keeps).  More buckets -> tighter bound; the count adapts to the
-# largest per-tree key array and is clamped to keep signatures small.
+# largest per-tree key array between the validated clamps of
+# :data:`repro.core.params.DEFAULT_SKETCH_PARAMS` (promoted from
+# module constants here so bad values fail loudly in one place).
 _SIG_MIX = np.uint64(0x9E3779B97F4A7C15)
-_SIG_MIN_BUCKETS = 64
-_SIG_MAX_BUCKETS = 4096
+
+
+def signature_geometry(
+    largest: int, sketch: SketchParams = DEFAULT_SKETCH_PARAMS
+) -> tuple[int, np.uint64]:
+    """Bucket count and hash shift for a corpus whose biggest per-tree
+    key array has ``largest`` entries.
+
+    Shared by the corpus-side signature cache and the top-k query path
+    (:mod:`repro.core.topk`): a query signature is only comparable to
+    the corpus signatures when both were bucketed with the same
+    geometry.
+    """
+    buckets = sketch.min_buckets
+    while buckets < 4 * largest and buckets < sketch.max_buckets:
+        buckets *= 2
+    return buckets, np.uint64(64 - buckets.bit_length() + 1)
+
+
+def bucket_signature(
+    keys: np.ndarray,
+    counts: np.ndarray,
+    multiset: bool,
+    buckets: int,
+    shift: np.uint64,
+) -> np.ndarray:
+    """One bucketed count signature over sorted packed ``keys``.
+
+    Bucket ``b`` holds the summed multiplicity of all keys hashing to
+    ``b`` (key presence, for the set modes), so for any two signatures
+    built with the same geometry the bucket-wise min sum caps the true
+    intersection — matching keys land in the same bucket.
+    """
+    hashed = (keys.astype(np.uint64) * _SIG_MIX) >> shift
+    signature = np.zeros(buckets, dtype=np.int64)
+    if multiset:
+        np.add.at(signature, hashed.astype(np.intp), counts)
+    else:
+        np.add.at(signature, hashed.astype(np.intp), 1)
+    return signature
 
 
 def _remap_packed(
@@ -173,6 +225,36 @@ def _remap_pair_keys(keys: np.ndarray, remap: np.ndarray) -> np.ndarray:
     return (remap[(keys >> LABEL_BITS) & LABEL_MASK] << LABEL_BITS) | remap[
         keys & LABEL_MASK
     ]
+
+
+def merge_intersection(
+    keys_a: np.ndarray,
+    counts_a: np.ndarray,
+    keys_b: np.ndarray,
+    counts_b: np.ndarray,
+    multiset: bool,
+) -> int:
+    """The (multi)set intersection of two sorted packed-key vectors.
+
+    One linear merge-join (``searchsorted`` over the longer side); the
+    exact-arithmetic core of every distance this module serves, shared
+    with the top-k query path (:mod:`repro.core.topk`) so a query-side
+    join is the same integer — and therefore the same float — as the
+    corpus-side join.
+    """
+    if keys_a.size > keys_b.size:
+        keys_a, keys_b = keys_b, keys_a
+        counts_a, counts_b = counts_b, counts_a
+    if keys_a.size == 0:
+        return 0
+    positions = np.searchsorted(keys_b, keys_a)
+    clipped = np.minimum(positions, keys_b.size - 1)
+    matched = keys_b[clipped] == keys_a
+    matched &= positions < keys_b.size
+    if multiset:
+        hits = clipped[matched]
+        return int(np.minimum(counts_a[matched], counts_b[hits]).sum())
+    return int(np.count_nonzero(matched))
 
 
 def _index_from_sorted(
@@ -605,6 +687,19 @@ class DistanceVectors:
     # ------------------------------------------------------------------
     # Distances
     # ------------------------------------------------------------------
+    def view(
+        self, index: int, mode: DistanceMode | str = DistanceMode.DIST_OCCUR
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """One tree's ``(keys, counts, total)`` projection for ``mode``.
+
+        The sorted packed-key array, its parallel counts and the
+        cardinality the mode divides by — the raw material of every
+        merge-join.  The arrays are the live internal buffers; treat
+        them as read-only.
+        """
+        mode = validate_mode(mode)
+        return self._view(index, mode)
+
     def _view(
         self, index: int, mode: DistanceMode
     ) -> tuple[np.ndarray, np.ndarray, int]:
@@ -645,29 +740,29 @@ class DistanceVectors:
         multiset = mode in _MULTISET_MODES
         keys_a, counts_a, total_a = self._view(first, mode)
         keys_b, counts_b, total_b = self._view(second, mode)
-        if keys_a.size > keys_b.size:
-            keys_a, keys_b = keys_b, keys_a
-            counts_a, counts_b = counts_b, counts_a
-        if keys_a.size == 0:
-            intersection = 0
-        else:
-            positions = np.searchsorted(keys_b, keys_a)
-            clipped = np.minimum(positions, keys_b.size - 1)
-            matched = keys_b[clipped] == keys_a
-            matched &= positions < keys_b.size
-            if multiset:
-                hits = clipped[matched]
-                intersection = int(
-                    np.minimum(counts_a[matched], counts_b[hits]).sum()
-                )
-            else:
-                intersection = int(np.count_nonzero(matched))
+        intersection = merge_intersection(
+            keys_a, counts_a, keys_b, counts_b, multiset
+        )
         union = total_a + total_b - intersection
         if union == 0:
             return 0.0
         return 1.0 - intersection / union
 
-    def _mode_signatures(self, mode: DistanceMode) -> list[np.ndarray]:
+    def mode_geometry(self, mode: DistanceMode | str) -> tuple[int, np.uint64]:
+        """The signature (buckets, shift) this corpus uses for ``mode``.
+
+        A query comparing itself against this corpus
+        (:mod:`repro.core.topk`) must bucket its own signature with
+        exactly this geometry or the bucket-wise caps are meaningless.
+        """
+        mode = validate_mode(mode)
+        keys_list = (
+            self._full_keys if mode in _FULL_MODES else self._pair_keys
+        )
+        largest = max((keys.size for keys in keys_list), default=0)
+        return signature_geometry(largest)
+
+    def mode_signatures(self, mode: DistanceMode | str) -> list[np.ndarray]:
         """Per-tree bucketed count signatures for ``mode`` (cached).
 
         Bucket ``b`` of tree ``i`` holds the summed multiplicity of all
@@ -677,25 +772,21 @@ class DistanceVectors:
         bucket's contribution to ``|A ∩ B|`` is at most
         ``min(sig_a[b], sig_b[b])``.
         """
+        mode = validate_mode(mode)
+        return self._mode_signatures(mode)
+
+    def _mode_signatures(self, mode: DistanceMode) -> list[np.ndarray]:
         cached = self._signatures.get(mode)
         if cached is not None:
             return cached
-        views = [self._view(index, mode) for index in range(len(self))]
-        largest = max((keys.size for keys, _, _ in views), default=0)
-        buckets = _SIG_MIN_BUCKETS
-        while buckets < 4 * largest and buckets < _SIG_MAX_BUCKETS:
-            buckets *= 2
-        shift = np.uint64(64 - buckets.bit_length() + 1)
+        buckets, shift = self.mode_geometry(mode)
         multiset = mode in _MULTISET_MODES
         signatures = []
-        for keys, counts, _total in views:
-            hashed = ((keys.astype(np.uint64) * _SIG_MIX) >> shift)
-            signature = np.zeros(buckets, dtype=np.int64)
-            if multiset:
-                np.add.at(signature, hashed.astype(np.intp), counts)
-            else:
-                np.add.at(signature, hashed.astype(np.intp), 1)
-            signatures.append(signature)
+        for index in range(len(self)):
+            keys, counts, _total = self._view(index, mode)
+            signatures.append(
+                bucket_signature(keys, counts, multiset, buckets, shift)
+            )
         self._signatures[mode] = signatures
         return signatures
 
@@ -790,6 +881,34 @@ class DistanceVectors:
             )
         )
         return neighbors[neighbors != row]
+
+    def candidate_trees(self, pair_keys: np.ndarray) -> np.ndarray:
+        """Trees sharing at least one of ``pair_keys``, ascending.
+
+        The single-query analogue of :meth:`_neighbors_all`: the keys
+        come from *outside* the corpus (a query tree projected onto
+        this label table by :mod:`repro.core.topk`), so unlike a
+        corpus row they may be absent from the inverted index and are
+        masked out before the owner runs are gathered.  Any tree not
+        returned has a provably empty intersection with the query
+        under every mode.
+        """
+        self.build_index()
+        unique, starts, ends, owners = self._index  # type: ignore[misc]
+        if pair_keys.size == 0 or unique.size == 0:
+            return np.empty(0, dtype=np.int64)
+        slots = np.searchsorted(unique, pair_keys)
+        clipped = np.minimum(slots, unique.size - 1)
+        present = unique[clipped] == pair_keys
+        present &= slots < unique.size
+        hits = clipped[present]
+        if hits.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(
+            np.concatenate(
+                [owners[starts[slot] : ends[slot]] for slot in hits]
+            )
+        )
 
     def row(
         self,

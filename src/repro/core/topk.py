@@ -1,0 +1,531 @@
+"""Sub-linear top-k similarity search over :class:`DistanceVectors`.
+
+The ROADMAP's service-shaped query — "find the k trees nearest to
+mine" — only needs k rows' worth of exact work, but
+:func:`repro.core.distance.distance_matrix` is all-pairs.  This module
+is the single-query path: it screens the corpus with three
+progressively cheaper-to-beat filters and runs the exact merge-join
+(:func:`repro.core.distvec.merge_intersection`, the same integers and
+therefore the same floats as the all-pairs kernel) only on the
+survivors.  The returned neighbours are **byte-identical** to sorting
+the corresponding all-pairs matrix row.
+
+The pruning funnel, in visit order:
+
+1. **Inverted-index skip** — trees sharing no label pair with the
+   query (:meth:`DistanceVectors.candidate_trees`) have a provably
+   empty intersection under every mode, so their distance is already
+   known (1.0, or 0.0 when both sides are empty).  They are *filled*,
+   not joined, and still compete for the heap — exactness costs
+   nothing here.  Counted as ``topk.pruned_index``.
+
+2. **Signature bound prune** — each overlapping candidate gets the
+   admissible bucketed-count lower bound of
+   :meth:`DistanceVectors.lower_bound` (the query side bucketed with
+   the *corpus* geometry, or the caps would be meaningless).  Once the
+   heap holds k entries, a candidate whose bound is *strictly* greater
+   than the current k-th distance cannot enter the result — equality
+   is never pruned, because a tying candidate can still win on the
+   smaller-index tie-break.  Counted as ``topk.pruned_bound``.
+
+3. **Exact merge-join** — everything else.  Counted as
+   ``topk.exact_joins``.
+
+MinHash sketches order the candidate *visits* (most-similar-looking
+first, so the k-th distance tightens early and the bound prunes more),
+but never prune anything themselves: the estimate is only a hint, and
+the visit order — ascending estimate, ties by tree index — is
+deterministic, so the funnel counters are reproducible run to run.
+``topk.candidates == topk.pruned_index + topk.pruned_bound +
+topk.exact_joins`` always holds.
+
+A query tree is projected onto the corpus label table without growing
+it (growing a sorted-interned :class:`~repro.trees.arena.LabelTable`
+renumbers ids): known labels map to their corpus ids, unknown labels
+to fresh ids past the corpus universe.  The remap is injective, so
+distinct query items stay distinct; known-known keys keep their
+canonical order (both tables sort labels, so the common subset remaps
+monotonically); unknown-containing keys can never collide with a
+corpus key.  Intersections — the only quantity distances consume —
+are therefore exactly those of a merged-table rebuild.
+
+Engine integration (sketch memoisation, parallel sketch builds,
+``VersionedCorpus`` invalidation) lives in
+:meth:`repro.engine.MiningEngine.topk_similar`; the CLI surface is
+the ``similar`` subcommand.  See ``docs/perf.md`` for funnel numbers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distance import DistanceMode
+from repro.core.distvec import (
+    _FULL_MODES,
+    _MULTISET_MODES,
+    _collapse_pairs,
+    _remap_full_keys,
+    DistanceVectors,
+    bucket_signature,
+    merge_intersection,
+)
+from repro.core.fastmine import PackedCounts, mine_arena
+from repro.core.params import (
+    DEFAULT_SKETCH_PARAMS,
+    MiningParams,
+    SketchParams,
+    validate_minhash_width,
+    validate_minoccur,
+    validate_mode,
+)
+from repro.errors import ArenaError, MiningParameterError
+from repro.obs.context import get_registry, get_tracer
+from repro.trees.arena import TreeArena
+from repro.trees.packing import MAX_LABELS
+from repro.trees.tree import Tree
+
+__all__ = [
+    "QueryVector",
+    "TopKResult",
+    "TopKSketches",
+    "build_sketches",
+    "minhash_block",
+    "minhash_sketch",
+    "query_vector",
+    "topk_search",
+    "topk_similar",
+    "validate_k",
+]
+
+_U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+# splitmix64 finalizer constants: the per-row MinHash multipliers are
+# derived deterministically from the row number, so sketches need no
+# RNG state and identical widths always produce identical sketches
+# (serial and banded parallel builds agree byte for byte).
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C = np.uint64(0x94D049BB133111EB)
+
+_MULTIPLIERS: dict[int, np.ndarray] = {}
+
+
+def validate_k(k: int) -> int:
+    """Check one raw top-k ``k`` knob (integer >= 1) and return it."""
+    if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+        raise MiningParameterError(
+            f"k must be an integer >= 1, got {k!r}"
+        )
+    return k
+
+
+def _multipliers(width: int) -> np.ndarray:
+    """``width`` odd 64-bit multipliers, one per MinHash row (cached).
+
+    Row ``i``'s multiplier is the splitmix64 finalizer of ``i + 1``
+    forced odd, so ``key * multiplier`` is a bijection on uint64 and
+    each row is an independent-looking min-wise hash.
+    """
+    cached = _MULTIPLIERS.get(width)
+    if cached is not None:
+        return cached
+    z = np.arange(1, width + 1, dtype=np.uint64) * _MIX_A
+    z = (z ^ (z >> np.uint64(30))) * _MIX_B
+    z = (z ^ (z >> np.uint64(27))) * _MIX_C
+    z = z ^ (z >> np.uint64(31))
+    mult = z | np.uint64(1)
+    _MULTIPLIERS[width] = mult
+    return mult
+
+
+def minhash_sketch(keys: np.ndarray, width: int) -> np.ndarray:
+    """One ``width``-row MinHash sketch over sorted packed ``keys``.
+
+    Row ``i`` holds ``min(h_i(key))`` with ``h_i`` the row's keyed
+    permutation; an empty key set sketches as all-ones (matches
+    nothing, including another empty sketch — harmless, because empty
+    trees never reach the estimate path: they share no pair key).  The
+    expected fraction of matching rows between two sketches is the
+    Jaccard similarity of the key *sets* — an estimate, used only to
+    order candidate visits, never to prune.
+    """
+    if keys.size == 0:
+        return np.full(width, _U64_MAX, dtype=np.uint64)
+    hashed = keys.astype(np.uint64)[None, :] * _multipliers(width)[:, None]
+    return np.asarray(hashed.min(axis=1), dtype=np.uint64)
+
+
+def minhash_block(
+    vectors: DistanceVectors,
+    mode: DistanceMode | str,
+    start: int,
+    stop: int,
+    width: int,
+) -> np.ndarray:
+    """MinHash sketches of trees ``start..stop`` as a ``(stop - start,
+    width)`` matrix.
+
+    The band kernel the engine fans out under ``--jobs``; pure in its
+    inputs, so banded and serial builds are byte-identical.
+    """
+    mode = validate_mode(mode)
+    width = validate_minhash_width(width)
+    rows = np.empty((stop - start, width), dtype=np.uint64)
+    for offset, index in enumerate(range(start, stop)):
+        keys, _counts, _total = vectors.view(index, mode)
+        rows[offset] = minhash_sketch(keys, width)
+    return rows
+
+
+@dataclass(frozen=True)
+class TopKSketches:
+    """Per-corpus sketch arrays for one :class:`DistanceMode`.
+
+    ``minhash`` is ``(trees, width)`` uint64; ``signatures`` is the
+    ``(trees, buckets)`` int64 stack of the corpus count signatures,
+    bucketed with ``(buckets, shift)`` — the geometry a query signature
+    must reuse.  Built by :func:`build_sketches`, memoised by the
+    engine beside the vectors and invalidated with them.
+    """
+
+    mode: DistanceMode
+    width: int
+    minhash: np.ndarray
+    signatures: np.ndarray
+    buckets: int
+    shift: np.uint64
+
+
+def build_sketches(
+    vectors: DistanceVectors,
+    mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    sketch: SketchParams = DEFAULT_SKETCH_PARAMS,
+    *,
+    minhash: np.ndarray | None = None,
+) -> TopKSketches:
+    """All per-tree sketches of ``vectors`` for ``mode``.
+
+    Pass ``minhash`` to reuse rows built elsewhere (the engine's
+    parallel band path stitches :func:`minhash_block` outputs and
+    hands them in); otherwise the rows are built serially here.
+    """
+    mode = validate_mode(mode)
+    with get_tracer().span(
+        "topk.sketch",
+        metric="topk.sketch.seconds",
+        trees=len(vectors),
+        mode=mode.value,
+    ):
+        buckets, shift = vectors.mode_geometry(mode)
+        signatures = vectors.mode_signatures(mode)
+        stacked = (
+            np.stack(signatures)
+            if signatures
+            else np.zeros((0, buckets), dtype=np.int64)
+        )
+        if minhash is None:
+            minhash = minhash_block(
+                vectors, mode, 0, len(vectors), sketch.minhash_width
+            )
+        return TopKSketches(
+            mode=mode,
+            width=int(minhash.shape[1]),
+            minhash=minhash,
+            signatures=stacked,
+            buckets=buckets,
+            shift=shift,
+        )
+
+
+class QueryVector:
+    """One query tree's packed vectors, projected onto a corpus.
+
+    Holds the same two sorted array pairs a corpus row holds (full
+    keys with distance, collapsed unordered label pairs) in the
+    *corpus* id space, so every merge-join against a corpus row runs
+    over comparable integers.  Build with :func:`query_vector`.
+    """
+
+    __slots__ = (
+        "full_keys",
+        "full_counts",
+        "pair_keys",
+        "pair_counts",
+        "full_total",
+        "pair_total",
+    )
+
+    def __init__(self, full_keys: np.ndarray, full_counts: np.ndarray) -> None:
+        self.full_keys = full_keys
+        self.full_counts = full_counts
+        self.pair_keys, self.pair_counts = _collapse_pairs(
+            full_keys, full_counts
+        )
+        self.full_total = int(full_counts.sum())
+        self.pair_total = int(self.pair_counts.sum())
+
+    def view(
+        self, mode: DistanceMode | str = DistanceMode.DIST_OCCUR
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """The query's ``(keys, counts, total)`` projection for ``mode``."""
+        mode = validate_mode(mode)
+        if mode in _FULL_MODES:
+            keys, counts, total = self.full_keys, self.full_counts, self.full_total
+        else:
+            keys, counts, total = self.pair_keys, self.pair_counts, self.pair_total
+        if mode not in _MULTISET_MODES:
+            total = keys.size
+        return keys, counts, total
+
+
+def _foreign_remap(
+    query_labels: tuple[str, ...], corpus_labels: tuple[str, ...]
+) -> np.ndarray:
+    """Query label id -> corpus-compatible id, without growing the table.
+
+    Known labels take their corpus ids; unknown labels take fresh ids
+    past the corpus universe (``len(corpus_labels)`` onward, in query
+    table order).  Injective, so distinct query keys stay distinct.
+    Both tables intern in sorted label order, so on the *known* subset
+    the remap is monotone and canonical ``la <= lb`` key ordering
+    survives; a key touching an unknown label may come out
+    non-canonical, which is harmless — no corpus key contains an id
+    ``>= len(corpus_labels)``, so such keys match nothing, exactly as
+    an unknown label should.
+    """
+    positions = {label: index for index, label in enumerate(corpus_labels)}
+    base = len(corpus_labels)
+    fresh = 0
+    remap = np.empty(len(query_labels), dtype=np.int64)
+    for index, label in enumerate(query_labels):
+        slot = positions.get(label)
+        if slot is None:
+            slot = base + fresh
+            fresh += 1
+        remap[index] = slot
+    if base + fresh > MAX_LABELS:
+        raise ArenaError(
+            f"query labels push the universe to {base + fresh} distinct "
+            f"labels; the packed-key encoding addresses at most {MAX_LABELS}"
+        )
+    return remap
+
+
+def query_vector(
+    vectors: DistanceVectors, packed: PackedCounts, minoccur: int = 1
+) -> QueryVector:
+    """Project one mined query tree onto ``vectors``' key space.
+
+    ``minoccur`` must match the value the corpus vectors were built
+    with, or query-side and corpus-side items are filtered differently
+    and the distances stop matching the all-pairs reference.
+    """
+    minoccur = validate_minoccur(minoccur)
+    size = len(packed.counts)
+    keys = np.fromiter(packed.counts.keys(), dtype=np.int64, count=size)
+    counts = np.fromiter(packed.counts.values(), dtype=np.int64, count=size)
+    if minoccur > 1:
+        keep = counts >= minoccur
+        keys = keys[keep]
+        counts = counts[keep]
+    remap = _foreign_remap(tuple(packed.labels), vectors.labels)
+    keys = _remap_full_keys(keys, remap)
+    order = np.argsort(keys)
+    return QueryVector(keys[order], counts[order])
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Outcome of one top-k query, funnel counters included.
+
+    ``neighbors`` is ascending ``(distance, index)`` — the first entry
+    is the nearest tree — as ``(index, distance)`` tuples, exactly the
+    first k entries of the sorted all-pairs row (ties broken by the
+    smaller tree index).  The counters satisfy ``candidates ==
+    pruned_index + pruned_bound + exact_joins``.
+    """
+
+    k: int
+    mode: DistanceMode
+    neighbors: tuple[tuple[int, float], ...]
+    candidates: int
+    pruned_index: int
+    pruned_bound: int
+    exact_joins: int
+
+    def describe(self) -> str:
+        """One human-readable funnel summary line."""
+        return (
+            f"top-{self.k} ({self.mode.value}): {len(self.neighbors)} "
+            f"neighbor(s) of {self.candidates} candidate(s); "
+            f"{self.pruned_index} index-pruned, "
+            f"{self.pruned_bound} bound-pruned, "
+            f"{self.exact_joins} exact join(s)"
+        )
+
+
+def topk_search(
+    vectors: DistanceVectors,
+    query: QueryVector,
+    k: int,
+    mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    sketches: TopKSketches | None = None,
+    sketch: SketchParams = DEFAULT_SKETCH_PARAMS,
+) -> TopKResult:
+    """The k nearest corpus trees to ``query``, exactly.
+
+    Byte-identical to sorting the all-pairs matrix row of the query
+    (ties by smaller tree index) while joining only the candidates the
+    funnel cannot exclude; see the module docstring for the funnel.
+    ``sketches`` (from :func:`build_sketches`) may be passed to reuse
+    memoised arrays — they must cover exactly ``vectors`` and
+    ``mode``.
+    """
+    mode = validate_mode(mode)
+    k = validate_k(k)
+    if sketches is None:
+        sketches = build_sketches(vectors, mode, sketch)
+    if sketches.mode is not mode:
+        raise MiningParameterError(
+            f"sketches were built for mode {sketches.mode.value!r}, "
+            f"query asked for {mode.value!r}"
+        )
+    size = len(vectors)
+    if sketches.minhash.shape[0] != size:
+        raise MiningParameterError(
+            f"sketches cover {sketches.minhash.shape[0]} trees, "
+            f"corpus has {size}"
+        )
+    registry = get_registry()
+    with get_tracer().span(
+        "topk.search",
+        metric="topk.search.seconds",
+        trees=size,
+        k=k,
+        mode=mode.value,
+    ):
+        multiset = mode in _MULTISET_MODES
+        totals = vectors.totals(mode)
+        query_keys, query_counts, query_total = query.view(mode)
+        overlapping = vectors.candidate_trees(query.pair_keys)
+
+        # Max-heap of the k best (distance, index) pairs: entries are
+        # (-distance, -index) under Python's min-heap, so heap[0] is
+        # the lexicographically largest — the current k-th neighbour.
+        heap: list[tuple[float, int]] = []
+
+        def offer(distance: float, index: int) -> None:
+            entry = (-distance, -index)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+
+        # 1) zero-overlap trees: distance known without a join.
+        overlap_mask = np.zeros(size, dtype=bool)
+        overlap_mask[overlapping] = True
+        pruned_index = size - int(overlapping.size)
+        for index in range(size):
+            if overlap_mask[index]:
+                continue
+            fill = 1.0 if query_total or totals[index] else 0.0
+            offer(fill, index)
+
+        # 2) + 3) overlapping candidates: bound-screen in MinHash
+        # order, exact-join the survivors.
+        pruned_bound = 0
+        exact_joins = 0
+        if overlapping.size:
+            query_signature = bucket_signature(
+                query_keys,
+                query_counts,
+                multiset,
+                sketches.buckets,
+                sketches.shift,
+            )
+            caps = np.minimum(
+                sketches.signatures[overlapping], query_signature[None, :]
+            ).sum(axis=1)
+            spans = query_total + np.asarray(
+                [totals[int(index)] for index in overlapping], dtype=np.int64
+            )
+            # Overlap guarantees both sides are non-empty, so
+            # spans >= 2 and spans - caps >= max side size >= 1: the
+            # division is safe and each bound equals the scalar
+            # lower_bound formula bit for bit.
+            bounds = 1.0 - caps / (spans - caps)
+            estimates = 1.0 - (
+                sketches.minhash[overlapping]
+                == minhash_sketch(query_keys, sketches.width)[None, :]
+            ).sum(axis=1) / sketches.width
+            order = np.lexsort((overlapping, estimates))
+            for position in order:
+                index = int(overlapping[position])
+                if len(heap) == k and float(bounds[position]) > -heap[0][0]:
+                    pruned_bound += 1
+                    continue
+                keys, counts, total = vectors.view(index, mode)
+                intersection = merge_intersection(
+                    query_keys, query_counts, keys, counts, multiset
+                )
+                union = query_total + total - intersection
+                distance = 0.0 if union == 0 else 1.0 - intersection / union
+                exact_joins += 1
+                offer(distance, index)
+
+        registry.counter("topk.candidates").add(size)
+        registry.counter("topk.pruned_index").add(pruned_index)
+        registry.counter("topk.pruned_bound").add(pruned_bound)
+        registry.counter("topk.exact_joins").add(exact_joins)
+
+        ranked = sorted((-entry[0], -entry[1]) for entry in heap)
+        return TopKResult(
+            k=k,
+            mode=mode,
+            neighbors=tuple((index, distance) for distance, index in ranked),
+            candidates=size,
+            pruned_index=pruned_index,
+            pruned_bound=pruned_bound,
+            exact_joins=exact_joins,
+        )
+
+
+def topk_similar(
+    vectors: DistanceVectors,
+    query: Tree,
+    k: int,
+    mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    params: MiningParams | None = None,
+    *,
+    maxdist: float = 1.5,
+    minoccur: int = 1,
+    max_generation_gap: int = 1,
+    max_height: int | None = None,
+    sketch: SketchParams = DEFAULT_SKETCH_PARAMS,
+    sketches: TopKSketches | None = None,
+) -> TopKResult:
+    """Mine ``query`` and rank its k nearest trees in ``vectors``.
+
+    The serial convenience wrapper: mines the query tree with the same
+    parameters the corpus was mined with (pass the same ``params`` /
+    knobs or the distances stop matching the all-pairs reference),
+    projects it onto the corpus label space and runs
+    :func:`topk_search`.  For memoised sketches and parallel sketch
+    builds use :meth:`repro.engine.MiningEngine.topk_similar`.
+    """
+    if params is None:
+        params = MiningParams(
+            maxdist=maxdist,
+            minoccur=minoccur,
+            minsup=1,
+            max_generation_gap=max_generation_gap,
+            max_height=max_height,
+        )
+    packed = mine_arena(TreeArena.from_tree(query), params)
+    projected = query_vector(vectors, packed, params.minoccur)
+    return topk_search(
+        vectors, projected, k, mode, sketches=sketches, sketch=sketch
+    )

@@ -56,6 +56,7 @@ from repro.core.distvec import DistanceVectors
 from repro.core.fastmine import PackedCounts
 from repro.core.multi_tree import FrequentCousinPair
 from repro.core.params import MiningParams, validate_minsup, validate_mode
+from repro.core.topk import TopKResult
 from repro.engine.cache import CorpusResult, corpus_cache_key
 from repro.engine.engine import MiningEngine
 from repro.errors import EngineError
@@ -642,6 +643,27 @@ class VersionedCorpus:
                 )
                 self._matrices[mode] = matrix
         return matrix.tolist()
+
+    def topk_similar(
+        self,
+        query: Tree,
+        k: int,
+        mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+    ) -> "TopKResult":
+        """The k corpus trees nearest ``query``, exactly, at this version.
+
+        Runs :meth:`repro.engine.MiningEngine.topk_similar` over the
+        live incrementally patched vectors with this corpus's mining
+        parameters.  Neighbour indexes are positions in
+        :attr:`trees` order.  The engine memoises the corpus sketch
+        arrays under the vectors' fingerprint; every mutation commits
+        through :meth:`MiningEngine.invalidate_distance_memos`, so a
+        query after churn always sketches the current corpus.
+        """
+        mode = validate_mode(mode)
+        with obs_scope(self.engine.registry, self.engine.tracer):
+            vectors = self._ensure_vectors()
+        return self.engine.topk_similar(vectors, query, k, mode, self.params)
 
     # ------------------------------------------------------------------
     # Maintained-state plumbing

@@ -47,12 +47,27 @@ from collections import Counter, OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.core.cousins import CousinPairItem
 from repro.core.distance import DistanceMode
 from repro.core.distvec import DistanceVectors, assemble_matrix
 from repro.core.fastmine import PackedCounts, mine_arena
 from repro.core.pairset import CousinPairSet
-from repro.core.params import MiningParams, validate_mode
+from repro.core.params import (
+    DEFAULT_SKETCH_PARAMS,
+    MiningParams,
+    SketchParams,
+    validate_mode,
+)
+from repro.core.topk import (
+    TopKResult,
+    TopKSketches,
+    build_sketches,
+    minhash_block,
+    query_vector,
+    topk_search,
+)
 from repro.engine.cache import PairSetCache, arena_cache_key
 from repro.engine.stats import EngineStats
 from repro.errors import EngineError
@@ -122,6 +137,24 @@ def _distance_tile(
     with obs_scope(registry=registry):
         rows, computed, pruned = vectors.triangle(start, stop, mode)
     return start, rows, computed, pruned, registry.snapshot()
+
+
+def _sketch_band(
+    payload: tuple[DistanceVectors, str, int, int, int],
+) -> tuple[int, Any, dict[str, Any]]:
+    """Worker task: one band of per-tree MinHash sketch rows.
+
+    Module-level so it pickles; the vectors travel as their raw sorted
+    arrays and each band comes back as ``(start, rows,
+    metrics_snapshot)``, stitched by row index in the parent.  Like
+    :func:`_mine_chunk`, the worker counts into a fresh registry so
+    fork-inherited totals never double-merge.
+    """
+    vectors, mode, start, stop, width = payload
+    registry = MetricsRegistry()
+    with obs_scope(registry=registry):
+        rows = minhash_block(vectors, mode, start, stop, width)
+    return start, rows, registry.snapshot()
 
 
 class MiningEngine:
@@ -279,15 +312,16 @@ class MiningEngine:
 
         Per-tree packed counts stay cached — they are content-addressed
         and remain valid for any corpus — but whole-forest projections
-        (``distvec`` / ``distmat`` entries) are fingerprinted over a
-        *specific* tree sequence and must go when that sequence mutates
+        (``distvec`` / ``distmat`` / ``topksketch`` entries) are
+        fingerprinted over a *specific* tree sequence and must go when
+        that sequence mutates
         (a :class:`repro.engine.delta.VersionedCorpus` update) or when
         a stats reset opens a fresh measurement window.
         """
         stale = [
             key
             for key in self._projections
-            if key[0] in ("distvec", "distmat")
+            if key[0] in ("distvec", "distmat", "topksketch")
         ]
         for key in stale:
             del self._projections[key]
@@ -568,6 +602,124 @@ class MiningEngine:
                     while len(self._projections) > self._projection_cap:
                         self._projections.popitem(last=False)
             return [row[:] for row in matrix]
+
+    def topk_similar(
+        self,
+        vectors: DistanceVectors,
+        query: Tree,
+        k: int,
+        mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+        params: MiningParams | None = None,
+        *,
+        maxdist: float = 1.5,
+        minoccur: int = 1,
+        max_generation_gap: int = 1,
+        max_height: int | None = None,
+        sketch: SketchParams = DEFAULT_SKETCH_PARAMS,
+    ) -> TopKResult:
+        """The k corpus trees nearest ``query``, exactly and memoised.
+
+        Identical output to :func:`repro.core.topk.topk_similar`
+        without an engine: the query tree is mined through the
+        content-addressed cache, and the corpus sketch arrays
+        (:class:`repro.core.topk.TopKSketches`) are memoised beside
+        the distance vectors under the vectors' engine fingerprint —
+        so repeat queries against the same corpus skip the sketch
+        build entirely.  The memo is dropped by
+        :meth:`invalidate_distance_memos`, which every
+        :class:`repro.engine.delta.VersionedCorpus` mutation fires.
+        Sketch rows are built in parallel bands when a pool is worth
+        it (``jobs > 1`` and at least ``min_parallel_trees`` trees),
+        byte-identical to the serial build.  ``params`` (or the raw
+        knobs) must match the values the corpus vectors were built
+        with, or the distances stop matching the all-pairs reference.
+        """
+        mode = validate_mode(mode)
+        params = self._resolve(
+            params, maxdist, minoccur, max_generation_gap, max_height
+        )
+        with obs_scope(self.registry, self.tracer), self.tracer.span(
+            "engine.topk",
+            metric="engine.topk.seconds",
+            trees=len(vectors),
+            mode=mode.value,
+        ):
+            keys, resolved = self._resolved_packed([query], params)
+            projected = query_vector(
+                vectors, resolved[keys[0]], params.minoccur
+            )
+            sketches = self._topk_sketches(vectors, mode, sketch)
+            return topk_search(
+                vectors, projected, k, mode, sketches=sketches, sketch=sketch
+            )
+
+    def _topk_sketches(
+        self,
+        vectors: DistanceVectors,
+        mode: DistanceMode,
+        sketch: SketchParams,
+    ) -> TopKSketches:
+        """Corpus sketches for ``mode``, memoised by engine fingerprint.
+
+        Unfingerprinted vectors (built outside the engine) are
+        sketched per call; fingerprinted ones hit the projection memo,
+        whose entries :meth:`invalidate_distance_memos` drops whenever
+        the underlying tree sequence mutates.
+        """
+        memo_key = (
+            ("topksketch", vectors.fingerprint, mode.value,
+             sketch.minhash_width)
+            if vectors.fingerprint is not None and self._projection_cap != 0
+            else None
+        )
+        if memo_key is not None:
+            cached = self._projections.get(memo_key)
+            if isinstance(cached, TopKSketches):
+                self._projections.move_to_end(memo_key)
+                self.registry.counter("topk.sketch_hits").add(1)
+                return cached
+        size = len(vectors)
+        minhash: np.ndarray | None = None
+        bands = self._sketch_bands(size)
+        if len(bands) > 1:
+            payloads = [
+                (vectors, mode.value, start, stop, sketch.minhash_width)
+                for start, stop in bands
+            ]
+            workers = min(self.jobs, len(bands))
+            tiles: list[tuple[int, np.ndarray]] = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for start, rows, snapshot in pool.map(
+                    _sketch_band, payloads
+                ):
+                    tiles.append((start, rows))
+                    self.registry.merge_snapshot(snapshot)
+            tiles.sort()
+            minhash = np.vstack([rows for _start, rows in tiles])
+        sketches = build_sketches(vectors, mode, sketch, minhash=minhash)
+        if memo_key is not None:
+            self._projections[memo_key] = sketches
+            if self._projection_cap is not None:
+                while len(self._projections) > self._projection_cap:
+                    self._projections.popitem(last=False)
+        return sketches
+
+    def _sketch_bands(self, size: int) -> list[tuple[int, int]]:
+        """Equal-width tree bands for the parallel sketch build.
+
+        Sketch cost is near-uniform per tree (unlike triangle rows),
+        so plain equal widths balance; serial configurations or small
+        corpora get one band — no pool, no pickling.
+        """
+        if size <= 1 or self.jobs == 1 or size < self.min_parallel_trees:
+            return [(0, size)]
+        width = max(
+            1, math.ceil(size / (self.jobs * self.chunks_per_job))
+        )
+        return [
+            (start, min(start + width, size))
+            for start in range(0, size, width)
+        ]
 
     def _distance_bands(self, size: int) -> list[tuple[int, int]]:
         """Deterministic row bands of the triangle, balanced by pairs.

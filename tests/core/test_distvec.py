@@ -174,3 +174,61 @@ class TestAssembleMatrix:
 
     def test_empty(self):
         assert assemble_matrix(0, [(0, [])]) == []
+
+
+class TestLowerBoundEdgeCases:
+    def test_empty_vs_empty_is_zero(self):
+        vectors = DistanceVectors.from_trees(
+            [parse_newick("(a);"), parse_newick("(b);")]
+        )
+        for mode in DistanceMode:
+            assert vectors.lower_bound(0, 1, mode) == 0.0
+            assert vectors.distance(0, 1, mode) == 0.0
+
+    def test_empty_vs_nonempty_admissible(self):
+        vectors = DistanceVectors.from_trees(
+            [parse_newick("(a);"), parse_newick("((a,b),c);")]
+        )
+        for mode in DistanceMode:
+            bound = vectors.lower_bound(0, 1, mode)
+            assert bound <= vectors.distance(0, 1, mode) == 1.0
+
+    def test_duplicate_fingerprint_trees_bound_zero(self):
+        twins = [parse_newick("((a,b),(c,d));") for _ in range(2)]
+        vectors = DistanceVectors.from_trees(twins)
+        for mode in DistanceMode:
+            # Identical trees: signatures agree bucket for bucket, so
+            # cap == |A| == |B| and the bound collapses to the true 0.
+            assert vectors.lower_bound(0, 1, mode) == 0.0
+            assert vectors.distance(0, 1, mode) == 0.0
+
+    def test_admissible_on_random_forest(self, rng):
+        forest = [make_random_tree(rng, max_size=20) for _ in range(8)]
+        vectors = DistanceVectors.from_trees(forest)
+        for mode in DistanceMode:
+            for i in range(len(forest)):
+                for j in range(len(forest)):
+                    assert vectors.lower_bound(i, j, mode) <= (
+                        vectors.distance(i, j, mode)
+                    )
+
+    def test_kth_tie_order_pinned_in_topk(self):
+        # Three trees tie at the same distance from the query; with
+        # k=2 the returned pair must be the two smallest indexes, and
+        # repeat runs must agree (the deterministic-order contract the
+        # bound pruning relies on).
+        from repro.core.topk import topk_similar
+
+        trees = [
+            parse_newick("((a,b),(c,e));"),
+            parse_newick("((a,b),(c,e));"),
+            parse_newick("((a,b),(c,e));"),
+        ]
+        vectors = DistanceVectors.from_trees(trees)
+        query = parse_newick("((a,b),(c,d));")
+        first = topk_similar(vectors, query, 2)
+        second = topk_similar(vectors, query, 2)
+        assert first.neighbors == second.neighbors
+        assert [index for index, _d in first.neighbors] == [0, 1]
+        tie = first.neighbors[0][1]
+        assert first.neighbors[1][1] == tie

@@ -1,0 +1,323 @@
+"""Unit tests for the top-k similarity search (``repro.core.topk``)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.distance import DistanceMode
+from repro.core.distvec import DistanceVectors
+from repro.core.params import SketchParams
+from repro.core.topk import (
+    QueryVector,
+    TopKSketches,
+    build_sketches,
+    minhash_block,
+    minhash_sketch,
+    query_vector,
+    topk_search,
+    topk_similar,
+    validate_k,
+)
+from repro.engine import MiningEngine
+from repro.errors import MiningParameterError
+from repro.generate.random_trees import SyntheticTreeParams, synthetic_forest
+from repro.trees.newick import parse_newick
+from repro.trees.tree import Tree
+
+FOREST_NEWICKS = [
+    "((a,b),(c,d));",
+    "((a,b),(c,e));",
+    "((a,c),(b,d));",
+    "(((a,b),c),d);",
+    "((x,y),(z,w));",
+    "((a,b),(a,b));",
+]
+
+
+@pytest.fixture
+def forest():
+    return [parse_newick(text) for text in FOREST_NEWICKS]
+
+
+@pytest.fixture
+def vectors(forest):
+    return DistanceVectors.from_trees(forest)
+
+
+def brute_topk(vectors, forest, query, k, mode):
+    """Reference ranking: sorted all-pairs matrix row of the query."""
+    combined = DistanceVectors.from_trees(list(forest) + [query])
+    row, _computed, _pruned = combined.row(len(forest), mode)
+    ranked = sorted((distance, index) for index, distance in
+                    enumerate(row[: len(forest)]))
+    return tuple((index, distance) for distance, index in ranked[:k])
+
+
+class TestBruteForceEquality:
+    @pytest.mark.parametrize("mode", list(DistanceMode))
+    @pytest.mark.parametrize("k", [1, 2, 4, 6, 50])
+    def test_matches_sorted_row(self, forest, vectors, mode, k):
+        query = parse_newick("((a,b),(c,(d,e)));")
+        result = topk_similar(vectors, query, k, mode)
+        assert result.neighbors == brute_topk(vectors, forest, query, k, mode)
+
+    @pytest.mark.parametrize("mode", list(DistanceMode))
+    def test_query_from_corpus_ranks_itself_first(
+        self, forest, vectors, mode
+    ):
+        result = topk_similar(vectors, forest[2], 3, mode)
+        # The query itself is at distance 0; other trees may tie under
+        # the coarser modes (plain collapses distances), in which case
+        # the smaller index wins the tie deterministically.
+        assert result.neighbors[0][1] == 0.0
+        assert (2, 0.0) in result.neighbors or result.neighbors[0][1] == 0.0
+        assert result.neighbors == brute_topk(
+            vectors, forest, forest[2], 3, mode
+        )
+
+    def test_random_forest_all_modes(self):
+        rng = random.Random(17)
+        params = SyntheticTreeParams(
+            treesize=12, databasesize=25, fanout=4, alphabetsize=10
+        )
+        forest = synthetic_forest(params, rng)
+        query = synthetic_forest(
+            SyntheticTreeParams(
+                treesize=12, databasesize=1, fanout=4, alphabetsize=10
+            ),
+            random.Random(91),
+        )[0]
+        vectors = DistanceVectors.from_trees(forest)
+        for mode in DistanceMode:
+            result = topk_similar(vectors, query, 7, mode)
+            assert result.neighbors == brute_topk(
+                vectors, forest, query, 7, mode
+            )
+
+
+class TestDeterminism:
+    def test_duplicate_trees_tie_break_by_index(self, capsys):
+        trees = [parse_newick("((a,b),(c,d));") for _ in range(5)]
+        vectors = DistanceVectors.from_trees(trees)
+        result = topk_similar(vectors, trees[0], 3)
+        # All five trees tie at distance 0; the smaller indexes win.
+        assert result.neighbors == ((0, 0.0), (1, 0.0), (2, 0.0))
+
+    def test_kth_tie_never_pruned(self):
+        # Two trees tie exactly at the k-th distance: the strict-bound
+        # rule must keep both in play and return the smaller index.
+        trees = [
+            parse_newick("((a,b),(c,d));"),
+            parse_newick("((a,b),(c,e));"),
+            parse_newick("((a,b),(c,e));"),
+        ]
+        vectors = DistanceVectors.from_trees(trees)
+        result = topk_similar(vectors, trees[0], 2)
+        assert result.neighbors[0] == (0, 0.0)
+        assert result.neighbors[1][0] == 1
+
+    def test_repeat_runs_identical(self, vectors):
+        query = parse_newick("((a,b),c);")
+        first = topk_similar(vectors, query, 4)
+        second = topk_similar(vectors, query, 4)
+        assert first == second
+
+
+class TestEdgeCases:
+    def test_empty_query_tree(self, vectors):
+        result = topk_similar(vectors, Tree("root"), 3)
+        # No pair keys: every tree is index-pruned, fills rank by index.
+        assert result.exact_joins == 0
+        assert result.pruned_index == len(vectors)
+        assert result.neighbors == ((0, 1.0), (1, 1.0), (2, 1.0))
+
+    def test_empty_query_against_empty_tree(self):
+        vectors = DistanceVectors.from_trees(
+            [Tree("solo"), parse_newick("((a,b),c);")]
+        )
+        result = topk_similar(vectors, Tree("root"), 1)
+        # Two empty pair collections are at distance 0 by convention.
+        assert result.neighbors == ((0, 0.0),)
+
+    def test_unseen_labels_only(self, forest, vectors):
+        query = parse_newick("((p,q),(r,s));")
+        result = topk_similar(vectors, query, 2)
+        assert result.neighbors == brute_topk(vectors, forest, query, 2,
+                                              DistanceMode.DIST_OCCUR)
+        assert result.exact_joins == 0
+
+    def test_mixed_known_unknown_labels(self, forest, vectors):
+        query = parse_newick("((a,zz),(b,yy));")
+        for mode in DistanceMode:
+            result = topk_similar(vectors, query, 4, mode)
+            assert result.neighbors == brute_topk(
+                vectors, forest, query, 4, mode
+            )
+
+    def test_k_larger_than_corpus(self, forest, vectors):
+        result = topk_similar(vectors, forest[0], 100)
+        assert len(result.neighbors) == len(forest)
+        assert result.neighbors == brute_topk(
+            vectors, forest, forest[0], 100, DistanceMode.DIST_OCCUR
+        )
+
+    def test_empty_corpus(self):
+        vectors = DistanceVectors.from_trees([])
+        result = topk_similar(vectors, parse_newick("(a,b);"), 3)
+        assert result.neighbors == ()
+        assert result.candidates == 0
+
+    def test_minoccur_filter_applies_to_query(self, forest):
+        vectors = DistanceVectors.from_trees(forest, minoccur=2)
+        query = parse_newick("((a,b),(a,b));")
+        result = topk_similar(vectors, query, 3, minoccur=2)
+        combined = DistanceVectors.from_trees(
+            list(forest) + [query], minoccur=2
+        )
+        row, _, _ = combined.row(len(forest), DistanceMode.DIST_OCCUR)
+        ranked = sorted(
+            (distance, index)
+            for index, distance in enumerate(row[: len(forest)])
+        )
+        assert result.neighbors == tuple(
+            (index, distance) for distance, index in ranked[:3]
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "3", True])
+    def test_bad_k_rejected(self, bad):
+        with pytest.raises(MiningParameterError, match="k must be"):
+            validate_k(bad)
+
+    def test_bad_k_through_search(self, vectors):
+        query = query_vector(
+            vectors,
+            MiningEngine(jobs=1).packed_counts([parse_newick("(a,b);")])[1][0],
+        )
+        with pytest.raises(MiningParameterError):
+            topk_search(vectors, query, 0)
+
+    def test_mode_mismatched_sketches_rejected(self, vectors):
+        sketches = build_sketches(vectors, DistanceMode.PLAIN)
+        query = topk_similar(vectors, parse_newick("(a,b);"), 1)
+        assert query is not None  # sanity: plain path works
+        projected = query_vector(
+            vectors,
+            MiningEngine(jobs=1).packed_counts([parse_newick("(a,b);")])[1][0],
+        )
+        with pytest.raises(MiningParameterError, match="mode"):
+            topk_search(
+                vectors, projected, 1, DistanceMode.DIST, sketches=sketches
+            )
+
+    def test_stale_sized_sketches_rejected(self, forest, vectors):
+        sketches = build_sketches(vectors)
+        shrunk = DistanceVectors.from_trees(forest[:3])
+        projected = query_vector(
+            shrunk,
+            MiningEngine(jobs=1).packed_counts([parse_newick("(a,b);")])[1][0],
+        )
+        with pytest.raises(MiningParameterError, match="cover"):
+            topk_search(shrunk, projected, 1, sketches=sketches)
+
+
+class TestCounters:
+    @pytest.mark.parametrize("mode", list(DistanceMode))
+    def test_funnel_reconciles(self, forest, vectors, mode):
+        query = parse_newick("((a,b),(x,y));")
+        result = topk_similar(vectors, query, 2, mode)
+        assert result.candidates == len(forest)
+        assert (
+            result.candidates
+            == result.pruned_index + result.pruned_bound + result.exact_joins
+        )
+
+    def test_registry_counters_emitted(self, vectors):
+        from repro.obs.context import scope
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with scope(registry):
+            result = topk_similar(vectors, parse_newick("((a,b),c);"), 2)
+        counters = registry.snapshot()["counters"]
+        assert counters["topk.candidates"] == result.candidates
+        assert counters["topk.pruned_index"] == result.pruned_index
+        assert counters["topk.pruned_bound"] == result.pruned_bound
+        assert counters["topk.exact_joins"] == result.exact_joins
+
+    def test_describe_mentions_funnel(self, vectors):
+        result = topk_similar(vectors, parse_newick("((a,b),c);"), 2)
+        text = result.describe()
+        assert "index-pruned" in text and "exact join" in text
+
+
+class TestSketches:
+    def test_minhash_deterministic(self):
+        keys = np.array([3, 7, 99], dtype=np.int64)
+        assert np.array_equal(minhash_sketch(keys, 16),
+                              minhash_sketch(keys, 16))
+
+    def test_minhash_empty_keys(self):
+        sketch = minhash_sketch(np.empty(0, dtype=np.int64), 8)
+        assert sketch.shape == (8,)
+        assert (sketch == np.uint64(0xFFFFFFFFFFFFFFFF)).all()
+
+    def test_identical_key_sets_match_everywhere(self):
+        keys = np.array([1, 5, 12], dtype=np.int64)
+        assert np.array_equal(minhash_sketch(keys, 32),
+                              minhash_sketch(keys.copy(), 32))
+
+    def test_block_matches_rowwise(self, vectors):
+        block = minhash_block(vectors, DistanceMode.DIST_OCCUR, 0,
+                              len(vectors), 16)
+        for index in range(len(vectors)):
+            keys, _counts, _total = vectors.view(index)
+            assert np.array_equal(block[index], minhash_sketch(keys, 16))
+
+    def test_build_sketches_shapes(self, vectors):
+        sketches = build_sketches(
+            vectors, sketch=SketchParams(minhash_width=8)
+        )
+        assert isinstance(sketches, TopKSketches)
+        assert sketches.minhash.shape == (len(vectors), 8)
+        assert sketches.signatures.shape[0] == len(vectors)
+        assert sketches.buckets == sketches.signatures.shape[1]
+
+    def test_narrow_sketch_still_exact(self, forest, vectors):
+        # Width 1 gives terrible estimates; exactness must not care.
+        query = parse_newick("((a,b),(c,e));")
+        result = topk_similar(
+            vectors, query, 3, sketch=SketchParams(minhash_width=1)
+        )
+        assert result.neighbors == brute_topk(
+            vectors, forest, query, 3, DistanceMode.DIST_OCCUR
+        )
+
+
+class TestQueryProjection:
+    def test_known_labels_keep_corpus_ids(self, vectors):
+        packed = MiningEngine(jobs=1).packed_counts(
+            [parse_newick("((a,b),(c,d));")]
+        )[1][0]
+        projected = query_vector(vectors, packed)
+        assert isinstance(projected, QueryVector)
+        # Every key must be found in the corpus index (all labels known).
+        hits = vectors.candidate_trees(projected.pair_keys)
+        assert hits.size > 0
+
+    def test_unknown_labels_never_collide(self, vectors):
+        packed = MiningEngine(jobs=1).packed_counts(
+            [parse_newick("((p,q),(r,s));")]
+        )[1][0]
+        projected = query_vector(vectors, packed)
+        assert vectors.candidate_trees(projected.pair_keys).size == 0
+
+    def test_projection_preserves_totals(self, vectors):
+        tree = parse_newick("((a,zz),(b,a));")
+        packed = MiningEngine(jobs=1).packed_counts([tree])[1][0]
+        projected = query_vector(vectors, packed)
+        assert projected.full_total == sum(packed.counts.values())
+        assert projected.pair_total == projected.full_total
+        assert np.all(np.diff(projected.full_keys) > 0)

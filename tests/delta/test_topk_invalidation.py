@@ -1,0 +1,140 @@
+"""Regression tests: corpus churn invalidates top-k sketch memos.
+
+The stale-sketch bug class: the engine memoises
+:class:`repro.core.topk.TopKSketches` beside the distance vectors, so
+an incremental add/remove/replace that kept serving the old arrays
+would screen candidates against trees that no longer exist (or miss
+ones that now do) — and the bound pruning would silently drop the
+wrong neighbours.  Every mutation must drop the memo, and every
+post-churn query must equal a from-scratch engine on the same trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distance import DistanceMode
+from repro.core.distvec import DistanceVectors
+from repro.core.topk import topk_similar
+from repro.engine import MiningEngine, VersionedCorpus
+from repro.trees.newick import parse_newick
+
+
+def tree(newick):
+    return parse_newick(newick)
+
+
+@pytest.fixture
+def corpus():
+    return VersionedCorpus(
+        [
+            tree("((a,b),(c,d));"),
+            tree("((a,b),(c,e));"),
+            tree("((x,y),(z,w));"),
+        ],
+        engine=MiningEngine(jobs=1),
+    )
+
+
+QUERY = "((a,b),(c,(d,e)));"
+
+
+def fresh_answer(corpus, k=2, mode=DistanceMode.DIST_OCCUR):
+    """What a brand-new engine says about the corpus's current trees."""
+    vectors = DistanceVectors.from_trees(
+        list(corpus.trees), minoccur=corpus.params.minoccur
+    )
+    return topk_similar(
+        vectors, tree(QUERY), k, mode, params=corpus.params
+    ).neighbors
+
+
+def memo_kinds(engine):
+    return [key[0] for key in engine._projections]
+
+
+class TestMemoLifecycle:
+    def test_query_plants_a_sketch_memo(self, corpus):
+        corpus.topk_similar(tree(QUERY), 2)
+        assert "topksketch" in memo_kinds(corpus.engine)
+
+    def test_repeat_query_hits_the_memo(self, corpus):
+        corpus.topk_similar(tree(QUERY), 2)
+        corpus.topk_similar(tree(QUERY), 2)
+        counters = corpus.engine.registry.snapshot()["counters"]
+        assert counters.get("topk.sketch_hits", 0) >= 1
+
+    @pytest.mark.parametrize("mutate", ["add", "remove", "replace"])
+    def test_every_mutation_drops_the_memo(self, corpus, mutate):
+        corpus.topk_similar(tree(QUERY), 2)
+        assert "topksketch" in memo_kinds(corpus.engine)
+        if mutate == "add":
+            corpus.add_trees([tree("((a,e),(b,d));")])
+        elif mutate == "remove":
+            corpus.remove_trees([1])
+        else:
+            corpus.replace_trees({0: tree("((p,q),(r,s));")})
+        assert "topksketch" not in memo_kinds(corpus.engine)
+
+    def test_stats_reset_drops_the_memo(self, corpus):
+        corpus.topk_similar(tree(QUERY), 2)
+        corpus.engine.stats.reset()
+        assert "topksketch" not in memo_kinds(corpus.engine)
+
+
+class TestDifferentialAfterChurn:
+    @pytest.mark.parametrize("mode", list(DistanceMode))
+    def test_add_changes_the_answer_correctly(self, corpus, mode):
+        before = corpus.topk_similar(tree(QUERY), 2, mode)
+        # A near-duplicate of the query must become the new nearest
+        # neighbour — a stale sketch memo would keep screening with the
+        # old corpus and could prune it.
+        corpus.add_trees([tree(QUERY)])
+        after = corpus.topk_similar(tree(QUERY), 2, mode)
+        assert after.neighbors == fresh_answer(corpus, 2, mode)
+        assert after.neighbors[0] == (3, 0.0)
+        assert before.neighbors[0][1] > 0.0
+
+    @pytest.mark.parametrize("mode", list(DistanceMode))
+    def test_remove_changes_the_answer_correctly(self, corpus, mode):
+        corpus.add_trees([tree(QUERY)])
+        nearest = corpus.topk_similar(tree(QUERY), 1, mode)
+        assert nearest.neighbors[0] == (3, 0.0)
+        # Remove the exact match; it must vanish from the ranking.
+        corpus.remove_trees([3])
+        after = corpus.topk_similar(tree(QUERY), 2, mode)
+        assert after.neighbors == fresh_answer(corpus, 2, mode)
+        assert all(distance > 0.0 for _idx, distance in after.neighbors)
+
+    @pytest.mark.parametrize("mode", list(DistanceMode))
+    def test_replace_changes_the_answer_correctly(self, corpus, mode):
+        before = corpus.topk_similar(tree(QUERY), 1, mode)
+        corpus.replace_trees({2: tree(QUERY)})
+        after = corpus.topk_similar(tree(QUERY), 1, mode)
+        assert after.neighbors == fresh_answer(corpus, 1, mode)
+        assert after.neighbors[0] == (2, 0.0)
+        assert before.neighbors[0] != after.neighbors[0]
+
+    def test_churn_sequence_stays_differential(self, corpus):
+        script = [
+            lambda: corpus.add_trees([tree("((a,d),(b,c));")]),
+            lambda: corpus.replace_trees({1: tree("((z,w),(x,v));")}),
+            lambda: corpus.remove_trees([0]),
+            lambda: corpus.add_trees([tree(QUERY), tree("(m,(n,o));")]),
+        ]
+        for step in script:
+            step()
+            for k in (1, 3):
+                got = corpus.topk_similar(tree(QUERY), k).neighbors
+                assert got == fresh_answer(corpus, k)
+
+    def test_unfingerprinted_vectors_never_plant_a_memo(self, corpus):
+        # Vectors built outside the engine carry no fingerprint, so
+        # there is no safe memo key — the engine must sketch per call
+        # rather than cache something it cannot invalidate.
+        engine = corpus.engine
+        vectors = DistanceVectors.from_trees(list(corpus.trees))
+        assert vectors.fingerprint is None
+        result = engine.topk_similar(vectors, tree(QUERY), 2)
+        assert "topksketch" not in memo_kinds(engine)
+        assert result.neighbors == fresh_answer(corpus, 2)

@@ -1,0 +1,16 @@
+"""RPL002 trigger: topk-style query remap re-deriving the key layout."""
+
+import numpy as np
+
+
+def remap_query_keys(keys, label_map):
+    # The label fields peeled off with inline shift/mask literals
+    # instead of the packing module's layout constants.
+    label_a = (keys >> np.uint64(21)) & np.uint64(0x1FFFFF)
+    label_b = keys & np.uint64(0x1FFFFF)
+    return label_map[label_a], label_map[label_b]
+
+
+def half_step_field(keys):
+    # The distance shift spelled as a literal again.
+    return keys >> np.uint64(42)

@@ -1,0 +1,22 @@
+"""RPL002 pass: topk routes the key layout through the packing module."""
+
+import numpy as np
+
+from repro.trees.packing import DIST_SHIFT, LABEL_BITS, LABEL_MASK
+
+
+def remap_query_keys(keys, label_map):
+    label_a = (keys >> np.uint64(LABEL_BITS)) & np.uint64(LABEL_MASK)
+    label_b = keys & np.uint64(LABEL_MASK)
+    return label_map[label_a], label_map[label_b]
+
+
+def half_step_field(keys):
+    return keys >> np.uint64(DIST_SHIFT)
+
+
+def minhash_multiplier(row):
+    # splitmix64-style mixing shifts are ordinary numbers, not layout.
+    mixed = np.uint64(row) * np.uint64(0x9E3779B97F4A7C15)
+    mixed = mixed ^ (mixed >> np.uint64(30))
+    return mixed | np.uint64(1)

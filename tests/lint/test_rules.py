@@ -22,6 +22,7 @@ MODULE_KEYS = {
     "rpl001": "repro/apps/fixture.py",
     "rpl002": "repro/core/fixture.py",
     "rpl002distvec": "repro/core/distvec.py",
+    "rpl002topk": "repro/core/topk.py",
     "rpl003": "repro/core/fastmine.py",
     "rpl004": "repro/apps/fixture.py",
     "rpl005": "repro/generate/fixture.py",
@@ -111,6 +112,19 @@ class TestRPL002:
 
     def test_distvec_named_constants_pass(self):
         assert lint_fixture("rpl002distvec_good", select=["RPL002"]) == []
+
+    def test_topk_query_remap_literals_reported(self):
+        # The topk idiom: peeling label fields off packed query keys.
+        findings = lint_fixture("rpl002topk_bad", select=["RPL002"])
+        assert len(findings) == 4
+        messages = " ".join(f.message for f in findings)
+        assert "21" in messages and "42" in messages
+        assert "2097151" in messages  # the LABEL_MASK value
+
+    def test_topk_named_constants_and_mixing_shifts_pass(self):
+        # Layout via packing constants passes; the splitmix64 mixing
+        # shifts (30 etc.) are not layout values and never fire.
+        assert lint_fixture("rpl002topk_good", select=["RPL002"]) == []
 
 
 class TestRPL003:

@@ -165,6 +165,77 @@ class TestTreerank:
         assert main(["treerank", str(query), str(query)]) == 2
 
 
+class TestSimilar:
+    @pytest.fixture
+    def query_and_db(self, tmp_path):
+        query = tmp_path / "q.nwk"
+        db = tmp_path / "db.nwk"
+        query.write_text("((a,b),(c,d));", encoding="utf-8")
+        db.write_text(
+            "((a,c),(b,d));\n((a,b),(c,d));\n((x,y),(z,w));\n",
+            encoding="utf-8",
+        )
+        return str(query), str(db)
+
+    def test_exact_match_ranks_first(self, query_and_db, capsys):
+        query, db = query_and_db
+        assert main(["similar", query, db, "--k", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("# top-2")
+        assert "tree_1" in lines[1]
+        assert lines[1].startswith("0.000000")
+
+    def test_k_caps_output(self, query_and_db, capsys):
+        query, db = query_and_db
+        assert main(["similar", query, db, "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        # One header plus exactly one neighbour line.
+        assert len(out.strip().splitlines()) == 2
+
+    def test_mode_flag(self, query_and_db, capsys):
+        query, db = query_and_db
+        assert main(["similar", query, db, "--mode", "plain"]) == 0
+        assert "(plain)" in capsys.readouterr().out
+
+    def test_funnel_counters_in_header(self, query_and_db, capsys):
+        query, db = query_and_db
+        assert main(["similar", query, db]) == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert "index-pruned" in header
+        assert "exact join" in header
+
+    def test_multi_tree_query_rejected(self, tmp_path, capsys):
+        query = tmp_path / "q.nwk"
+        query.write_text("(a,b);(c,d);", encoding="utf-8")
+        assert main(["similar", str(query), str(query)]) == 2
+
+    def test_bad_k_is_clean_error(self, query_and_db, capsys):
+        query, db = query_and_db
+        assert main(["similar", query, db, "--k", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "k must be" in err
+
+    def test_engine_stats_show_topk_counters(self, query_and_db, capsys):
+        query, db = query_and_db
+        assert main(["similar", query, db, "--engine-stats"]) == 0
+        err = capsys.readouterr().err
+        assert "topk.candidates" in err
+
+    def test_trace_written(self, query_and_db, tmp_path, capsys):
+        query, db = query_and_db
+        trace = tmp_path / "trace.jsonl"
+        assert main(["similar", query, db, "--trace", str(trace)]) == 0
+        text = trace.read_text(encoding="utf-8")
+        assert "topk.search" in text
+
+    def test_jobs_flag_output_identical(self, query_and_db, capsys):
+        query, db = query_and_db
+        assert main(["similar", query, db]) == 0
+        serial = capsys.readouterr().out
+        assert main(["similar", query, db, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+
 class TestCluster:
     def test_clusters_and_medoids_printed(self, tmp_path, capsys):
         path = tmp_path / "trees.nwk"
