@@ -1,0 +1,186 @@
+"""Whole-program lint benchmark: cold vs warm cache (BENCH_lint.json).
+
+Times the two-phase ``repro-lint`` analysis over the full ``src/repro``
+tree twice: *cold* (empty incremental cache — every module is parsed,
+per-file-linted and summarised) and *warm* (same content, so every
+module is served from the content-hash cache and only phase 2 — the
+cross-module ``RPL1xx`` rules — runs live).  Both passes must agree
+finding-for-finding, the warm pass must serve every file from cache,
+and the full gate asserts warm is >= 5x faster than cold — the payoff
+that makes the pass cheap enough to run on every commit.
+
+Run under pytest (``pytest benchmarks/bench_lint.py``) to regenerate
+``BENCH_lint.json``, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py          # full gate
+    PYTHONPATH=src python benchmarks/bench_lint.py --smoke  # CI smoke
+
+Smoke mode analyses only the ``repro/lint`` package and relaxes the
+gate to no-regression (warm at least as fast as cold): tiny trees
+leave too little parse work for a stable 5x on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+try:
+    from benchmarks.conftest import wall_time, write_run_manifest
+except ImportError:  # script invocation: sys.path[0] is benchmarks/
+    from conftest import wall_time, write_run_manifest
+
+from repro.lint.cache import LintCache
+from repro.lint.project import analyze_project
+
+REPO = Path(__file__).resolve().parent.parent
+TARGET = REPO / "src" / "repro"
+SMOKE_TARGET = REPO / "src" / "repro" / "lint"
+OUTPUT = REPO / "BENCH_lint.json"
+
+FULL_GATE = 5.0
+SMOKE_GATE = 1.0
+ROUNDS = 3
+
+
+def run(target: Path, gate: float, smoke: bool) -> tuple[dict, None]:
+    """Cold/warm passes over ``target``; best-of-``ROUNDS`` each."""
+    with tempfile.TemporaryDirectory(prefix="bench-lint-") as scratch:
+        cache_file = Path(scratch) / "cache.json"
+
+        cold_seconds = []
+        cold_report = None
+        for _ in range(ROUNDS):
+            cache_file.unlink(missing_ok=True)
+            cache = LintCache(cache_file)
+            cold_report, seconds = wall_time(
+                analyze_project, [target], cache=cache
+            )
+            cache.write()
+            cold_seconds.append(seconds)
+
+        warm_seconds = []
+        warm_report = None
+        for _ in range(ROUNDS):
+            cache = LintCache(cache_file)
+            warm_report, seconds = wall_time(
+                analyze_project, [target], cache=cache
+            )
+            warm_seconds.append(seconds)
+
+    cold = min(cold_seconds)
+    warm = min(warm_seconds)
+    payload = {
+        "mode": "smoke" if smoke else "full",
+        "target": str(target.relative_to(REPO)),
+        "files": cold_report.files,
+        "rules": len(cold_report.rule_ids),
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "speedup": cold / warm if warm > 0 else float("inf"),
+        "gate": gate,
+        "cold_cache": {
+            "hits": cold_report.cache_hits,
+            "misses": cold_report.cache_misses,
+        },
+        "warm_cache": {
+            "hits": warm_report.cache_hits,
+            "misses": warm_report.cache_misses,
+        },
+        "findings": len(cold_report.findings),
+        "identical": (
+            [f.to_dict() for f in cold_report.findings]
+            == [f.to_dict() for f in warm_report.findings]
+        ),
+        "phases": [
+            {"name": "cold", "seconds": cold},
+            {"name": "warm", "seconds": warm},
+        ],
+        "note": (
+            "best-of-%d wall time per pass; warm serves every module "
+            "from the content-hash cache" % ROUNDS
+        ),
+    }
+    return payload, None
+
+
+def check(payload: dict) -> None:
+    assert payload["identical"], "cold and warm findings diverged"
+    assert payload["cold_cache"]["misses"] == payload["files"], payload[
+        "cold_cache"
+    ]
+    assert payload["warm_cache"]["hits"] == payload["files"], payload[
+        "warm_cache"
+    ]
+    assert payload["speedup"] >= payload["gate"], (
+        f"warm speedup {payload['speedup']:.2f}x below the "
+        f"{payload['gate']:.0f}x gate"
+    )
+
+
+def report_rows(payload: dict) -> list[str]:
+    return [
+        f"target: {payload['target']} ({payload['files']} files, "
+        f"{payload['rules']} rules)",
+        f"cold: {payload['cold_seconds']:.3f}s "
+        f"({payload['cold_cache']['misses']} parsed)",
+        f"warm: {payload['warm_seconds']:.3f}s "
+        f"({payload['warm_cache']['hits']} from cache)",
+        f"speedup: {payload['speedup']:.1f}x (gate {payload['gate']:.0f}x)",
+        f"identical findings: {payload['identical']} "
+        f"({payload['findings']} total)",
+    ]
+
+
+def test_lint_cache_speedup_gate(benchmark, print_rows):
+    payload, registry = benchmark.pedantic(
+        lambda: run(TARGET, FULL_GATE, smoke=False),
+        rounds=1,
+        iterations=1,
+    )
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    write_run_manifest("bench_lint", payload, OUTPUT, registry=registry)
+    print_rows(
+        "Whole-program lint — cold vs warm cache (BENCH_lint.json)",
+        report_rows(payload),
+    )
+    check(payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="repro/lint only, >=1x no-regression gate (CI-sized)",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help="also write the run manifest (params, git revision, "
+             "phase timings) to PATH",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        payload, registry = run(SMOKE_TARGET, SMOKE_GATE, smoke=True)
+    else:
+        payload, registry = run(TARGET, FULL_GATE, smoke=False)
+        OUTPUT.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        write_run_manifest("bench_lint", payload, OUTPUT, registry=registry)
+    if args.manifest:
+        write_run_manifest(
+            "bench_lint", payload, OUTPUT,
+            registry=registry, path=args.manifest,
+        )
+    print("[whole-program lint benchmark]")
+    for row in report_rows(payload):
+        print(f"  {row}")
+    check(payload)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

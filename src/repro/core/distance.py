@@ -206,5 +206,6 @@ def distance_matrix(
         maxdist=maxdist,
         minoccur=minoccur,
         max_generation_gap=max_generation_gap,
+        engine=engine,
     )
     return vectors.matrix(mode)

@@ -517,6 +517,7 @@ class MiningEngine:
             digest = hashlib.sha256("|".join(keys).encode("ascii"))
             digest.update(f"|minoccur={params.minoccur}".encode("ascii"))
             fingerprint = digest.hexdigest()
+            # repro-lint: disable-next-line=RPL103 -- the digest above folds minoccur into the fingerprint
             vectors = self._projection(
                 ("distvec", fingerprint),
                 [resolved[key] for key in keys],

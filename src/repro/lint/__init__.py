@@ -10,23 +10,55 @@ turns one such convention into a mechanical check, so a future change
 that would corrupt mined cousin-pair counts fails the build instead of
 silently diverging.
 
+On top of the per-file rules sits a two-phase *whole-program* pass
+(:mod:`repro.lint.project`): phase 1 condenses every module into a
+summary (symbol tables, import graph, conservative call graph, memo
+and invalidation indexes), phase 2 runs the cross-module ``RPL1xx``
+family (:mod:`repro.lint.xrules`) — engine threading, pool purity,
+memo-key completeness, invalidation coverage, hot-loop allocation —
+the invariants a single file can never witness.
+
 Run it as ``repro-lint [paths]`` or ``python -m repro.lint [paths]``;
-see :mod:`repro.lint.rules` for the rule catalogue (RPL001..RPL006)
-and ``docs/dev.md`` for rationale and examples.  Suppress a finding
-with an end-of-line pragma ``# repro-lint: disable=RPL001`` or skip a
-whole file with ``# repro-lint: skip-file``.
+see :mod:`repro.lint.rules` / :mod:`repro.lint.xrules` for the rule
+catalogue and ``docs/dev.md`` for rationale and examples.  Suppress a
+finding with an end-of-line pragma comment ``repro-lint:
+disable=RPL001`` (or ``repro-lint: disable-next-line=RPL001`` on the
+line before), skip a whole file with ``repro-lint: skip-file``, and
+record
+pre-existing debt in the checked-in ``.repro-lint-baseline.json``
+(:mod:`repro.lint.baseline`).
 """
 
 from __future__ import annotations
 
-from repro.lint.analyzer import Finding, lint_path, lint_source, run_lint
+from repro.lint.analyzer import (
+    Finding,
+    PragmaError,
+    lint_path,
+    lint_source,
+    run_lint,
+)
+from repro.lint.project import (
+    ProjectContext,
+    ProjectReport,
+    analyze_project,
+    project_from_sources,
+)
 from repro.lint.rules import RULES, Rule
+from repro.lint.xrules import PROJECT_RULES, ProjectRule
 
 __all__ = [
     "Finding",
+    "PragmaError",
+    "ProjectContext",
+    "ProjectReport",
+    "ProjectRule",
+    "PROJECT_RULES",
     "Rule",
     "RULES",
+    "analyze_project",
     "lint_path",
     "lint_source",
+    "project_from_sources",
     "run_lint",
 ]

@@ -19,15 +19,72 @@ from typing import Iterable, Iterator, Sequence
 __all__ = [
     "Finding",
     "ModuleContext",
+    "PragmaError",
     "lint_source",
     "lint_path",
     "run_lint",
 ]
 
+_PRAGMA_MARKER = re.compile(r"#\s*repro-lint\s*:")
 _PRAGMA = re.compile(
-    r"#\s*repro-lint:\s*(?P<verb>disable|skip-file)"
-    r"(?:\s*=\s*(?P<ids>[A-Z0-9, ]+))?"
+    r"#\s*repro-lint\s*:\s*(?P<verb>disable-next-line|disable|skip-file)"
+    r"(?:\s*=\s*(?P<ids>[^#]*?))?"
+    r"\s*(?:--.*)?$"
 )
+_RULE_ID = re.compile(r"^RPL\d{3}$")
+
+
+class PragmaError(ValueError):
+    """A ``repro-lint:`` pragma comment that cannot be honoured.
+
+    Raised for unparsable pragmas and for pragmas naming unknown rule
+    ids — a typo'd id would otherwise silently disable nothing while
+    looking like a suppression.  The CLI reports these as usage errors
+    (exit status 2), never as clean runs.
+    """
+
+
+def _known_rule_ids() -> frozenset[str]:
+    """Every registered rule id, per-file and whole-program."""
+    from repro.lint.rules import RULES
+    from repro.lint.xrules import PROJECT_RULES
+
+    return frozenset(rule.id for rule in RULES) | frozenset(
+        rule.id for rule in PROJECT_RULES
+    )
+
+
+def _parse_pragma_ids(
+    raw: str | None, path: str, lineno: int
+) -> frozenset[str]:
+    """Validated rule ids of one pragma (empty set = all rules).
+
+    ``raw`` is everything after ``=`` up to an optional ``--``
+    justification.  Unknown or malformed ids raise :class:`PragmaError`
+    instead of being silently ignored (the old ``[A-Z0-9, ]+`` pattern
+    accepted junk).
+    """
+    if raw is None:
+        return frozenset()
+    names = [part.strip() for part in raw.split(",") if part.strip()]
+    if not names:
+        raise PragmaError(
+            f"{path}:{lineno}: pragma has '=' but no rule ids; drop the "
+            "'=' to disable every rule on the line"
+        )
+    known = _known_rule_ids()
+    for name in names:
+        if not _RULE_ID.match(name):
+            raise PragmaError(
+                f"{path}:{lineno}: malformed rule id {name!r} in pragma "
+                "(expected RPLxxx)"
+            )
+        if name not in known:
+            raise PragmaError(
+                f"{path}:{lineno}: unknown rule id {name!r} in pragma; "
+                "see repro-lint --list-rules"
+            )
+    return frozenset(names)
 
 
 @dataclass(frozen=True, order=True)
@@ -44,8 +101,29 @@ class Finding:
         """The conventional ``path:line:col: ID message`` form."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``--json`` report and the cache)."""
+        return {
+            "path": self.path,
+            "module": module_key(self.path),
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+        }
 
-def _module_key(path: str) -> str:
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Finding":
+        return cls(
+            payload["path"],
+            payload["line"],
+            payload["col"],
+            payload["rule_id"],
+            payload["message"],
+        )
+
+
+def module_key(path: str) -> str:
     """The repo-relative module key of ``path``.
 
     Everything from the last ``repro`` package component onward,
@@ -68,22 +146,41 @@ class ModuleContext:
     def __init__(self, source: str, path: str, module: str | None = None) -> None:
         self.source = source
         self.path = path
-        self.module = module if module is not None else _module_key(path)
+        self.module = module if module is not None else module_key(path)
         self.tree = ast.parse(source, filename=path)
         self.skip_file = False
         self.disabled: dict[int, frozenset[str]] = {}
         for lineno, text in enumerate(source.splitlines(), start=1):
             match = _PRAGMA.search(text)
             if match is None:
+                if _PRAGMA_MARKER.search(text):
+                    raise PragmaError(
+                        f"{path}:{lineno}: unparsable repro-lint pragma; "
+                        "expected disable[-next-line][=RPLxxx,...] or "
+                        "skip-file"
+                    )
                 continue
-            if match.group("verb") == "skip-file":
+            verb = match.group("verb")
+            if verb == "skip-file":
                 self.skip_file = True
-            else:
-                ids = match.group("ids") or ""
-                names = frozenset(
-                    part.strip() for part in ids.split(",") if part.strip()
-                )
-                self.disabled[lineno] = names
+                continue
+            names = _parse_pragma_ids(match.group("ids"), path, lineno)
+            target = lineno + 1 if verb == "disable-next-line" else lineno
+            self._disable(target, names)
+
+    def _disable(self, lineno: int, names: frozenset[str]) -> None:
+        """Merge one pragma into the per-line table.
+
+        An empty set means *all rules*; merging anything into it keeps
+        it empty, and merging an empty set in clears the line.
+        """
+        existing = self.disabled.get(lineno)
+        if existing is None:
+            self.disabled[lineno] = names
+        elif not existing or not names:
+            self.disabled[lineno] = frozenset()
+        else:
+            self.disabled[lineno] = existing | names
 
     def in_package(self, *prefixes: str) -> bool:
         """Whether this module lives under any of the given prefixes.

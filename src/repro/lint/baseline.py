@@ -1,0 +1,98 @@
+"""The checked-in findings baseline: existing debt, made explicit.
+
+A baseline file records known findings as ``(module, rule_id,
+message)`` fingerprints — deliberately line-free, so reflowing a hot
+kernel does not churn the file — with a count per fingerprint.  The
+CLI partitions a run's findings against it: matched findings are
+reported as *baselined* and do not fail the build; anything else is
+*new* and does.  Shrink-only by convention: regenerate with
+``repro-lint --write-baseline`` after paying debt down, never to bury
+a new finding (new debt gets a pragma with a justification instead).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.analyzer import Finding, module_key
+
+__all__ = [
+    "BASELINE_NAME",
+    "discover_baseline",
+    "fingerprint",
+    "load_baseline",
+    "partition",
+    "write_baseline",
+]
+
+BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+def fingerprint(finding: Finding) -> tuple[str, str, str]:
+    return (module_key(finding.path), finding.rule_id, finding.message)
+
+
+def discover_baseline(start: str | Path) -> Path | None:
+    """The nearest baseline file at or above ``start``."""
+    origin = Path(start).resolve()
+    if origin.is_file():
+        origin = origin.parent
+    for directory in (origin, *origin.parents):
+        candidate = directory / BASELINE_NAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint -> allowed count, from a baseline file."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    entries = payload.get("entries", []) if isinstance(payload, dict) else []
+    allowed: Counter = Counter()
+    for entry in entries:
+        allowed[
+            (entry["module"], entry["rule_id"], entry["message"])
+        ] += int(entry.get("count", 1))
+    return allowed
+
+
+def partition(
+    findings: Sequence[Finding], allowed: Counter
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined) against allowed counts.
+
+    Counts matter: a baseline entry with ``count: 2`` absorbs two
+    identical findings; a third is new.
+    """
+    budget = Counter(allowed)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = fingerprint(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    counts = Counter(fingerprint(finding) for finding in findings)
+    entries = [
+        {
+            "module": module,
+            "rule_id": rule_id,
+            "message": message,
+            "count": count,
+        }
+        for (module, rule_id, message), count in sorted(counts.items())
+    ]
+    payload = {"version": 1, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -1,0 +1,97 @@
+"""Content-hash incremental cache for the whole-program pass.
+
+One JSON file maps each analysed path to the sha256 of its source
+plus everything phase 1 derived from it: the module summary and the
+per-file findings (computed over *all* per-file rules — ``--select``
+filters at serve time, so one cache serves every selection).  A warm
+re-run re-hashes each file (cheap) and skips parsing, per-file rules
+and summarisation for every unchanged module — the ≥5x warm speedup
+``BENCH_lint.json`` gates on.
+
+The cache is invalidated wholesale when the rule catalogue or the
+analysis format changes: its signature folds every registered rule id
+with :data:`LINT_VERSION`, so adding a rule or changing what
+summaries contain never serves stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+__all__ = ["LINT_VERSION", "LintCache", "content_hash"]
+
+# Bump whenever the ModuleSummary format or cached-finding shape
+# changes; stale caches are discarded, never migrated.
+LINT_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    """sha256 of one module's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _signature() -> str:
+    """Digest of the rule catalogue and cache format version."""
+    from repro.lint.rules import RULES
+    from repro.lint.xrules import PROJECT_RULES
+
+    ids = sorted(
+        [rule.id for rule in RULES] + [rule.id for rule in PROJECT_RULES]
+    )
+    digest = hashlib.sha256(f"v{LINT_VERSION}".encode("ascii"))
+    for rule_id in ids:
+        digest.update(rule_id.encode("ascii"))
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Per-path records keyed by content hash, persisted as JSON."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.signature = _signature()
+        self.entries: dict[str, dict] = {}
+        self.loaded = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("signature") != self.signature
+        ):
+            return
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self.entries = entries
+            self.loaded = True
+
+    def lookup(self, path: str, sha: str) -> dict | None:
+        """The cached record for ``path`` iff its content still matches."""
+        entry = self.entries.get(path)
+        if entry is not None and entry.get("sha") == sha:
+            return entry
+        return None
+
+    def store(self, path: str, record: dict) -> None:
+        self.entries[path] = record
+
+    def write(self) -> None:
+        payload = {
+            "version": LINT_VERSION,
+            "signature": self.signature,
+            "entries": self.entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        tmp.replace(self.path)

@@ -1,0 +1,13 @@
+"""RPL101 bad: accepts engine= but drops it on an engine-capable callee."""
+
+
+def build_vectors(trees, minoccur=1, engine=None):
+    if engine is not None:
+        return engine.distance_vectors(trees, minoccur=minoccur)
+    return [sorted(tree) for tree in trees]
+
+
+def distance_table(trees, minoccur=1, engine=None):
+    # The wrapper takes engine= but silently rebuilds the world.
+    vectors = build_vectors(trees, minoccur=minoccur)
+    return [[len(a) + len(b) for b in vectors] for a in vectors]

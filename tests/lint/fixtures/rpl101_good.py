@@ -1,0 +1,17 @@
+"""RPL101 good: engine= is forwarded to every engine-capable callee."""
+
+
+def build_vectors(trees, minoccur=1, engine=None):
+    if engine is not None:
+        return engine.distance_vectors(trees, minoccur=minoccur)
+    return [sorted(tree) for tree in trees]
+
+
+def distance_table(trees, minoccur=1, engine=None):
+    vectors = build_vectors(trees, minoccur=minoccur, engine=engine)
+    return [[len(a) + len(b) for b in vectors] for a in vectors]
+
+
+def distance_table_splat(trees, engine=None, **knobs):
+    # A ** splat may carry engine; the rule stays quiet.
+    return build_vectors(trees, engine=engine, **knobs)

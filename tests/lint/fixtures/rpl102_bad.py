@@ -1,0 +1,28 @@
+"""RPL102 bad: pool payload reaches ambient obs without a fresh scope."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.obs.context import get_registry
+
+
+def _count_chunk(chunk):
+    # Counts into whatever registry the fork inherited: the totals
+    # ride home in the snapshot and get double-merged.
+    registry = get_registry()
+    registry.counter("fixture.mined").add(len(chunk))
+    return sorted(chunk)
+
+
+class Miner:
+    def run(self, chunk):
+        return sorted(chunk)
+
+
+def fan_out(chunks, jobs=2):
+    results = []
+    miner = Miner()
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for part in pool.map(_count_chunk, chunks):
+            results.extend(part)
+        pool.submit(Miner.run, miner, chunks[0])
+    return results

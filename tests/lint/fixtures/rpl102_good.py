@@ -1,0 +1,29 @@
+"""RPL102 good: module-level payload installs a fresh obs scope."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.obs.context import get_registry, scope
+from repro.obs.metrics import MetricsRegistry
+
+
+def _count_chunk(chunk):
+    registry = MetricsRegistry()
+    with scope(registry=registry):
+        inner = get_registry()
+        inner.counter("fixture.mined").add(len(chunk))
+        return sorted(chunk), registry.snapshot()
+
+
+def _pure_chunk(chunk):
+    # Touches no ambient context at all; no scope needed.
+    return sorted(chunk)
+
+
+def fan_out(chunks, jobs=2):
+    results = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for part, _snapshot in pool.map(_count_chunk, chunks):
+            results.extend(part)
+        for part in pool.map(_pure_chunk, chunks):
+            results.extend(part)
+    return results

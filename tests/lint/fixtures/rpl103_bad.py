@@ -1,0 +1,22 @@
+"""RPL103 bad: memo key omits an input the computation reads."""
+
+
+def _digest(trees):
+    return "|".join(sorted(str(tree) for tree in trees))
+
+
+def _build(trees, minoccur):
+    return [tree for tree in trees if len(tree) >= minoccur]
+
+
+class FixtureEngine:
+    def __init__(self):
+        self._projections = {}
+
+    def items(self, trees, minoccur):
+        # minoccur shapes the value but never reaches the key: the
+        # first minoccur wins and every later call serves it.
+        key = ("items", _digest(trees))
+        value = _build(trees, minoccur)
+        self._projections[key] = value
+        return value

@@ -1,0 +1,20 @@
+"""RPL103 good: every input the computation reads keys the memo."""
+
+
+def _digest(trees):
+    return "|".join(sorted(str(tree) for tree in trees))
+
+
+def _build(trees, minoccur):
+    return [tree for tree in trees if len(tree) >= minoccur]
+
+
+class FixtureEngine:
+    def __init__(self):
+        self._projections = {}
+
+    def items(self, trees, minoccur):
+        key = ("items", _digest(trees), minoccur)
+        value = _build(trees, minoccur)
+        self._projections[key] = value
+        return value

@@ -1,0 +1,33 @@
+"""RPL104 bad: a fingerprint-keyed memo namespace nobody invalidates.
+
+``sketch`` entries are keyed by the corpus fingerprint, so they go
+stale the moment the tree sequence mutates — but
+``invalidate_distance_memos`` was never taught about the namespace.
+"""
+
+
+def _build_matrix(vectors):
+    return [[0.0] * len(vectors) for _ in vectors]
+
+
+def _build_sketches(vectors):
+    return [hash(v) for v in vectors]
+
+
+class FixtureEngine:
+    def __init__(self, stats):
+        self._projections = {}
+        stats.on_reset(self.invalidate_distance_memos)
+
+    def matrix(self, vectors):
+        memo_key = ("distmat", vectors.fingerprint)
+        self._projections[memo_key] = _build_matrix(vectors)
+
+    def sketches(self, vectors):
+        memo_key = ("sketch", vectors.fingerprint)
+        self._projections[memo_key] = _build_sketches(vectors)
+
+    def invalidate_distance_memos(self):
+        stale = [key for key in self._projections if key[0] in ("distmat",)]
+        for key in stale:
+            del self._projections[key]

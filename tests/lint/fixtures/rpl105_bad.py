@@ -1,0 +1,22 @@
+"""RPL105 bad: fresh allocations born on every hot-loop iteration."""
+
+import numpy as np
+
+
+def row_scores(rows, width):
+    scores = []
+    for row in rows:
+        scratch = np.zeros(width, dtype=np.int64)
+        for index, value in enumerate(row):
+            scratch[index % width] += value
+        scores.append(int(scratch.max()))
+    return scores
+
+
+def collect(pairs):
+    seen = {}
+    for key, value in pairs:
+        bucket = list(seen.get(key, ()))
+        bucket.append(value)
+        seen[key] = bucket
+    return seen

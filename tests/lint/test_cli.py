@@ -81,6 +81,99 @@ class TestDirectoryDiscovery:
         assert "cannot parse" in capsys.readouterr().err
 
 
+class TestPragmaDiagnostics:
+    def test_unknown_pragma_id_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "x = 1  # repro-lint: disable=RPL999\n", encoding="utf-8"
+        )
+        assert main([str(target)]) == 2
+        assert "unknown rule id 'RPL999'" in capsys.readouterr().err
+
+    def test_unparsable_pragma_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "x = 1  # repro-lint: hush\n", encoding="utf-8"
+        )
+        assert main([str(target)]) == 2
+        assert "unparsable" in capsys.readouterr().err
+
+
+class TestJsonReport:
+    def test_json_report_shape_and_exit(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("key = 1 << 42\n", encoding="utf-8")
+        assert main(["--json", str(tmp_path)]) == 1
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-lint"
+        assert payload["counts"]["new"] == 1
+        assert payload["findings"][0]["rule_id"] == "RPL002"
+        assert payload["findings"][0]["baselined"] is False
+        assert payload["cache"]["enabled"] is False
+
+    def test_json_clean_run_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert main(["--json", str(target)]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"] == {"total": 0, "new": 0, "baselined": 0}
+
+
+class TestBaselineFlow:
+    def _bad_package(self, tmp_path):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("key = 1 << 42\n", encoding="utf-8")
+        return package
+
+    def test_write_then_gate(self, tmp_path, capsys):
+        self._bad_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["--write-baseline", "--baseline", str(baseline), str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        # Gated run: the finding is baselined, the build stays green.
+        assert main(["--baseline", str(baseline), str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings (1 baselined)" in out
+        # A second, new finding still fails.
+        (tmp_path / "repro" / "core" / "worse.py").write_text(
+            "other = 1 << 21\n", encoding="utf-8"
+        )
+        assert main(["--baseline", str(baseline), str(tmp_path)]) == 1
+
+    def test_no_baseline_ignores_discovered_file(self, tmp_path, capsys):
+        self._bad_package(tmp_path)
+        baseline = tmp_path / ".repro-lint-baseline.json"
+        assert main(
+            ["--write-baseline", "--baseline", str(baseline), str(tmp_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main([str(tmp_path)]) == 0  # discovered automatically
+        assert main(["--no-baseline", str(tmp_path)]) == 1
+
+    def test_no_project_skips_rpl1xx(self, tmp_path, capsys):
+        package = tmp_path / "repro" / "core"
+        package.mkdir(parents=True)
+        fixture = FIXTURES / "rpl104_bad.py"
+        (package / "fixture.py").write_text(
+            fixture.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        # engine-scoped rule: place it under repro/engine for the hit.
+        engine = tmp_path / "repro" / "engine"
+        engine.mkdir(parents=True)
+        (package / "fixture.py").rename(engine / "fixture.py")
+        assert main(["--no-baseline", str(tmp_path)]) == 1
+        assert "RPL104" in capsys.readouterr().out
+        assert main(["--no-baseline", "--no-project", str(tmp_path)]) == 0
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_runs_clean_on_src(self):
         result = subprocess.run(

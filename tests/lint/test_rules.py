@@ -13,7 +13,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import RULES, lint_source, run_lint
+from repro.lint import RULES, PragmaError, lint_source, run_lint
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -230,6 +230,51 @@ class TestPragmas:
 
     def test_skip_file(self):
         source = "# repro-lint: skip-file\nx = 1 << 21\n"
+        assert lint_source(source, module="repro/core/x.py") == []
+
+    def test_disable_next_line(self):
+        source = (
+            "# repro-lint: disable-next-line=RPL002\n"
+            "x = 1 << 21\n"
+            "y = 1 << 42\n"
+        )
+        findings = lint_source(source, module="repro/core/x.py")
+        assert [f.line for f in findings] == [3]
+
+    def test_disable_next_line_with_justification(self):
+        source = (
+            "# repro-lint: disable-next-line=RPL002 -- layout is documented\n"
+            "x = 1 << 21\n"
+        )
+        assert lint_source(source, module="repro/core/x.py") == []
+
+    def test_unknown_rule_id_in_pragma_raises(self):
+        source = "x = 1 << 21  # repro-lint: disable=RPL999\n"
+        with pytest.raises(PragmaError, match="unknown rule id 'RPL999'"):
+            lint_source(source, module="repro/core/x.py")
+
+    def test_malformed_rule_id_in_pragma_raises(self):
+        # The old [A-Z0-9, ]+ pattern accepted junk like this silently.
+        source = "x = 1 << 21  # repro-lint: disable=RPL02,BOGUS\n"
+        with pytest.raises(PragmaError, match="malformed rule id"):
+            lint_source(source, module="repro/core/x.py")
+
+    def test_equals_with_no_ids_raises(self):
+        source = "x = 1 << 21  # repro-lint: disable=\n"
+        with pytest.raises(PragmaError, match="no rule ids"):
+            lint_source(source, module="repro/core/x.py")
+
+    def test_unknown_verb_raises(self):
+        source = "x = 1  # repro-lint: silence=RPL002\n"
+        with pytest.raises(PragmaError, match="unparsable"):
+            lint_source(source, module="repro/core/x.py")
+
+    def test_multiple_ids_merge(self):
+        source = (
+            "import time\n"
+            "x = (1 << 21) + int(time.perf_counter())"
+            "  # repro-lint: disable=RPL002,RPL007\n"
+        )
         assert lint_source(source, module="repro/core/x.py") == []
 
 
