@@ -37,9 +37,12 @@ def write_run_manifest(name, payload, output, registry=None, path=None):
 
     The manifest (``schemas/manifest.schema.json``) records the run's
     parameters, the current git revision, the ``phases`` breakdown the
-    payload carries, and — when a registry is passed — a full metrics
-    snapshot.  Returns the path written.
+    payload carries, the process's peak resident set (``ru_maxrss_kb``
+    — kilobytes on Linux), and — when a registry is passed — a full
+    metrics snapshot.  Returns the path written.
     """
+    import resource
+
     from repro.obs.export import build_manifest, write_manifest
 
     phases = {
@@ -52,7 +55,15 @@ def write_run_manifest(name, payload, output, registry=None, path=None):
         if key not in ("phases", "note") and not key.endswith("_seconds")
     }
     manifest = build_manifest(
-        name, params=params, phases=phases, registry=registry
+        name,
+        params=params,
+        phases=phases,
+        registry=registry,
+        resources={
+            "ru_maxrss_kb": resource.getrusage(
+                resource.RUSAGE_SELF
+            ).ru_maxrss,
+        },
     )
     target = Path(path) if path is not None else manifest_path(output)
     write_manifest(target, manifest)

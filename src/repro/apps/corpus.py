@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.params import MiningParams
 from repro.engine.delta import VersionedCorpus
 from repro.errors import ReproError
+from repro.io import atomic_write
 from repro.trees.newick import parse_newick, write_newick
 from repro.trees.tree import Tree
 
@@ -164,20 +164,9 @@ class CorpusStore:
             "log": [delta.as_dict() for delta in corpus.log()],
         }
         path = os.path.join(self.directory, CORPUS_FILE)
-        handle, temp_path = tempfile.mkstemp(
-            dir=self.directory, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(payload, stream, indent=1)
-                stream.write("\n")
-            os.replace(temp_path, path)
-        except BaseException:
-            try:
-                os.unlink(temp_path)
-            except OSError:
-                pass
-            raise
+        with atomic_write(path) as stream:
+            json.dump(payload, stream, indent=1)
+            stream.write("\n")
 
     # ------------------------------------------------------------------
     # Mutations (corpus + name bookkeeping in one step)

@@ -20,6 +20,9 @@ plus the extension workflows::
     repro-mine corpus remove DIR 3 7
     repro-mine corpus log DIR
     repro-mine corpus diff DIR 0 4
+    repro-mine corpus pack DIR [--store STOREDIR]
+    repro-mine similar query.nwk --store STOREDIR --k 10
+    repro-mine distance 0 7 --store STOREDIR
 
 Input files may be Newick or NEXUS (sniffed by the ``#NEXUS`` header);
 subcommands print plain text to stdout (``--format json|csv`` where
@@ -30,6 +33,7 @@ for the full manual.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, Sequence
@@ -93,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=[mode.value for mode in DistanceMode],
                        help="distance variant (default dist_occur)")
 
+    def add_store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="serve from the on-disk pair store at DIR "
+                            "(mining knobs come from the store)")
+
     def add_engine_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--jobs", type=int, default=None,
                        help="worker processes for per-tree mining "
@@ -147,10 +156,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also print the average similarity score")
 
     p_dist = sub.add_parser("distance", help="cousin-based tree distance")
-    p_dist.add_argument("first")
-    p_dist.add_argument("second")
+    p_dist.add_argument("first",
+                        help="tree file (or a stored tree's position or "
+                             "name with --store)")
+    p_dist.add_argument("second",
+                        help="tree file (or a stored tree's position or "
+                             "name with --store)")
     add_mode_arg(p_dist)
     add_mining_args(p_dist)
+    add_store_arg(p_dist)
     add_engine_args(p_dist)
 
     p_kern = sub.add_parser("kernel", help="kernel trees across groups")
@@ -173,11 +187,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="k nearest database trees under the cousin-based distance",
     )
     p_sim.add_argument("query", help="file with exactly one query tree")
-    p_sim.add_argument("database", help="file with the candidate trees")
+    p_sim.add_argument("database", nargs="?", default=None,
+                       help="file with the candidate trees (omit when "
+                            "--store serves the database)")
     p_sim.add_argument("--k", type=int, default=10,
                        help="how many neighbours to return (default 10)")
     add_mode_arg(p_sim)
     add_mining_args(p_sim)
+    add_store_arg(p_sim)
     add_engine_args(p_sim)
 
     p_clust = sub.add_parser(
@@ -231,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     pc_init.add_argument("--trees", default=None, metavar="FILE",
                          help="initial tree file (omit for an empty corpus)")
     add_mining_args(pc_init)
+    add_store_arg(pc_init)
     add_engine_args(pc_init)
 
     pc_add = corpus_sub.add_parser(
@@ -238,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc_add.add_argument("dir")
     pc_add.add_argument("file", help="tree file with the new members")
+    add_store_arg(pc_add)
     add_engine_args(pc_add)
 
     pc_remove = corpus_sub.add_parser(
@@ -245,12 +264,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pc_remove.add_argument("dir")
     pc_remove.add_argument("indexes", nargs="+", type=int, metavar="INDEX")
+    add_store_arg(pc_remove)
     add_engine_args(pc_remove)
 
     pc_log = corpus_sub.add_parser(
         "log", help="show the corpus delta log"
     )
     pc_log.add_argument("dir")
+    add_store_arg(pc_log)
     add_engine_args(pc_log)
 
     pc_diff = corpus_sub.add_parser(
@@ -259,7 +280,17 @@ def build_parser() -> argparse.ArgumentParser:
     pc_diff.add_argument("dir")
     pc_diff.add_argument("old", type=int, help="older version number")
     pc_diff.add_argument("new", type=int, help="newer version number")
+    add_store_arg(pc_diff)
     add_engine_args(pc_diff)
+
+    pc_pack = corpus_sub.add_parser(
+        "pack",
+        help="pack the corpus into an on-disk pair store "
+             "(memmapped .npy shards)",
+    )
+    pc_pack.add_argument("dir")
+    add_store_arg(pc_pack)
+    add_engine_args(pc_pack)
 
     return parser
 
@@ -305,6 +336,50 @@ def _report_engine_stats(engine: MiningEngine, args: argparse.Namespace) -> None
         print(engine.stats.describe(), file=sys.stderr)
         for line in render_stats(engine.registry):
             print(line, file=sys.stderr)
+
+
+def _attach_pair_store(corpus, directory: str, names=None):
+    """Attach the pair store at ``directory``, re-packing on damage.
+
+    A damaged, truncated or parameter-mismatched store degrades to a
+    counted rebuild (``store.rebuilds``) from the corpus itself,
+    mirroring the poisoned-cache recovery path.
+    """
+    from repro.errors import StoreError
+    from repro.obs.context import get_registry
+    from repro.store import PairStore
+
+    try:
+        corpus.attach_store(PairStore.open(directory), names=names)
+    except StoreError as error:
+        get_registry().counter("store.rebuilds").add(1)
+        print(f"# rebuilding pair store at {directory}: {error}",
+              file=sys.stderr)
+        corpus.pack_store(directory, names=names)
+    return corpus.store
+
+
+def _store_position(store, token: str) -> int:
+    """Resolve a CLI token to a stored tree position (index or name)."""
+    from repro.errors import StoreError
+
+    names = store.names
+    try:
+        index = int(token, 10)
+    except ValueError:
+        index = None
+    if index is not None:
+        if 0 <= index < len(names):
+            return index
+        raise StoreError(
+            f"tree index {index} out of range "
+            f"(store holds {len(names)} trees)"
+        )
+    if token in names:
+        return names.index(token)
+    raise StoreError(
+        f"no tree named {token!r} in the pair store at {store.directory}"
+    )
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -403,6 +478,17 @@ def _cmd_consensus(args: argparse.Namespace) -> int:
 
 
 def _cmd_distance(args: argparse.Namespace) -> int:
+    if args.store is not None:
+        with _engine_session(args) as engine:
+            store = engine.open_store(args.store)
+            first = _store_position(store, args.first)
+            second = _store_position(store, args.second)
+            value = engine.store_vectors().distance(
+                first, second, args.mode
+            )
+            _report_engine_stats(engine, args)
+        print(f"{value:.6f}")
+        return 0
     first = load_trees(args.first)
     second = load_trees(args.second)
     if len(first) != 1 or len(second) != 1:
@@ -462,6 +548,20 @@ def _cmd_similar(args: argparse.Namespace) -> int:
     queries = load_trees(args.query)
     if len(queries) != 1:
         print("similar expects exactly one query tree", file=sys.stderr)
+        return 2
+    if args.store is not None:
+        with _engine_session(args) as engine:
+            store = engine.open_store(args.store)
+            result = engine.store_topk(queries[0], args.k, mode=args.mode)
+            names = store.names
+            _report_engine_stats(engine, args)
+        print(f"# {result.describe()}")
+        for index, distance in result.neighbors:
+            print(f"{distance:.6f}  {names[index]} (#{index})")
+        return 0
+    if args.database is None:
+        print("similar needs a database file or --store DIR",
+              file=sys.stderr)
         return 2
     database = load_trees(args.database)
     with _engine_session(args) as engine:
@@ -582,8 +682,35 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
                 f"initialised corpus at {args.dir}: "
                 f"{len(store.corpus)} tree(s), v{store.corpus.version}"
             )
+            if args.store is not None:
+                pair_store = store.corpus.pack_store(
+                    args.store, names=store.names
+                )
+                print(
+                    f"packed pair store at {args.store}: "
+                    f"{len(pair_store.names)} tree(s), "
+                    f"{len(pair_store.labels)} label(s)"
+                )
+        elif args.action == "pack":
+            store = CorpusStore.open(args.dir, engine=engine)
+            target = (
+                args.store
+                if args.store is not None
+                else os.path.join(args.dir, "pairstore")
+            )
+            pair_store = store.corpus.pack_store(target, names=store.names)
+            print(
+                f"packed pair store at {target}: "
+                f"{len(pair_store.names)} tree(s), "
+                f"{len(pair_store.labels)} label(s), "
+                f"v{pair_store.version}"
+            )
         elif args.action == "add":
             store = CorpusStore.open(args.dir, engine=engine)
+            if args.store is not None:
+                _attach_pair_store(
+                    store.corpus, args.store, names=store.names
+                )
             trees = load_trees(args.file)
             positions = store.add_trees(trees)
             store.save()
@@ -592,6 +719,10 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
                 print(f"  added {store.names[position]} at #{position}")
         elif args.action == "remove":
             store = CorpusStore.open(args.dir, engine=engine)
+            if args.store is not None:
+                _attach_pair_store(
+                    store.corpus, args.store, names=store.names
+                )
             # Out-of-range indexes are rejected by the corpus itself
             # (before any mutation); only name the valid ones here.
             gone = [
@@ -606,10 +737,18 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
                 print(f"  removed {name}")
         elif args.action == "log":
             store = CorpusStore.open(args.dir, engine=engine)
+            if args.store is not None:
+                _attach_pair_store(
+                    store.corpus, args.store, names=store.names
+                )
             for delta in store.corpus.log():
                 print(delta.describe())
         else:  # diff
             store = CorpusStore.open(args.dir, engine=engine)
+            if args.store is not None:
+                _attach_pair_store(
+                    store.corpus, args.store, names=store.names
+                )
             diff = store.corpus.diff(args.old, args.new)
             print(diff.describe())
             for ref in diff.added:

@@ -60,6 +60,7 @@ enforces at every step.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -432,6 +433,69 @@ class DistanceVectors:
             for counter in counters
         ]
         return cls.from_packed(packed, minoccur=minoccur)
+
+    @classmethod
+    def _from_columns(
+        cls,
+        labels: Sequence[str],
+        full_keys: Sequence[np.ndarray],
+        full_counts: Sequence[np.ndarray],
+        pair_keys: Sequence[np.ndarray],
+        pair_counts: Sequence[np.ndarray],
+        full_totals: Sequence[int],
+        pair_totals: Sequence[int],
+    ) -> "DistanceVectors":
+        """Slot-level constructor over precomputed column slices.
+
+        Unlike ``__init__`` this neither collapses pair keys nor sums
+        totals — the caller supplies every derived column.  This is the
+        zero-copy entry point for the on-disk pair store: the arrays
+        may be ``np.memmap`` views into ``.npy`` shards, and nothing
+        here forces a data page to load.
+        """
+        self = cls.__new__(cls)
+        self.labels = tuple(labels)
+        self._full_keys = list(full_keys)
+        self._full_counts = list(full_counts)
+        self._pair_keys = list(pair_keys)
+        self._pair_counts = list(pair_counts)
+        self._full_totals = list(full_totals)
+        self._pair_totals = list(pair_totals)
+        self._index = None
+        self._signatures = {}
+        self.fingerprint = None
+        return self
+
+    @classmethod
+    def from_store(
+        cls,
+        store: object,
+        *,
+        minoccur: int | None = None,
+    ) -> "DistanceVectors":
+        """Vectors backed by an on-disk pair store's memmapped shards.
+
+        ``store`` is either a :class:`repro.store.PairStore` or a
+        directory path to open.  Row arrays are ``np.load(...,
+        mmap_mode="r")`` views sliced per tree — no key or count column
+        is copied into RAM at the default ``minoccur`` (the store's
+        packing level), and every view, join, index and sketch built on
+        them is byte-identical to an in-RAM :meth:`from_packed` build
+        over the same trees.  A larger ``minoccur`` filters rows at
+        load (copying only the surviving entries).
+        """
+        from repro.store import PairStore
+
+        if isinstance(store, PairStore):
+            return store.as_vectors(minoccur=minoccur)
+        if isinstance(store, (str, os.PathLike)):
+            return PairStore.open(os.fspath(store)).as_vectors(
+                minoccur=minoccur
+            )
+        raise TypeError(
+            f"from_store takes a PairStore or a directory path, "
+            f"got {type(store).__name__}"
+        )
 
     # ------------------------------------------------------------------
     # Row patching (delta-mining)

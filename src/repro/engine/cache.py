@@ -31,9 +31,12 @@ mined it.  :func:`cache_key` (from a pointer tree) and
 same address for the same content.
 
 Two layers back the address space: a bounded in-process LRU
-(``OrderedDict``) and an optional on-disk layer (one pickle file per
-key, fanned out over 256 subdirectories, written atomically via
-``os.replace``).  Corrupt or unreadable disk entries degrade to misses.
+(``OrderedDict``) and an optional on-disk layer (one file per key,
+fanned out over 256 subdirectories, written atomically via
+:func:`repro.io.atomic_write`).  Small payloads are pickled; large
+:class:`CorpusResult` payloads route to columnar ``.npz`` shard files
+(:mod:`repro.store.shards`) instead of monolithic pickles.  Corrupt or
+unreadable disk entries degrade to counted misses either way.
 """
 
 from __future__ import annotations
@@ -41,13 +44,13 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
 
 from repro.core.fastmine import PackedCounts
 from repro.core.params import MiningParams
-from repro.errors import EngineError
+from repro.errors import EngineError, StoreError
+from repro.io import atomic_write
 from repro.obs.context import get_registry
 from repro.trees.arena import TreeArena
 from repro.trees.packing import PACKED_KEY_SCHEME
@@ -197,6 +200,13 @@ class PairSetCache:
         (the default) keeps the cache purely in-process.
     """
 
+    #: Frequent-pair results at or above this pattern count are written
+    #: as columnar ``.npz`` shards (:mod:`repro.store.shards`) instead
+    #: of monolithic pickles: the arrays load without unpickling object
+    #: graphs and the corrupt-shard path degrades to the same counted
+    #: miss as a poisoned pickle.
+    shard_min_patterns: int = 256
+
     def __init__(
         self,
         max_entries: int | None = 4096,
@@ -274,13 +284,17 @@ class PairSetCache:
         assert self.cache_dir is not None
         return os.path.join(self.cache_dir, key[:2], key + ".pkl")
 
+    def _shard_path(self, key: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, key[:2], key + ".npz")
+
     def _disk_read(self, key: str) -> object | None:
         path = self._disk_path(key)
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
         except FileNotFoundError:
-            return None
+            return self._shard_read(key)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             # Truncated or corrupt entry (the file exists but cannot be
@@ -292,24 +306,46 @@ class PairSetCache:
             return None
         return payload
 
-    def _disk_write(self, key: str, payload: object) -> None:
-        path = self._disk_path(key)
-        directory = os.path.dirname(path)
+    def _shard_read(self, key: str) -> object | None:
+        from repro.store.shards import read_result_shard
+
+        path = self._shard_path(key)
+        if not os.path.exists(path):
+            return None
         try:
-            os.makedirs(directory, exist_ok=True)
-            handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            try:
-                with os.fdopen(handle, "wb") as stream:
-                    pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(temp_path, path)
-            except BaseException:
-                try:
-                    os.unlink(temp_path)
-                except OSError:
-                    pass
-                raise
+            return read_result_shard(path)
+        except StoreError:
+            # The shard reader already counted store.read_errors; the
+            # cache degrades exactly like a poisoned pickle: a counted
+            # miss followed by a rebuild.
+            get_registry().counter("cache.disk.read_errors").add(1)
+            return None
+
+    def _disk_write(self, key: str, payload: object) -> None:
+        if (
+            isinstance(payload, CorpusResult)
+            and len(payload.patterns) >= self.shard_min_patterns
+        ):
+            self._shard_write(key, payload)
+            return
+        path = self._disk_path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with atomic_write(path, "wb") as stream:
+                pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
             get_registry().counter("cache.disk.writes").add(1)
         except OSError:
             # A read-only or full disk never fails the mining run; the
             # result simply stays uncached.
+            get_registry().counter("cache.disk.write_errors").add(1)
+
+    def _shard_write(self, key: str, payload: CorpusResult) -> None:
+        from repro.store.shards import write_result_shard
+
+        path = self._shard_path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            write_result_shard(path, payload)
+            get_registry().counter("cache.disk.writes").add(1)
+        except OSError:
             get_registry().counter("cache.disk.write_errors").add(1)

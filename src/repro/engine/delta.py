@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -63,6 +63,9 @@ from repro.errors import EngineError
 from repro.obs.context import scope as obs_scope
 from repro.trees.packing import DIST_SHIFT, LABEL_BITS, LABEL_MASK
 from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.store import PairStore
 
 __all__ = [
     "TreeRef",
@@ -270,6 +273,8 @@ class VersionedCorpus:
         self._tree_items: dict[int, dict[PairKey, int]] = {}
         self._vectors: DistanceVectors | None = None
         self._matrices: dict[DistanceMode, np.ndarray] = {}
+        self._store: "PairStore | None" = None
+        self._store_names: dict[int, str] = {}
         self._log: list[CorpusDelta] = []
         gained: set[PairKey] = set()
         refs = []
@@ -666,6 +671,98 @@ class VersionedCorpus:
         return self.engine.topk_similar(vectors, query, k, mode, self.params)
 
     # ------------------------------------------------------------------
+    # On-disk pair store (repro.store)
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> "PairStore | None":
+        """The attached on-disk pair store, if any."""
+        return self._store
+
+    def pack_store(
+        self,
+        directory: str,
+        names: Mapping[int, str] | Sequence[str] | None = None,
+    ) -> "PairStore":
+        """Write this corpus's packed rows as a fresh store and attach it.
+
+        The store persists each tree's ``minoccur=1``-level
+        contribution under its stable uid and content address, so a
+        later :meth:`attach_store` (or
+        :meth:`repro.engine.engine.MiningEngine.open_store`) serves
+        the same byte-identical results without re-mining.  ``names``
+        overrides the stored display names (a uid -> name mapping, or
+        a sequence aligned with the current positions) for callers —
+        like :class:`repro.apps.corpus.CorpusStore` — that track names
+        outside the trees themselves.
+        """
+        from repro.store import PairStore
+
+        self._record_store_names(names)
+        engine = self.engine
+        with obs_scope(engine.registry, engine.tracer):
+            store = PairStore.build(
+                directory,
+                [(uid, self._content_keys[uid]) for uid in self._uids],
+                self._packed,
+                self.params,
+                version=self.version,
+                names={uid: self._store_name(uid) for uid in self._uids},
+            )
+        self._store = store
+        return store
+
+    def attach_store(
+        self,
+        store: "PairStore",
+        names: Mapping[int, str] | Sequence[str] | None = None,
+    ) -> None:
+        """Keep ``store`` in sync with this corpus from now on.
+
+        The store's mining parameters must match the corpus's
+        (:meth:`repro.store.PairStore.check_params`); its membership
+        is brought up to this corpus's current state immediately, and
+        every subsequent mutation commit re-syncs it — add/remove/
+        replace against an attached store stays byte-identical to a
+        from-scratch re-mine at every step (the ``tests/delta``
+        differential harness extends to this path).  ``names`` is the
+        same display-name override :meth:`pack_store` accepts.
+        """
+        store.check_params(self.params)
+        self._record_store_names(names)
+        self._store = store
+        self._sync_store()
+
+    def _record_store_names(
+        self, names: Mapping[int, str] | Sequence[str] | None
+    ) -> None:
+        if names is None:
+            return
+        if isinstance(names, Mapping):
+            pairs = [(int(uid), str(name)) for uid, name in names.items()]
+        else:
+            pairs = [
+                (uid, str(name)) for uid, name in zip(self._uids, names)
+            ]
+        self._store_names.update(pairs)
+
+    def _store_name(self, uid: int) -> str:
+        recorded = self._store_names.get(uid)
+        if recorded is not None:
+            return recorded
+        return self._trees[uid].name or f"t{uid}"
+
+    def _sync_store(self) -> None:
+        assert self._store is not None
+        engine = self.engine
+        with obs_scope(engine.registry, engine.tracer):
+            self._store.apply(
+                [(uid, self._content_keys[uid]) for uid in self._uids],
+                self._packed,
+                version=self.version,
+                names={uid: self._store_name(uid) for uid in self._uids},
+            )
+
+    # ------------------------------------------------------------------
     # Maintained-state plumbing
     # ------------------------------------------------------------------
     def _ingest(
@@ -922,3 +1019,8 @@ class VersionedCorpus:
         # Whole-forest engine memos are fingerprinted over a specific
         # tree sequence; this corpus's sequence just changed.
         self.engine.invalidate_distance_memos()
+        # An attached pair store follows every version bump: new trees
+        # land as an appended generation (or a compaction), departures
+        # leave the row map.  The manifest replace commits the sync.
+        if self._store is not None:
+            self._sync_store()

@@ -45,7 +45,7 @@ import math
 import os
 from collections import Counter, OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -76,6 +76,10 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.trees.arena import TreeArena
 from repro.trees.tree import Tree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.multi_tree import FrequentCousinPair
+    from repro.store import PairStore
 
 __all__ = ["MiningEngine", "available_cpus"]
 
@@ -257,6 +261,10 @@ class MiningEngine:
         # distance vector/matrix memos with it so the zeroed counters
         # can never record tile hits against pre-reset state.
         self.stats.on_reset(self.invalidate_distance_memos)
+        # The attached on-disk pair store, when mine/distance/top-k
+        # queries should be served from memmapped shards instead of
+        # re-mining (see attach_store / open_store).
+        self._store: "PairStore | None" = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MiningEngine(jobs={self.jobs}, cache={self.cache!r})"
@@ -704,6 +712,120 @@ class MiningEngine:
                 while len(self._projections) > self._projection_cap:
                     self._projections.popitem(last=False)
         return sketches
+
+    # ------------------------------------------------------------------
+    # On-disk pair store (repro.store)
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> "PairStore | None":
+        """The attached on-disk pair store, if any."""
+        return self._store
+
+    def attach_store(self, store: "PairStore") -> "PairStore":
+        """Serve subsequent store queries from ``store``.
+
+        Whole-forest memos are dropped: they may describe a different
+        tree sequence than the store's, and the store's own
+        fingerprints re-key them on first use.
+        """
+        from repro.store import PairStore
+
+        if not isinstance(store, PairStore):
+            raise EngineError(
+                f"attach_store takes a PairStore, got {type(store).__name__}"
+            )
+        self._store = store
+        self.invalidate_distance_memos()
+        return store
+
+    def open_store(self, directory: str) -> "PairStore":
+        """Open the pair store in ``directory`` and attach it.
+
+        Only the manifest is read and the shard sizes checked
+        (:meth:`repro.store.PairStore.open`), so a warm reopen is
+        cheap; a corrupt or stale store raises
+        :class:`~repro.errors.StoreError` after counting
+        ``store.read_errors``.
+        """
+        from repro.store import PairStore
+
+        with obs_scope(self.registry, self.tracer):
+            return self.attach_store(PairStore.open(directory))
+
+    def _attached_store(self) -> "PairStore":
+        if self._store is None:
+            raise EngineError(
+                "no pair store attached (call attach_store or open_store)"
+            )
+        return self._store
+
+    def store_vectors(self, minoccur: int | None = None) -> DistanceVectors:
+        """Distance vectors over the attached store's memmapped rows.
+
+        Memoised beside engine-built vectors under the store's
+        vectors fingerprint — the same digest
+        :meth:`distance_vectors` would stamp on an in-RAM build of
+        the identical tree sequence — so matrix tiles and top-k
+        sketches computed against either source interchange.
+        """
+        store = self._attached_store()
+        with obs_scope(self.registry, self.tracer):
+            resolved = (
+                store.params.minoccur if minoccur is None else minoccur
+            )
+            fingerprint = store.vectors_fingerprint(resolved)
+            # repro-lint: disable-next-line=RPL103 -- the store digest folds minoccur into the fingerprint
+            vectors = self._projection(
+                ("distvec", fingerprint),
+                resolved,
+                store.params,
+                lambda threshold, _params: store.as_vectors(
+                    minoccur=threshold
+                ),
+            )
+            vectors.fingerprint = fingerprint
+            return vectors
+
+    def store_frequent_pairs(
+        self, minsup: int = 2, ignore_distance: bool = False
+    ) -> "list[FrequentCousinPair]":
+        """Frequent pairs served from the attached store's shards.
+
+        Byte-identical to :func:`repro.core.multi_tree.mine_forest`
+        over the store's tree sequence with its parameters — no tree
+        is re-mined; see :meth:`repro.store.PairStore
+        .frequent_pairs`.
+        """
+        store = self._attached_store()
+        with obs_scope(self.registry, self.tracer):
+            return store.frequent_pairs(
+                minsup=minsup, ignore_distance=ignore_distance
+            )
+
+    def store_topk(
+        self,
+        query: Tree,
+        k: int,
+        mode: DistanceMode | str = DistanceMode.DIST_OCCUR,
+        *,
+        sketch: SketchParams = DEFAULT_SKETCH_PARAMS,
+    ) -> TopKResult:
+        """The k stored trees nearest ``query``, off the memmapped rows.
+
+        Routes :meth:`topk_similar` over :meth:`store_vectors` with
+        the store's own mining parameters, so the query tree is mined
+        under the exact knobs the corpus was packed with and the
+        sketch memo keys on the store fingerprint.
+        """
+        store = self._attached_store()
+        return self.topk_similar(
+            self.store_vectors(),
+            query,
+            k,
+            mode,
+            store.params,
+            sketch=sketch,
+        )
 
     def _sketch_bands(self, size: int) -> list[tuple[int, int]]:
         """Equal-width tree bands for the parallel sketch build.

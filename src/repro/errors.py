@@ -65,6 +65,17 @@ class EngineError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """An on-disk pair store was missing, corrupt or stale.
+
+    Raised for example when a store manifest fails to parse or
+    validate, when a shard file referenced by the manifest is missing
+    or truncated, or when the store was written under a different
+    packed-key scheme.  Callers are expected to count the degradation
+    (``store.read_errors``) and rebuild by re-packing from the corpus.
+    """
+
+
 class ConsensusError(ReproError):
     """A consensus method was applied to an invalid input profile.
 

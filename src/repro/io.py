@@ -1,10 +1,16 @@
-"""Serialisation of mining results.
+"""Serialisation of mining results and crash-consistent file writes.
 
 Mined cousin pair items and frequent patterns are plain records; this
 module fixes their interchange formats so results can leave the
 process — JSON for programmatic consumers, CSV for spreadsheets — and
 round-trip back for later comparison (e.g. diffing two mining runs of
 a growing TreeBASE snapshot).
+
+It also owns :func:`atomic_write`, the single temp-file +
+``os.replace`` implementation behind every on-disk artifact the
+package persists (cache entries, corpus manifests, pair-store shards):
+a reader either sees the previous complete file or the new complete
+file, never a torn write.
 """
 
 from __future__ import annotations
@@ -12,12 +18,16 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Sequence
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Any, Iterator, Sequence
 
 from repro.core.cousins import CousinPairItem
 from repro.core.multi_tree import FrequentCousinPair
 
 __all__ = [
+    "atomic_write",
     "items_to_json",
     "items_from_json",
     "items_to_csv",
@@ -25,6 +35,56 @@ __all__ = [
     "patterns_to_json",
     "patterns_from_json",
 ]
+
+
+# ----------------------------------------------------------------------
+# Crash-consistent writes
+# ----------------------------------------------------------------------
+@contextmanager
+def atomic_write(
+    path: str | os.PathLike[str],
+    mode: str = "w",
+    encoding: str | None = None,
+) -> Iterator[IO[Any]]:
+    """Write ``path`` atomically: temp file in the same directory, then
+    ``os.replace``.
+
+    The temp file lives next to the target so the final rename stays on
+    one filesystem (``os.replace`` is atomic only then).  If the body
+    raises, the temp file is removed and the target is left untouched;
+    readers therefore never observe a partially written file.
+
+    Parameters
+    ----------
+    path:
+        Final destination.  Its directory must already exist.
+    mode:
+        ``"w"`` (text, UTF-8 unless ``encoding`` overrides it) or
+        ``"wb"`` (binary).
+    encoding:
+        Text encoding for ``mode="w"``; must be ``None`` for binary.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_write mode must be 'w' or 'wb', got {mode!r}")
+    if mode == "wb" and encoding is not None:
+        raise ValueError("binary atomic_write takes no encoding")
+    if mode == "w" and encoding is None:
+        encoding = "utf-8"
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    handle, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, mode, encoding=encoding) as stream:
+            yield stream
+        os.replace(temp_path, target)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:  # pragma: no cover - already renamed or gone
+            pass
+        raise
 
 
 # ----------------------------------------------------------------------

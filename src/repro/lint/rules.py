@@ -28,6 +28,7 @@ from repro.trees.packing import (
     LABEL_MASK,
     MAX_HALF_STEPS,
     MAX_LABELS,
+    PACKED_KEY_SCHEME,
 )
 
 __all__ = ["Rule", "RULES"]
@@ -204,13 +205,19 @@ class NoMagicPackingLiterals(Rule):
     the packing module, never spelled as literals.  Literals wrapped
     in numpy scalar constructors (``keys >> np.uint64(42)``, the
     ``core/distvec.py`` idiom) count the same as bare ones.
+
+    The same goes for the key *scheme string* (``"cpi-packed/..."``)
+    that the cache and the pair store stamp into their manifests: a
+    module that spells it inline keeps accepting stale shards after a
+    layout bump.  Compare against the imported ``PACKED_KEY_SCHEME``;
+    only docstrings may mention the scheme by name.
     """
 
     id = "RPL002"
     name = "no-magic-packing-literals"
     summary = (
-        "no packed-key bit-width/shift/mask literals outside "
-        "repro/trees/packing.py"
+        "no packed-key bit-width/shift/mask or scheme-string literals "
+        "outside repro/trees/packing.py"
     )
     exclude = ("repro/trees/packing.py", "repro/lint/")
 
@@ -230,6 +237,30 @@ class NoMagicPackingLiterals(Rule):
     _scalar_ctors = frozenset(
         {"uint64", "int64", "uint32", "int32", "intp", "uint", "int_"}
     )
+    # Any version of the scheme family counts: a hardcoded
+    # "cpi-packed/v1" is exactly the stale-shard bug the rule exists
+    # to catch.
+    _scheme_prefix = PACKED_KEY_SCHEME.partition("/")[0]
+
+    @staticmethod
+    def _docstrings(tree: ast.AST) -> set[int]:
+        """ids of the Constant nodes that are documentation strings."""
+        exempt: set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(
+                node,
+                (ast.Module, ast.ClassDef) + _FUNCTION_TYPES,
+            ):
+                continue
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                exempt.add(id(body[0].value))
+        return exempt
 
     @classmethod
     def _int_const(cls, node: ast.AST) -> int | None:
@@ -255,8 +286,23 @@ class NoMagicPackingLiterals(Rule):
         return None
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        docstrings = self._docstrings(ctx.tree)
         for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.BinOp) and isinstance(node.op, self._bit_ops):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value.startswith(self._scheme_prefix)
+                and id(node) not in docstrings
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"packed-key scheme string {node.value!r} spelled "
+                    "inline; compare against PACKED_KEY_SCHEME from "
+                    "repro/trees/packing.py so a layout bump invalidates "
+                    "this module's artifacts too",
+                )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, self._bit_ops):
                 shifting = isinstance(node.op, (ast.LShift, ast.RShift))
                 for side in (node.left, node.right):
                     value = self._int_const(side)

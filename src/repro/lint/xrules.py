@@ -342,12 +342,12 @@ class InvalidationCoverageRule(ProjectRule):
 class HotLoopAllocationRule(ProjectRule):
     """RPL105: no fresh allocations inside hot-kernel loops.
 
-    ``fastmine`` / ``distvec`` / ``topk`` loops run per tree pair or
-    per packed key; a ``list()`` or ``np.zeros`` born on every
-    iteration turns the kernels the benchmarks gate into allocator
-    benchmarks.  Flags ``np.*`` array constructors and bare
+    ``fastmine`` / ``distvec`` / ``topk`` / ``store/pairstore`` loops
+    run per tree pair or per packed key; a ``list()`` or ``np.zeros``
+    born on every iteration turns the kernels the benchmarks gate into
+    allocator benchmarks.  Flags ``np.*`` array constructors and bare
     ``list``/``dict``/``set`` constructor calls lexically inside
-    ``for``/``while`` bodies in the three hot modules.  Hoist the
+    ``for``/``while`` bodies in the hot modules.  Hoist the
     allocation, reuse a scratch buffer, or pragma the site with a
     justification when the allocation is the algorithm.
     """
@@ -359,6 +359,7 @@ class HotLoopAllocationRule(ProjectRule):
         "repro/core/fastmine.py",
         "repro/core/distvec.py",
         "repro/core/topk.py",
+        "repro/store/pairstore.py",
     )
 
     def check(self, context) -> Iterable[Finding]:

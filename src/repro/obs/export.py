@@ -130,13 +130,17 @@ def build_manifest(
     phases: Mapping[str, float] | None = None,
     registry: MetricsRegistry | None = None,
     root: str | os.PathLike[str] | None = None,
+    resources: Mapping[str, float] | None = None,
 ) -> dict[str, Any]:
     """Assemble one run manifest (``schemas/manifest.schema.json``).
 
     ``phases`` maps phase name to wall seconds, in run order (mapping
-    order is preserved); ``params`` is whatever knob set the run used.
+    order is preserved); ``params`` is whatever knob set the run used;
+    ``resources`` records process-level measurements (for benchmark
+    runs, ``ru_maxrss_kb`` — the peak resident set as reported by
+    ``getrusage``, kilobytes on Linux).
     """
-    return {
+    manifest = {
         "version": MANIFEST_VERSION,
         "name": name,
         "params": dict(params) if params is not None else {},
@@ -148,6 +152,11 @@ def build_manifest(
         ],
         "registry": registry.snapshot() if registry is not None else None,
     }
+    if resources is not None:
+        manifest["resources"] = {
+            key: float(value) for key, value in resources.items()
+        }
+    return manifest
 
 
 def write_manifest(

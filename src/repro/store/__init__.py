@@ -1,0 +1,34 @@
+"""On-disk pair store: packed corpora as memmappable ``.npy`` shards.
+
+Public surface:
+
+- :class:`~repro.store.pairstore.PairStore` — pack, open, query and
+  incrementally update one stored corpus (``store.json`` manifest
+  plus generation directories of array shards).
+- :func:`~repro.store.shards.write_result_shard` /
+  :func:`~repro.store.shards.read_result_shard` — the columnar
+  ``.npz`` backend :class:`~repro.engine.cache.PairSetCache` routes
+  large :class:`~repro.engine.cache.CorpusResult` payloads through.
+
+See ``docs/perf.md`` for the shard layout, the generation /
+compaction model, and when to pack a store versus relying on the
+engine cache.
+"""
+
+from repro.store.pairstore import STORE_FILE, STORE_FORMAT, PairStore
+from repro.store.shards import (
+    load_array,
+    read_result_shard,
+    write_array,
+    write_result_shard,
+)
+
+__all__ = [
+    "PairStore",
+    "STORE_FILE",
+    "STORE_FORMAT",
+    "load_array",
+    "read_result_shard",
+    "write_array",
+    "write_result_shard",
+]

@@ -1,0 +1,15 @@
+"""RPL002 trigger: the packed-key scheme string spelled inline."""
+
+
+def check_scheme(manifest):
+    # The store's format marker re-derived as a literal.
+    if manifest.get("scheme") != "cpi-packed/v2":
+        raise ValueError("unsupported pair store")
+    return manifest
+
+
+def legacy_upgrade(manifest):
+    # A stale version is just as much a literal as the current one.
+    if manifest.get("scheme") == "cpi-packed/v1":
+        manifest["scheme"] = "cpi-packed/v2"
+    return manifest

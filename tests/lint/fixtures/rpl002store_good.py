@@ -1,0 +1,16 @@
+"""RPL002 pass: the scheme routes through the packing module.
+
+A docstring may mention cpi-packed/v2 by name without firing — only
+runtime string constants keep stale shards alive.
+"""
+
+from repro.trees.packing import PACKED_KEY_SCHEME
+
+
+def check_scheme(manifest):
+    """Reject manifests from another cpi-packed generation."""
+    if manifest.get("scheme") != PACKED_KEY_SCHEME:
+        raise ValueError(
+            f"unsupported pair store (expected {PACKED_KEY_SCHEME!r})"
+        )
+    return manifest

@@ -179,6 +179,15 @@ class TestRPL105:
         context = project_from_sources([(source, "repro/apps/report.py")])
         assert list(RULES_BY_ID["RPL105"].check(context)) == []
 
+    def test_pair_store_module_is_in_scope(self):
+        # The memmapped shard reader serves the same per-query loops
+        # the in-RAM kernels do; its loops are gated the same way.
+        source = (FIXTURES / "rpl105_bad.py").read_text(encoding="utf-8")
+        context = project_from_sources(
+            [(source, "repro/store/pairstore.py")]
+        )
+        assert list(RULES_BY_ID["RPL105"].check(context))
+
 
 class TestAnalyzeProject:
     def test_select_filters_project_rules(self, tmp_path):

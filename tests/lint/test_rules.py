@@ -22,6 +22,7 @@ MODULE_KEYS = {
     "rpl001": "repro/apps/fixture.py",
     "rpl002": "repro/core/fixture.py",
     "rpl002distvec": "repro/core/distvec.py",
+    "rpl002store": "repro/store/pairstore.py",
     "rpl002topk": "repro/core/topk.py",
     "rpl003": "repro/core/fastmine.py",
     "rpl004": "repro/apps/fixture.py",
@@ -125,6 +126,22 @@ class TestRPL002:
         # Layout via packing constants passes; the splitmix64 mixing
         # shifts (30 etc.) are not layout values and never fire.
         assert lint_fixture("rpl002topk_good", select=["RPL002"]) == []
+
+    def test_inline_scheme_strings_reported(self):
+        # The store idiom: manifest scheme checks must compare against
+        # the imported PACKED_KEY_SCHEME, never an inline string — and
+        # a stale "cpi-packed/v1" literal counts the same.
+        findings = lint_fixture("rpl002store_bad", select=["RPL002"])
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "cpi-packed/v2" in messages
+        assert "cpi-packed/v1" in messages
+        assert "PACKED_KEY_SCHEME" in messages
+
+    def test_scheme_in_docstrings_and_via_constant_passes(self):
+        # Imported-constant comparisons pass, and docstrings may spell
+        # the scheme by name (the good fixture does, twice).
+        assert lint_fixture("rpl002store_good", select=["RPL002"]) == []
 
 
 class TestRPL003:

@@ -1,0 +1,124 @@
+"""Disk-cache payload sharding through :mod:`repro.store.shards`.
+
+Large :class:`CorpusResult` payloads route to columnar ``.npz`` shard
+files instead of monolithic pickles; a corrupt or truncated shard is
+a counted miss (``cache.disk.read_errors``) followed by a rebuild,
+never an exception or a wrong answer.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.engine.cache import CorpusResult, PairSetCache
+from repro.core.multi_tree import FrequentCousinPair
+from repro.obs.context import scope as obs_scope
+from repro.obs.metrics import MetricsRegistry
+from repro.store import read_result_shard, write_result_shard
+
+
+@pytest.fixture
+def registry():
+    reg = MetricsRegistry()
+    with obs_scope(registry=reg):
+        yield reg
+
+
+def patterns(count):
+    return tuple(
+        FrequentCousinPair(f"a{i}", f"b{i}", 1.0, 2, (0, i + 1), 4)
+        for i in range(count)
+    )
+
+
+def big_result(fingerprint="fp-big"):
+    return CorpusResult(fingerprint, 2, patterns(300))
+
+
+def shards_in(directory):
+    return glob.glob(os.path.join(directory, "**", "*.npz"), recursive=True)
+
+
+class TestRouting:
+    def test_small_payloads_stay_pickled(self, tmp_path, registry):
+        cache = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        cache.put("k" * 20, CorpusResult("fp", 1, patterns(3)))
+        assert not shards_in(str(tmp_path))
+
+    def test_large_payloads_shard(self, tmp_path, registry):
+        cache = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        result = big_result()
+        cache.put("q" * 20, result)
+        assert shards_in(str(tmp_path))
+        found = cache.lookup("q" * 20)
+        assert found is not None
+        assert found[1] == result
+        assert found[1].patterns == result.patterns
+
+    def test_none_distance_survives(self, tmp_path, registry):
+        pats = tuple(
+            FrequentCousinPair(f"a{i}", f"b{i}", None, 2, (0, 1), 4)
+            for i in range(300)
+        )
+        cache = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        cache.put("n" * 20, CorpusResult("fp-none", 1, pats))
+        found = cache.lookup("n" * 20)
+        assert found is not None
+        assert all(p.distance is None for p in found[1].patterns)
+
+
+class TestDegradation:
+    def test_garbage_shard_is_a_counted_miss(self, tmp_path, registry):
+        cache = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        cache.put("q" * 20, big_result())
+        (shard,) = shards_in(str(tmp_path))
+        with open(shard, "wb") as handle:
+            handle.write(b"garbage")
+        cold = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        assert cold.lookup("q" * 20) is None
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.disk.read_errors"] >= 1
+        assert counters["store.read_errors"] >= 1
+
+    def test_truncated_shard_is_a_counted_miss(self, tmp_path, registry):
+        cache = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        cache.put("q" * 20, big_result())
+        (shard,) = shards_in(str(tmp_path))
+        with open(shard, "r+b") as handle:
+            handle.truncate(os.path.getsize(shard) // 2)
+        cold = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        assert cold.lookup("q" * 20) is None
+        assert registry.snapshot()["counters"]["cache.disk.read_errors"] >= 1
+
+    def test_rebuild_overwrites_the_poisoned_shard(self, tmp_path, registry):
+        cache = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        result = big_result()
+        cache.put("q" * 20, result)
+        (shard,) = shards_in(str(tmp_path))
+        with open(shard, "wb") as handle:
+            handle.write(b"garbage")
+        cold = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        assert cold.lookup("q" * 20) is None
+        cold.put("q" * 20, result)  # the caller recomputed
+        again = PairSetCache(max_entries=0, cache_dir=str(tmp_path))
+        found = again.lookup("q" * 20)
+        assert found is not None and found[1] == result
+
+
+class TestShardFormat:
+    def test_direct_round_trip(self, tmp_path, registry):
+        path = str(tmp_path / "r.npz")
+        result = big_result("fp-direct")
+        write_result_shard(path, result)
+        back = read_result_shard(path)
+        assert back == result
+        assert back.patterns == result.patterns
+
+    def test_empty_result_round_trips(self, tmp_path, registry):
+        path = str(tmp_path / "empty.npz")
+        result = CorpusResult("fp-empty", 0, ())
+        write_result_shard(path, result)
+        assert read_result_shard(path) == result

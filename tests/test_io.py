@@ -97,6 +97,59 @@ class TestPatternsJson:
             patterns_from_json('[{"label_a": "a"}]')
 
 
+class TestAtomicWrite:
+    def test_text_write(self, tmp_path):
+        from repro.io import atomic_write
+
+        path = tmp_path / "out.txt"
+        with atomic_write(path) as stream:
+            stream.write("héllo")
+        assert path.read_text(encoding="utf-8") == "héllo"
+
+    def test_binary_write(self, tmp_path):
+        from repro.io import atomic_write
+
+        path = tmp_path / "out.bin"
+        with atomic_write(path, "wb") as stream:
+            stream.write(b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_failure_leaves_target_untouched(self, tmp_path):
+        from repro.io import atomic_write
+
+        path = tmp_path / "out.txt"
+        path.write_text("original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as stream:
+                stream.write("partial")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "original"
+
+    def test_failure_removes_the_temp_file(self, tmp_path):
+        from repro.io import atomic_write
+
+        path = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as stream:
+                stream.write("partial")
+                raise RuntimeError("crash mid-write")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_bad_mode_rejected(self, tmp_path):
+        from repro.io import atomic_write
+
+        with pytest.raises(ValueError, match="mode"):
+            with atomic_write(tmp_path / "x", "a"):
+                pass
+
+    def test_binary_encoding_rejected(self, tmp_path):
+        from repro.io import atomic_write
+
+        with pytest.raises(ValueError, match="encoding"):
+            with atomic_write(tmp_path / "x", "wb", encoding="utf-8"):
+                pass
+
+
 class TestRfQualityMeasure:
     def test_unanimous_profile_scores_perfect(self):
         from repro.apps.consensus_quality import score_methods_rf
