@@ -98,12 +98,12 @@ def peak_rss_kb() -> int:
 # ----------------------------------------------------------------------
 # Child phases (each runs in its own process for an isolated ru_maxrss)
 # ----------------------------------------------------------------------
-def phase_pack(directory: str, count: int) -> dict:
+def phase_pack(directory: str, count: int, engine=None) -> dict:
     from repro.store import PairStore
 
     forest = make_forest(count)
     started = time.perf_counter()
-    PairStore.pack(directory, forest)
+    PairStore.pack(directory, forest, engine=engine)
     pack_seconds = time.perf_counter() - started
     size_bytes = sum(
         os.path.getsize(os.path.join(root, name))
@@ -117,7 +117,7 @@ def phase_pack(directory: str, count: int) -> dict:
     }
 
 
-def phase_inram(count: int) -> dict:
+def phase_inram(count: int, engine=None) -> dict:
     from repro.core.multi_tree import mine_forest
     from repro.core.params import MiningParams
     from repro.engine import MiningEngine
@@ -127,7 +127,8 @@ def phase_inram(count: int) -> dict:
         maxdist=1.5, minoccur=1, minsup=1,
         max_generation_gap=1, max_height=None,
     )
-    engine = MiningEngine(jobs=1)
+    if engine is None:
+        engine = MiningEngine(jobs=1)
     started = time.perf_counter()
     vectors = engine.distance_vectors(forest, params)
     build_seconds = time.perf_counter() - started
@@ -256,6 +257,79 @@ def run(count: int, smoke: bool) -> dict:
     return payload
 
 
+def run_traced(count: int, trace_path: str, smoke: bool = True) -> dict:
+    """The three phases in one traced process (``--trace PATH``).
+
+    Subprocess isolation is what makes the full gate's ``ru_maxrss``
+    honest, but a trace needs one span tree — so the traced variant
+    runs pack/inram/store in-process under an enabled tracer, with one
+    root span per phase whose wall-clock *is* the manifest phase
+    timing.  ``repro-mine profile`` over the written trace therefore
+    reconciles exactly: per-root self-time totals sum back to the
+    payload's phase seconds.  Ratio/RSS gates are skipped (shared
+    process, tracing overhead); digest identity still holds.
+    """
+    from repro.engine import MiningEngine
+    from repro.obs.context import scope
+    from repro.obs.export import write_trace
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+    registry = MetricsRegistry()
+    tracer = Tracer(registry, enabled=True)
+    with tempfile.TemporaryDirectory(prefix="bench_store.") as scratch:
+        directory = os.path.join(scratch, "store")
+        with scope(registry, tracer):
+            engine = MiningEngine(
+                jobs=1, registry=registry, tracer=tracer
+            )
+            with tracer.span("pack"):
+                pack = phase_pack(directory, count, engine=engine)
+            with tracer.span("inram"):
+                inram = phase_inram(count, engine=engine)
+            with tracer.span("store"):
+                store = phase_store(directory, count)
+    roots = {
+        record.name: record.seconds
+        for record in tracer.records
+        if record.parent_id is None
+    }
+    identical = (
+        inram["patterns_digest"] == store["patterns_digest"]
+        and inram["rows_digest"] == store["rows_digest"]
+    )
+    payload = {
+        "mode": "traced",
+        "corpus": {
+            "trees": count,
+            "treesize": TREESIZE,
+            "alphabetsize": ALPHABET,
+        },
+        "minsup": MINSUP,
+        "row_queries": ROW_QUERIES,
+        "pack": pack,
+        "inram": inram,
+        "store": store,
+        "query_ratio": None,
+        "rss_fraction": None,
+        "reopen_seconds": store["reopen_seconds"],
+        "identical": identical,
+        "ratio_gate": RATIO_GATE,
+        "reopen_gate_seconds": REOPEN_GATE_SECONDS,
+        "phases": [
+            {"name": name, "seconds": roots[name]}
+            for name in ("pack", "inram", "store")
+        ],
+        "note": (
+            "traced in-process run: one root span per phase, manifest "
+            "phase timings are the root span durations; ratio/RSS "
+            "gates do not apply"
+        ),
+    }
+    write_trace(trace_path, tracer, registry, command="bench_store --trace")
+    return payload
+
+
 def check(payload: dict) -> None:
     assert payload["identical"], (
         "store-served results diverged from the in-RAM pipeline"
@@ -295,11 +369,12 @@ def report_rows(payload: dict) -> list[str]:
             f"query ratio: {payload['query_ratio']:.2f}x "
             f"(gate {payload['ratio_gate']}x)"
         )
-    rows.append(
-        f"peak RSS: in-RAM {inram['ru_maxrss_kb'] / 1024:.0f} MB vs "
-        f"store {store['ru_maxrss_kb'] / 1024:.0f} MB "
-        f"({payload['rss_fraction']:.2f}x)"
-    )
+    if payload["rss_fraction"] is not None:
+        rows.append(
+            f"peak RSS: in-RAM {inram['ru_maxrss_kb'] / 1024:.0f} MB vs "
+            f"store {store['ru_maxrss_kb'] / 1024:.0f} MB "
+            f"({payload['rss_fraction']:.2f}x)"
+        )
     rows.append(
         f"warm reopen to first query: "
         f"{payload['reopen_seconds'] * 1000:.1f}ms "
@@ -332,6 +407,11 @@ def main(argv: list[str] | None = None) -> int:
         "--manifest", default=None, metavar="PATH",
         help="also write the run manifest to PATH",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="run the phases in-process under an enabled tracer and "
+             "write a JSON-lines trace to PATH (skips ratio/RSS gates)",
+    )
     parser.add_argument("--phase", default=None,
                         choices=["pack", "inram", "store"],
                         help=argparse.SUPPRESS)
@@ -351,8 +431,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     count = SMOKE_COUNT if args.smoke else COUNT
-    payload = run(count, smoke=args.smoke)
-    if not args.smoke:
+    if args.trace is not None:
+        payload = run_traced(count, args.trace, smoke=args.smoke)
+    else:
+        payload = run(count, smoke=args.smoke)
+    if not args.smoke and args.trace is None:
         OUTPUT.write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )

@@ -67,7 +67,27 @@ def write_run_manifest(name, payload, output, registry=None, path=None):
     )
     target = Path(path) if path is not None else manifest_path(output)
     write_manifest(target, manifest)
+    ingest_manifest(manifest, source=target.name)
     return target
+
+
+def ingest_manifest(manifest, source=None):
+    """Append one manifest to the repo's run-history warehouse.
+
+    Every ``--manifest`` benchmark run lands in ``.repro-history/``
+    automatically, so the trajectory ``repro-mine perf log`` shows
+    populates itself.  Set ``REPRO_NO_HISTORY=1`` to skip (e.g. for
+    throwaway runs that should not pollute the committed seed).
+    Returns True when a new record was appended.
+    """
+    import os
+
+    from repro.obs.history import HISTORY_DIRNAME, RunHistory
+
+    if os.environ.get("REPRO_NO_HISTORY"):
+        return False
+    root = Path(__file__).resolve().parent.parent / HISTORY_DIRNAME
+    return RunHistory.open(root).ingest(manifest, source=source)
 
 
 @pytest.fixture

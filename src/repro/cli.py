@@ -23,6 +23,10 @@ plus the extension workflows::
     repro-mine corpus pack DIR [--store STOREDIR]
     repro-mine similar query.nwk --store STOREDIR --k 10
     repro-mine distance 0 7 --store STOREDIR
+    repro-mine profile trace.jsonl --folded out.folded --top 15
+    repro-mine perf ingest BENCH_store.manifest.json
+    repro-mine perf log --markdown
+    repro-mine perf check BENCH_store.manifest.json --report out.jsonl
 
 Input files may be Newick or NEXUS (sniffed by the ``#NEXUS`` header);
 subcommands print plain text to stdout (``--format json|csv`` where
@@ -118,6 +122,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", default=None, metavar="PATH",
                        help="record spans and write a JSON-lines "
                             "trace of the run to PATH")
+        p.add_argument("--profile", action="store_true",
+                       help="record spans and print the top self-time "
+                            "table to stderr after the run")
 
     p_mine = sub.add_parser("mine", help="mine cousin pair items of each tree")
     p_mine.add_argument("file", help="Newick file (one or more trees)")
@@ -292,6 +299,76 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_arg(pc_pack)
     add_engine_args(pc_pack)
 
+    p_prof = sub.add_parser(
+        "profile",
+        help="aggregate a --trace JSONL into self-time rollups, the "
+             "critical path and folded stacks",
+    )
+    p_prof.add_argument("trace_file", metavar="TRACE",
+                        help="JSON-lines trace written by --trace PATH")
+    p_prof.add_argument("--folded", default=None, metavar="OUT",
+                        help="also write folded stacks "
+                             "('name;child micros') for flamegraph "
+                             "tooling")
+    p_prof.add_argument("--top", type=int, default=15,
+                        help="rows in the self-time table (default 15)")
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="run-history warehouse: ingest benchmark manifests, show "
+             "the trajectory, gate on regressions",
+    )
+    perf_sub = p_perf.add_subparsers(dest="action", required=True)
+
+    def add_history_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--history", default=".repro-history", metavar="DIR",
+                       help="warehouse directory "
+                            "(default .repro-history)")
+
+    pp_ingest = perf_sub.add_parser(
+        "ingest", help="append run manifests to the warehouse"
+    )
+    pp_ingest.add_argument("manifests", nargs="+", metavar="MANIFEST",
+                           help="BENCH_*.manifest.json files")
+    add_history_arg(pp_ingest)
+
+    pp_log = perf_sub.add_parser(
+        "log", help="show the per-bench trajectory"
+    )
+    pp_log.add_argument("bench", nargs="?", default=None,
+                        help="restrict to one bench name")
+    pp_log.add_argument("--metric", default=None,
+                        help="print this metric's full series instead "
+                             "of the summary")
+    pp_log.add_argument("--markdown", action="store_true",
+                        help="emit the summary as a Markdown table "
+                             "(docs/perf.md)")
+    add_history_arg(pp_log)
+
+    pp_check = perf_sub.add_parser(
+        "check",
+        help="compare manifests against the warehouse's rolling "
+             "median; exit 1 on regression",
+    )
+    pp_check.add_argument("manifests", nargs="+", metavar="MANIFEST")
+    add_history_arg(pp_check)
+    pp_check.add_argument("--window", type=int, default=8,
+                          help="baseline runs considered (default 8)")
+    pp_check.add_argument("--min-samples", type=int, default=1,
+                          dest="min_samples",
+                          help="abstain below this many baseline "
+                               "samples (default 1)")
+    pp_check.add_argument("--threshold", type=float, default=0.25,
+                          help="relative band before a verdict "
+                               "(default 0.25)")
+    pp_check.add_argument("--floor-seconds", type=float, default=0.005,
+                          dest="floor_seconds",
+                          help="noise floor: abstain when both sides "
+                               "are under it (default 0.005)")
+    pp_check.add_argument("--report", default=None, metavar="PATH",
+                          help="write one verdict report per manifest "
+                               "as JSON lines to PATH")
+
     return parser
 
 
@@ -303,7 +380,10 @@ def _engine_session(args: argparse.Namespace) -> Iterator[MiningEngine]:
     search, clustering, diff phases, cache internals) land in the
     engine's registry, so ``--engine-stats`` and ``--trace`` see the
     whole run.  On exit ``--trace PATH`` writes the JSON-lines trace
-    (also for failed runs — a partial trace aids debugging).
+    (also for failed runs — a partial trace aids debugging) and
+    ``--profile`` prints the top self-time table to stderr —
+    ``--profile`` reuses the same ambient tracer, so its overhead is
+    exactly the tracing overhead already gated at <5%.
     """
     from repro.engine import MiningEngine
     from repro.obs.context import scope
@@ -311,8 +391,9 @@ def _engine_session(args: argparse.Namespace) -> Iterator[MiningEngine]:
     from repro.obs.trace import Tracer
 
     trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
     registry = MetricsRegistry()
-    tracer = Tracer(registry, enabled=trace_path is not None)
+    tracer = Tracer(registry, enabled=trace_path is not None or profile)
     engine = MiningEngine(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -327,6 +408,11 @@ def _engine_session(args: argparse.Namespace) -> Iterator[MiningEngine]:
             from repro.obs.export import write_trace
 
             write_trace(trace_path, tracer, registry, command=args.command)
+        if profile:
+            from repro.obs.profile import build_profile, render_profile
+
+            for line in render_profile(build_profile(tracer.records), top=12):
+                print(line, file=sys.stderr)
 
 
 def _report_engine_stats(engine: MiningEngine, args: argparse.Namespace) -> None:
@@ -346,7 +432,7 @@ def _attach_pair_store(corpus, directory: str, names=None):
     mirroring the poisoned-cache recovery path.
     """
     from repro.errors import StoreError
-    from repro.obs.context import get_registry
+    from repro.obs.context import get_registry, get_tracer
     from repro.store import PairStore
 
     try:
@@ -355,7 +441,12 @@ def _attach_pair_store(corpus, directory: str, names=None):
         get_registry().counter("store.rebuilds").add(1)
         print(f"# rebuilding pair store at {directory}: {error}",
               file=sys.stderr)
-        corpus.pack_store(directory, names=names)
+        with get_tracer().span(
+            "store.rebuild",
+            metric="store.rebuild.seconds",
+            directory=directory,
+        ):
+            corpus.pack_store(directory, names=names)
     return corpus.store
 
 
@@ -759,6 +850,123 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_trace, render_profile, write_folded
+
+    profile = profile_trace(args.trace_file)
+    for line in render_profile(profile, top=args.top):
+        print(line)
+    if args.folded is not None:
+        count = write_folded(args.folded, profile)
+        print(f"# wrote {count} folded stack(s) to {args.folded}")
+    return 0
+
+
+def _headline_metric(record) -> tuple[str, float] | None:
+    """The largest phase timing of one history record (the bench's
+    dominant cost, hence the trajectory table's headline)."""
+    phases = {
+        name: value
+        for name, value in record.get("metrics", {}).items()
+        if name.startswith("phase.")
+    }
+    if not phases:
+        return None
+    name = max(phases, key=lambda key: (phases[key], key))
+    return name, phases[name]
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from repro.obs.history import RunHistory
+
+    history = RunHistory.open(args.history)
+    if args.action == "ingest":
+        added = 0
+        for path in args.manifests:
+            if history.ingest_file(path):
+                added += 1
+                print(f"ingested {path}")
+            else:
+                print(f"already present: {path}")
+        print(
+            f"# {added} new record(s), {history.count} total "
+            f"in {args.history}"
+        )
+        return 0
+
+    if args.action == "log":
+        benches = [args.bench] if args.bench else history.benches()
+        if args.metric is not None:
+            for bench in benches:
+                for revision, value in history.series(bench, args.metric):
+                    short = (revision or "unknown")[:12]
+                    print(f"{bench}  {short}  {args.metric}  {value:g}")
+            return 0
+        rows = []
+        for bench in benches:
+            runs = history.runs(bench)
+            if not runs:
+                continue
+            latest = runs[-1]
+            headline = _headline_metric(latest)
+            metric, value = headline if headline else ("-", float("nan"))
+            short = (latest.get("git_revision") or "unknown")[:12]
+            rows.append((bench, len(runs), metric, value, short))
+        if args.markdown:
+            print("| bench | runs | headline metric | latest | revision |")
+            print("|---|---|---|---|---|")
+            for bench, count, metric, value, short in rows:
+                shown = f"{value:.3f}s" if value == value else "-"
+                print(
+                    f"| {bench} | {count} | `{metric}` | {shown} "
+                    f"| `{short}` |"
+                )
+        else:
+            for bench, count, metric, value, short in rows:
+                shown = f"{value:.3f}s" if value == value else "-"
+                print(f"{bench}: {count} run(s), {metric} = {shown} ({short})")
+        return 0
+
+    # check
+    import json as _json
+
+    from repro.obs.regress import RegressPolicy, check_manifest, render_report
+
+    policy = RegressPolicy(
+        window=args.window,
+        min_samples=args.min_samples,
+        threshold=args.threshold,
+        floor_seconds=args.floor_seconds,
+    )
+    reports = []
+    for path in args.manifests:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                manifest = _json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read manifest {path}: {error}",
+                  file=sys.stderr)
+            return 2
+        report = check_manifest(
+            history,
+            manifest,
+            policy=policy,
+            source=os.path.basename(path),
+        )
+        reports.append(report)
+        for line in render_report(report):
+            print(line)
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            for report in reports:
+                handle.write(
+                    _json.dumps(report, sort_keys=True,
+                                separators=(",", ":"))
+                )
+                handle.write("\n")
+    return 1 if any(r["status"] == "regressed" for r in reports) else 0
+
+
 _COMMANDS = {
     "mine": _cmd_mine,
     "frequent": _cmd_frequent,
@@ -773,6 +981,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "diff": _cmd_diff,
     "corpus": _cmd_corpus,
+    "profile": _cmd_profile,
+    "perf": _cmd_perf,
 }
 
 

@@ -76,6 +76,26 @@ class StoreError(ReproError):
     """
 
 
+class TraceError(ReproError):
+    """A JSON-lines trace file could not be parsed into spans.
+
+    Raised by :mod:`repro.obs.profile` when a ``--trace`` file handed
+    to ``repro-mine profile`` is not JSON lines, or a span record is
+    missing required fields.
+    """
+
+
+class HistoryError(ReproError):
+    """The run-history warehouse was missing, corrupt or misused.
+
+    Raised for example when a manifest handed to ``ingest`` lacks a
+    bench name, or when the warehouse directory cannot be created.
+    Individually corrupt segment *lines* never raise — they degrade to
+    a counted miss (``history.read_errors``) like every other on-disk
+    artifact in the package.
+    """
+
+
 class ConsensusError(ReproError):
     """A consensus method was applied to an invalid input profile.
 

@@ -57,21 +57,27 @@ class LintCache:
         self._load()
 
     def _load(self) -> None:
-        if not self.path.exists():
-            return
-        try:
-            payload = json.loads(self.path.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, OSError):
-            return
-        if (
-            not isinstance(payload, dict)
-            or payload.get("signature") != self.signature
-        ):
-            return
-        entries = payload.get("entries")
-        if isinstance(entries, dict):
-            self.entries = entries
-            self.loaded = True
+        from repro.obs.context import get_tracer
+
+        with get_tracer().span(
+            "lint.cache.load", metric="lint.cache.load.seconds"
+        ) as span:
+            if not self.path.exists():
+                return
+            try:
+                payload = json.loads(self.path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError):
+                return
+            if (
+                not isinstance(payload, dict)
+                or payload.get("signature") != self.signature
+            ):
+                return
+            entries = payload.get("entries")
+            if isinstance(entries, dict):
+                self.entries = entries
+                self.loaded = True
+                span.annotate(entries=len(entries))
 
     def lookup(self, path: str, sha: str) -> dict | None:
         """The cached record for ``path`` iff its content still matches."""
@@ -84,14 +90,21 @@ class LintCache:
         self.entries[path] = record
 
     def write(self) -> None:
-        payload = {
-            "version": LINT_VERSION,
-            "signature": self.signature,
-            "entries": self.entries,
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(
-            json.dumps(payload, sort_keys=True), encoding="utf-8"
-        )
-        tmp.replace(self.path)
+        from repro.obs.context import get_tracer
+
+        with get_tracer().span(
+            "lint.cache.write",
+            metric="lint.cache.write.seconds",
+            entries=len(self.entries),
+        ):
+            payload = {
+                "version": LINT_VERSION,
+                "signature": self.signature,
+                "entries": self.entries,
+            }
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(self.path)

@@ -109,6 +109,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="parse workers for the project pass (default: 1)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record spans (scan, cache, project pass) and write a "
+             "JSON-lines trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--engine-stats",
+        action="store_true",
+        dest="engine_stats",
+        help="print cache and pass statistics to stderr",
+    )
     return parser
 
 
@@ -121,7 +134,13 @@ def _resolve_baseline(options) -> Path | None:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Run the analyzer; returns the process exit status."""
+    """Run the analyzer; returns the process exit status.
+
+    ``--trace PATH`` installs an enabled tracer for the run, so the
+    scan/cache/project spans land in a JSON-lines trace exactly like
+    the ``repro-mine`` engine subcommands; ``--engine-stats`` prints
+    the accumulated metrics to stderr.
+    """
     options = _build_parser().parse_args(argv)
 
     if options.list_rules:
@@ -129,6 +148,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule.id}  {rule.name}: {rule.summary}")
         return 0
 
+    from repro.obs.context import scope
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+    registry = MetricsRegistry()
+    tracer = Tracer(registry, enabled=options.trace is not None)
+    try:
+        with scope(registry, tracer):
+            with tracer.span("lint.run", metric="lint.run.seconds"):
+                return _execute(options)
+    finally:
+        if options.trace is not None:
+            from repro.obs.export import write_trace
+
+            write_trace(options.trace, tracer, registry, command="lint")
+        if options.engine_stats:
+            from repro.obs.export import render_stats
+
+            for line in render_stats(registry):
+                print(line, file=sys.stderr)
+
+
+def _execute(options) -> int:
     select = None
     if options.select:
         select = [part.strip() for part in options.select.split(",") if part.strip()]

@@ -717,40 +717,50 @@ def analyze_project(
             )
 
     from repro.lint.cache import content_hash
+    from repro.obs.context import get_tracer
 
-    files = [str(path) for path in _iter_python_files(paths)]
-    records: dict[str, dict] = {}
-    hits = 0
-    to_scan: list[str] = []
-    for path in files:
-        source = Path(path).read_text(encoding="utf-8")
-        sha = content_hash(source)
-        cached = cache.lookup(path, sha) if cache is not None else None
-        if cached is not None:
-            records[path] = cached
-            hits += 1
-        else:
-            to_scan.append(path)
+    # Spans live in this parent-side body only — never in _scan_files,
+    # which runs as a pool payload under the RPL102 purity rule.
+    tracer = get_tracer()
+    with tracer.span("lint.scan", metric="lint.scan.seconds") as scan_span:
+        files = [str(path) for path in _iter_python_files(paths)]
+        records: dict[str, dict] = {}
+        hits = 0
+        to_scan: list[str] = []
+        for path in files:
+            source = Path(path).read_text(encoding="utf-8")
+            sha = content_hash(source)
+            cached = cache.lookup(path, sha) if cache is not None else None
+            if cached is not None:
+                records[path] = cached
+                hits += 1
+            else:
+                to_scan.append(path)
 
-    if to_scan:
-        fresh: list[dict] = []
-        if jobs > 1 and len(to_scan) >= min_parallel_files:
-            chunk_size = max(1, math.ceil(len(to_scan) / (jobs * 4)))
-            chunks = [
-                to_scan[start : start + chunk_size]
-                for start in range(0, len(to_scan), chunk_size)
-            ]
-            with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-                for part in pool.map(
-                    _scan_files, [(chunk, None) for chunk in chunks]
-                ):
-                    fresh.extend(part)
-        else:
-            fresh = _scan_files((to_scan, None))
-        for record in fresh:
-            records[record["path"]] = record
-            if cache is not None:
-                cache.store(record["path"], record)
+        if to_scan:
+            fresh: list[dict] = []
+            if jobs > 1 and len(to_scan) >= min_parallel_files:
+                chunk_size = max(1, math.ceil(len(to_scan) / (jobs * 4)))
+                chunks = [
+                    to_scan[start : start + chunk_size]
+                    for start in range(0, len(to_scan), chunk_size)
+                ]
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(chunks))
+                ) as pool:
+                    for part in pool.map(
+                        _scan_files, [(chunk, None) for chunk in chunks]
+                    ):
+                        fresh.extend(part)
+            else:
+                fresh = _scan_files((to_scan, None))
+            for record in fresh:
+                records[record["path"]] = record
+                if cache is not None:
+                    cache.store(record["path"], record)
+        scan_span.annotate(
+            files=len(files), hits=hits, misses=len(to_scan)
+        )
 
     findings: list[Finding] = []
     for path in files:
@@ -758,13 +768,16 @@ def analyze_project(
             if wanted is None or payload["rule_id"] in wanted:
                 findings.append(Finding.from_dict(payload))
 
-    context = ProjectContext([records[path]["summary"] for path in files])
-    for rule in PROJECT_RULES:
-        if wanted is not None and rule.id not in wanted:
-            continue
-        for finding in rule.check(context):
-            if not context.suppressed(finding):
-                findings.append(finding)
+    with tracer.span("lint.project", metric="lint.project.seconds"):
+        context = ProjectContext(
+            [records[path]["summary"] for path in files]
+        )
+        for rule in PROJECT_RULES:
+            if wanted is not None and rule.id not in wanted:
+                continue
+            for finding in rule.check(context):
+                if not context.suppressed(finding):
+                    findings.append(finding)
 
     findings.sort()
     return ProjectReport(

@@ -667,6 +667,9 @@ class UntracedTimers(Rule):
     _clocks = frozenset(
         {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
     )
+    # Where the violation happened, for the message; the subclass
+    # narrowing the scope (RPL008) swaps in its own phrase.
+    _where = "outside repro/obs/"
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -679,7 +682,7 @@ class UntracedTimers(Rule):
                 yield self.finding(
                     ctx,
                     node,
-                    f"direct time.{node.attr} outside repro/obs/; use "
+                    f"direct time.{node.attr} {self._where}; use "
                     "repro.obs.metrics.stopwatch(), registry.time() or "
                     "a tracer span so the reading reaches the registry",
                 )
@@ -693,10 +696,36 @@ class UntracedTimers(Rule):
                     yield self.finding(
                         ctx,
                         node,
-                        f"importing {', '.join(bad)} from time outside "
-                        "repro/obs/; use repro.obs.metrics.stopwatch(), "
+                        f"importing {', '.join(bad)} from time "
+                        f"{self._where}; use "
+                        "repro.obs.metrics.stopwatch(), "
                         "registry.time() or a tracer span instead",
                     )
+
+
+class ObsInternalTimers(UntracedTimers):
+    """RPL008: raw clocks in the obs *analysis* layer.
+
+    ``repro/obs/`` as a whole is excluded from RPL007 because the
+    recording primitives (:mod:`repro.obs.metrics`,
+    :mod:`repro.obs.trace`) are exactly where the raw clock reads must
+    live.  The analysis layer that grew on top — profile, history,
+    regress, export, schema — has no such licence: it consumes span
+    records and manifests that already carry their durations, so a
+    fresh ``time.perf_counter()`` there is a timing path invisible to
+    traces and the <5% overhead gate.  Those modules time through
+    ``stopwatch()``/spans like everyone else.
+    """
+
+    id = "RPL008"
+    name = "obs-internal-timers"
+    summary = (
+        "no direct clock reads in repro/obs/ outside metrics.py and "
+        "trace.py; the obs analysis layer uses stopwatch()/span APIs"
+    )
+    scope = ("repro/obs/",)
+    exclude = ("repro/obs/metrics.py", "repro/obs/trace.py")
+    _where = "in the obs analysis layer"
 
 
 RULES: tuple[Rule, ...] = (
@@ -707,5 +736,6 @@ RULES: tuple[Rule, ...] = (
     DeterministicGenerators(),
     UnpicklableWorkerPayload(),
     UntracedTimers(),
+    ObsInternalTimers(),
 )
 """Every registered rule, in id order."""

@@ -1,11 +1,11 @@
 """repro.obs — zero-dependency instrumentation for the mining stack.
 
-Spans, metrics and exporters in one package:
+Spans, metrics, exporters and the analysis layer in one package:
 
 - :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
   gauges and fixed-bucket histograms; :class:`Stopwatch` / ``Timer``
   for elapsed-seconds timing (the only sanctioned wall-clock readers
-  outside this package — RPL007).
+  outside this package — RPL007/RPL008).
 - :mod:`repro.obs.trace` — context-manager :class:`Span`s with parent
   links and labels via :class:`Tracer`; a disabled tracer hands out
   true no-ops so hot loops pay nothing.
@@ -15,8 +15,17 @@ Spans, metrics and exporters in one package:
   lets the engine/CLI redirect them into their own.
 - :mod:`repro.obs.export` — JSON-lines traces (``--trace PATH``),
   ``--engine-stats`` renderings and per-benchmark run manifests.
+- :mod:`repro.obs.profile` — span-tree analysis: per-name rollups,
+  critical path and folded-stack export (``repro-mine profile`` and
+  the ``--profile`` flag).
+- :mod:`repro.obs.history` — the append-only ``.repro-history/``
+  warehouse of ingested run manifests (``repro-mine perf ingest``).
+- :mod:`repro.obs.regress` — noise-aware regression verdicts of a
+  manifest against the warehouse's rolling median
+  (``repro-mine perf check``).
 - :mod:`repro.obs.schema` — the minimal JSON-schema validator CI uses
-  on emitted traces/manifests (``python -m repro.obs.schema``).
+  on emitted traces/manifests/history/verdicts
+  (``python -m repro.obs.schema``).
 
 See ``docs/observability.md`` for the span taxonomy and metric names.
 """
@@ -32,6 +41,14 @@ from repro.obs.export import (
     write_manifest,
     write_trace,
 )
+from repro.obs.history import (
+    HISTORY_DIRNAME,
+    HISTORY_VERSION,
+    RunHistory,
+    manifest_metrics,
+    manifest_record,
+    params_fingerprint,
+)
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
     Counter,
@@ -42,31 +59,69 @@ from repro.obs.metrics import (
     Timer,
     stopwatch,
 )
+from repro.obs.profile import (
+    PathStep,
+    Profile,
+    ProfileRow,
+    build_profile,
+    folded_lines,
+    profile_trace,
+    read_trace_spans,
+    render_profile,
+    write_folded,
+)
+from repro.obs.regress import (
+    REGRESS_VERSION,
+    RegressPolicy,
+    check_manifest,
+    is_gated_metric,
+    render_report,
+)
 from repro.obs.trace import NULL_SPAN, Span, SpanRecord, Tracer
 
 __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
+    "HISTORY_DIRNAME",
+    "HISTORY_VERSION",
     "MANIFEST_VERSION",
     "NULL_SPAN",
+    "REGRESS_VERSION",
     "TRACE_VERSION",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PathStep",
+    "Profile",
+    "ProfileRow",
+    "RegressPolicy",
+    "RunHistory",
     "Span",
     "SpanRecord",
     "Stopwatch",
     "Timer",
     "Tracer",
     "build_manifest",
+    "build_profile",
+    "check_manifest",
+    "folded_lines",
     "get_registry",
     "get_tracer",
     "git_revision",
     "global_registry",
+    "is_gated_metric",
+    "manifest_metrics",
+    "manifest_record",
+    "params_fingerprint",
+    "profile_trace",
+    "read_trace_spans",
+    "render_profile",
+    "render_report",
     "render_stats",
     "scope",
     "stopwatch",
     "trace_lines",
+    "write_folded",
     "write_manifest",
     "write_trace",
 ]

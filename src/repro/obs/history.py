@@ -1,0 +1,412 @@
+"""Append-only run-history warehouse for benchmark manifests.
+
+``.repro-history/`` turns the one-shot ``BENCH_*.manifest.json`` files
+into a trajectory: every ingested manifest becomes one flat *run
+record* — bench name, git revision, a **params digest** over the
+configuration knobs, and a dotted-key metric map covering phase
+timings, resource counters and every numeric measurement in the
+manifest — appended to a JSON-lines segment and registered in
+``index.json``.  :mod:`repro.obs.regress` reads the records back to
+decide whether the current run got slower.
+
+Layout::
+
+    .repro-history/
+        index.json            # {"version", "segments": [...], "count"}
+        segment-000001.jsonl  # one record per line (history.schema.json)
+
+Writes go through :func:`repro.io.atomic_write` (rewrite the active
+segment plus the index; readers never see a torn file); segments
+rotate at ``segment_records`` lines so the rewrite cost stays bounded.
+Corrupt segment *lines* degrade to a counted miss
+(``history.read_errors``) exactly like pair-store shards; only a
+missing bench name or an unusable warehouse directory raise
+:class:`~repro.errors.HistoryError`.
+
+Records are deduplicated by a content digest over (bench, revision,
+python, params digest, metrics), so re-ingesting the checked-in
+manifests — which CI does on every run — is idempotent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import HistoryError
+from repro.obs.context import get_registry, get_tracer
+
+__all__ = [
+    "HISTORY_DIRNAME",
+    "HISTORY_VERSION",
+    "RunHistory",
+    "flatten",
+    "manifest_metrics",
+    "manifest_record",
+    "params_fingerprint",
+]
+
+HISTORY_VERSION = 1
+HISTORY_DIRNAME = ".repro-history"
+
+# Trailing dotted-key segments that mark a params leaf as a measurement
+# rather than a configuration knob: excluded from the params digest so
+# two runs of the same knob set compare, included in the metric map so
+# their trajectory is still queryable.
+_MEASUREMENT_SUFFIXES = ("seconds", "_kb", "_bytes", "_digest", "_ratio",
+                         "_fraction", "note")
+
+_INDEX_NAME = "index.json"
+_SEGMENT_PREFIX = "segment-"
+
+
+def flatten(
+    mapping: Mapping[str, Any], prefix: str = ""
+) -> dict[str, Any]:
+    """Dotted-key leaves of a nested mapping (non-scalar leaves dropped).
+
+    ``{"pack": {"seconds": 1.0}}`` becomes ``{"pack.seconds": 1.0}``;
+    lists and other non-dict non-scalar values do not appear (manifest
+    params never carry them, and a digest over them would be fragile).
+    """
+    leaves: dict[str, Any] = {}
+    for key, value in mapping.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            leaves.update(flatten(value, f"{dotted}."))
+        elif isinstance(value, (str, bool, int, float)) or value is None:
+            leaves[dotted] = value
+    return leaves
+
+
+def _is_measurement(dotted: str) -> bool:
+    tail = dotted.rsplit(".", 1)[-1]
+    return any(tail.endswith(suffix) for suffix in _MEASUREMENT_SUFFIXES)
+
+
+def params_fingerprint(params: Mapping[str, Any]) -> str:
+    """Digest of the configuration knobs only (stable across re-runs).
+
+    Keeps string/bool/int leaves whose key does not look like a
+    measurement; floats are treated as measurements wholesale (every
+    float in the checked-in manifests is one).
+    """
+    knobs = {
+        key: value
+        for key, value in flatten(params).items()
+        if not _is_measurement(key) and isinstance(value, (str, bool, int))
+    }
+    canonical = json.dumps(knobs, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def manifest_metrics(manifest: Mapping[str, Any]) -> dict[str, float]:
+    """Every numeric measurement of a manifest, under dotted keys.
+
+    ``phase.<name>`` for the phase timings, ``resource.<key>`` for the
+    process-level resources, and the numeric params leaves under their
+    own dotted keys.
+    """
+    metrics: dict[str, float] = {}
+    for key, value in flatten(manifest.get("params", {})).items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        metrics[key] = float(value)
+    for phase in manifest.get("phases", ()) or ():
+        if isinstance(phase, Mapping) and "name" in phase and "seconds" in phase:
+            metrics[f"phase.{phase['name']}"] = float(phase["seconds"])
+    for key, value in (manifest.get("resources") or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[f"resource.{key}"] = float(value)
+    return metrics
+
+
+def manifest_record(
+    manifest: Mapping[str, Any], source: str | None = None
+) -> dict[str, Any]:
+    """The warehouse record for one run manifest.
+
+    Raises :class:`~repro.errors.HistoryError` when the manifest has no
+    bench ``name`` — an unnamed run has no trajectory to join.
+    """
+    bench = manifest.get("name")
+    if not isinstance(bench, str) or not bench:
+        raise HistoryError(
+            f"manifest has no bench name (source {source or '<mapping>'})"
+        )
+    params = manifest.get("params") or {}
+    metrics = manifest_metrics(manifest)
+    record: dict[str, Any] = {
+        "version": HISTORY_VERSION,
+        "bench": bench,
+        "git_revision": manifest.get("git_revision"),
+        "python": manifest.get("python"),
+        "params_digest": params_fingerprint(params),
+        "metrics": metrics,
+    }
+    canonical = json.dumps(
+        {
+            "bench": record["bench"],
+            "git_revision": record["git_revision"],
+            "python": record["python"],
+            "params_digest": record["params_digest"],
+            "metrics": metrics,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    record["digest"] = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    record["source"] = source
+    return record
+
+
+class RunHistory:
+    """One warehouse directory, fully loaded; see the module docstring.
+
+    Use :meth:`open` — the constructor wires pre-loaded state.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        segments: list[str],
+        records: list[dict[str, Any]],
+        segment_records: int,
+    ) -> None:
+        self.root = root
+        self._segments = segments
+        self._records = records
+        self._digests = {record["digest"] for record in records}
+        self._segment_records = segment_records
+        # Records per segment, needed to know when the active one is
+        # full; reconstructed from the records' segment tags on load.
+        self._active_count = 0
+        if segments:
+            active = segments[-1]
+            self._active_count = sum(
+                1 for record in records if record.get("_segment") == active
+            )
+
+    @classmethod
+    def open(
+        cls,
+        root: str | os.PathLike[str],
+        *,
+        segment_records: int = 128,
+    ) -> "RunHistory":
+        """Load (or initialise) the warehouse at ``root``.
+
+        A missing directory is created; a missing or corrupt index is
+        rebuilt from the segment files on disk; corrupt segment lines
+        are skipped and counted (``history.read_errors``).
+        """
+        if segment_records < 1:
+            raise HistoryError(
+                f"segment_records must be positive, got {segment_records}"
+            )
+        base = Path(os.fspath(root))
+        try:
+            base.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise HistoryError(
+                f"cannot create history directory {base}: {error}"
+            ) from error
+        read_errors = get_registry().counter("history.read_errors")
+        with get_tracer().span(
+            "history.load", metric="history.load.seconds"
+        ) as span:
+            segments = cls._segment_names(base, read_errors)
+            records: list[dict[str, Any]] = []
+            for segment in segments:
+                records.extend(
+                    cls._read_segment(base / segment, segment, read_errors)
+                )
+            span.annotate(segments=len(segments), records=len(records))
+        return cls(base, segments, records, segment_records)
+
+    @staticmethod
+    def _segment_names(base: Path, read_errors: Any) -> list[str]:
+        index_path = base / _INDEX_NAME
+        if index_path.exists():
+            try:
+                with open(index_path, encoding="utf-8") as handle:
+                    index = json.load(handle)
+                names = index["segments"]
+                if isinstance(names, list) and all(
+                    isinstance(name, str) for name in names
+                ):
+                    return list(names)
+            except (OSError, ValueError, KeyError, TypeError):
+                pass
+            read_errors.add()
+        # Fall back to the on-disk segment files, oldest first.
+        return sorted(
+            entry.name
+            for entry in base.iterdir()
+            if entry.name.startswith(_SEGMENT_PREFIX)
+            and entry.name.endswith(".jsonl")
+        )
+
+    @staticmethod
+    def _read_segment(
+        path: Path, segment: str, read_errors: Any
+    ) -> list[dict[str, Any]]:
+        records: list[dict[str, Any]] = []
+        try:
+            handle = open(path, encoding="utf-8")
+        except OSError:
+            read_errors.add()
+            return records
+        with handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    record = json.loads(raw)
+                except json.JSONDecodeError:
+                    read_errors.add()
+                    continue
+                if (
+                    not isinstance(record, dict)
+                    or "bench" not in record
+                    or "digest" not in record
+                    or not isinstance(record.get("metrics"), dict)
+                ):
+                    read_errors.add()
+                    continue
+                record["_segment"] = segment
+                records.append(record)
+        return records
+
+    # ------------------------------------------------------------------
+    # Writing
+
+    def ingest(
+        self, manifest: Mapping[str, Any], *, source: str | None = None
+    ) -> bool:
+        """Append one manifest's record; ``False`` when already present."""
+        with get_tracer().span(
+            "history.ingest", metric="history.ingest.seconds"
+        ) as span:
+            record = manifest_record(manifest, source=source)
+            span.annotate(bench=record["bench"])
+            if record["digest"] in self._digests:
+                get_registry().counter("history.dedup").add()
+                span.annotate(dedup=True)
+                return False
+            if not self._segments or (
+                self._active_count >= self._segment_records
+            ):
+                self._segments.append(
+                    f"{_SEGMENT_PREFIX}{len(self._segments) + 1:06d}.jsonl"
+                )
+                self._active_count = 0
+            active = self._segments[-1]
+            record["_segment"] = active
+            self._records.append(record)
+            self._digests.add(record["digest"])
+            self._active_count += 1
+            self._write_segment(active)
+            self._write_index()
+        return True
+
+    def ingest_file(self, path: str | os.PathLike[str]) -> bool:
+        """Read a manifest JSON file and :meth:`ingest` it."""
+        name = Path(os.fspath(path)).name
+        try:
+            with open(os.fspath(path), encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise HistoryError(
+                f"cannot read manifest {path}: {error}"
+            ) from None
+        if not isinstance(manifest, dict):
+            raise HistoryError(f"manifest {path} is not a JSON object")
+        return self.ingest(manifest, source=name)
+
+    def _write_segment(self, segment: str) -> None:
+        # Imported here, not at module top: repro.io reaches back into
+        # repro.core, which imports repro.obs — a cycle at import time.
+        from repro.io import atomic_write
+
+        rows = [
+            record for record in self._records
+            if record.get("_segment") == segment
+        ]
+        with atomic_write(self.root / segment) as handle:
+            for record in rows:
+                public = {
+                    key: value
+                    for key, value in record.items()
+                    if not key.startswith("_")
+                }
+                handle.write(
+                    json.dumps(public, sort_keys=True, separators=(",", ":"))
+                )
+                handle.write("\n")
+
+    def _write_index(self) -> None:
+        from repro.io import atomic_write
+
+        index = {
+            "version": HISTORY_VERSION,
+            "segments": list(self._segments),
+            "count": len(self._records),
+        }
+        with atomic_write(self.root / _INDEX_NAME) as handle:
+            json.dump(index, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    @property
+    def count(self) -> int:
+        """Number of loaded records."""
+        return len(self._records)
+
+    def benches(self) -> list[str]:
+        """Sorted bench names present in the warehouse."""
+        return sorted({record["bench"] for record in self._records})
+
+    def runs(
+        self,
+        bench: str | None = None,
+        *,
+        params_digest: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Records in ingest order, optionally filtered."""
+        selected: Iterable[dict[str, Any]] = self._records
+        if bench is not None:
+            selected = (r for r in selected if r["bench"] == bench)
+        if params_digest is not None:
+            selected = (
+                r for r in selected if r.get("params_digest") == params_digest
+            )
+        return [
+            {k: v for k, v in record.items() if not k.startswith("_")}
+            for record in selected
+        ]
+
+    def latest(self, bench: str, count: int = 1) -> list[dict[str, Any]]:
+        """The newest ``count`` records for ``bench`` (newest last)."""
+        return self.runs(bench)[-max(0, count):]
+
+    def series(
+        self,
+        bench: str,
+        metric: str,
+        *,
+        params_digest: str | None = None,
+    ) -> list[tuple[str | None, float]]:
+        """``(git_revision, value)`` pairs for one metric, oldest first."""
+        points: list[tuple[str | None, float]] = []
+        for record in self.runs(bench, params_digest=params_digest):
+            value = record.get("metrics", {}).get(metric)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                points.append((record.get("git_revision"), float(value)))
+        return points

@@ -1,0 +1,174 @@
+"""Noise-aware perf-regression verdicts against the run history.
+
+:func:`check_manifest` compares one benchmark manifest's **gated
+metrics** — phase timings and anything ending in ``_seconds`` — against
+the rolling median of the warehouse's prior runs with the *same bench
+and params digest* (apples to apples: a knob change starts a fresh
+baseline rather than tripping the gate).  Per metric, the verdict is:
+
+- ``abstain`` — fewer baseline samples than ``min_samples``, or both
+  sides under the ``floor_seconds`` noise floor (micro-phases jitter
+  far beyond any honest threshold);
+- ``regressed`` — current / median above ``1 + threshold``;
+- ``improved`` — below ``1 - threshold``;
+- ``pass`` — inside the band.
+
+The run being checked is excluded from its own baseline by record
+digest, so ``perf check`` right after ``perf ingest`` of the same
+manifest still compares against *prior* runs only (and abstains when
+there are none — a fresh warehouse never fails the gate).
+
+The report is a plain dict validated by ``schemas/regress.schema.json``
+(one JSON line per checked manifest when the CLI writes ``--report``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any, Mapping
+
+from repro.obs.history import RunHistory, manifest_record
+
+__all__ = [
+    "REGRESS_VERSION",
+    "RegressPolicy",
+    "check_manifest",
+    "is_gated_metric",
+    "render_report",
+]
+
+REGRESS_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RegressPolicy:
+    """Knobs of the regression gate.
+
+    ``threshold`` is the default relative band (0.25 = a metric may
+    drift 25% either way before it is called); ``thresholds`` overrides
+    it per metric name.  ``min_samples`` defaults to 1 so a single
+    prior run already gates — benches run rarely enough that waiting
+    for three samples would leave the gate open for weeks.
+    """
+
+    window: int = 8
+    min_samples: int = 1
+    threshold: float = 0.25
+    floor_seconds: float = 0.005
+    thresholds: Mapping[str, float] = field(default_factory=dict)
+
+
+def is_gated_metric(name: str) -> bool:
+    """Whether a metric is timing-like and therefore gated.
+
+    ``phase.*`` plus any dotted key whose last segment is ``seconds``
+    or ends in ``_seconds``; counts, digests and sizes are trajectory
+    data, not gates.
+    """
+    if name.startswith("phase."):
+        return True
+    tail = name.rsplit(".", 1)[-1]
+    return tail == "seconds" or tail.endswith("_seconds")
+
+
+def check_manifest(
+    history: RunHistory,
+    manifest: Mapping[str, Any],
+    *,
+    policy: RegressPolicy | None = None,
+    source: str | None = None,
+) -> dict[str, Any]:
+    """The verdict report for one manifest against ``history``."""
+    policy = policy or RegressPolicy()
+    record = manifest_record(manifest, source=source)
+    baseline = [
+        run
+        for run in history.runs(
+            record["bench"], params_digest=record["params_digest"]
+        )
+        if run["digest"] != record["digest"]
+    ][-policy.window:]
+
+    verdicts: list[dict[str, Any]] = []
+    for metric in sorted(record["metrics"]):
+        if not is_gated_metric(metric):
+            continue
+        current = float(record["metrics"][metric])
+        samples = [
+            float(run["metrics"][metric])
+            for run in baseline
+            if metric in run.get("metrics", {})
+        ]
+        threshold = float(policy.thresholds.get(metric, policy.threshold))
+        verdict: dict[str, Any] = {
+            "metric": metric,
+            "current": current,
+            "samples": len(samples),
+            "threshold": threshold,
+            "median": None,
+            "ratio": None,
+        }
+        if len(samples) < policy.min_samples:
+            verdict["status"] = "abstain"
+            verdict["reason"] = "not enough baseline samples"
+        else:
+            base = float(median(samples))
+            verdict["median"] = base
+            if current <= policy.floor_seconds and base <= policy.floor_seconds:
+                verdict["status"] = "abstain"
+                verdict["reason"] = "under noise floor"
+            elif base <= 0.0:
+                verdict["status"] = "abstain"
+                verdict["reason"] = "non-positive baseline"
+            else:
+                ratio = current / base
+                verdict["ratio"] = ratio
+                if ratio > 1.0 + threshold:
+                    verdict["status"] = "regressed"
+                elif ratio < 1.0 - threshold:
+                    verdict["status"] = "improved"
+                else:
+                    verdict["status"] = "pass"
+        verdicts.append(verdict)
+
+    counts = {"pass": 0, "regressed": 0, "improved": 0, "abstain": 0}
+    for verdict in verdicts:
+        counts[verdict["status"]] += 1
+    return {
+        "version": REGRESS_VERSION,
+        "bench": record["bench"],
+        "git_revision": record["git_revision"],
+        "params_digest": record["params_digest"],
+        "source": source,
+        "baseline_runs": len(baseline),
+        "window": policy.window,
+        "min_samples": policy.min_samples,
+        "status": "regressed" if counts["regressed"] else "pass",
+        "counts": counts,
+        "verdicts": verdicts,
+    }
+
+
+def render_report(report: Mapping[str, Any]) -> list[str]:
+    """Human lines for one verdict report (CLI ``perf check`` output)."""
+    counts = report["counts"]
+    lines = [
+        f"{report['bench']}: {report['status']} "
+        f"({report['baseline_runs']} baseline run(s); "
+        f"{counts['pass']} pass, {counts['regressed']} regressed, "
+        f"{counts['improved']} improved, {counts['abstain']} abstained)"
+    ]
+    for verdict in report["verdicts"]:
+        if verdict["status"] in ("pass", "abstain"):
+            continue
+        lines.append(
+            f"  {verdict['status']}: {verdict['metric']} "
+            f"{verdict['median']:.4f}s -> {verdict['current']:.4f}s "
+            f"(x{verdict['ratio']:.2f}, band ±{verdict['threshold']:.0%})"
+        )
+    for verdict in report["verdicts"]:
+        if verdict["status"] == "abstain" and report["baseline_runs"] == 0:
+            lines.append("  (no baseline yet: every metric abstained)")
+            break
+    return lines

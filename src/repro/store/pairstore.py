@@ -739,6 +739,22 @@ class PairStore:
         fresh: Sequence[Member],
     ) -> None:
         """Append new trees as one generation; rewrite the row map."""
+        with get_tracer().span(
+            "store.append",
+            metric="store.append.seconds",
+            trees=len(members),
+            fresh=len(fresh),
+        ):
+            self._append_locked(members, packed, version, names, fresh)
+
+    def _append_locked(
+        self,
+        members: Sequence[Member],
+        packed: Mapping[int, "PackedCounts"],
+        version: int,
+        names: Mapping[int, str] | None,
+        fresh: Sequence[Member],
+    ) -> None:
         manifest = self._manifest
         generations = list(self._generations)
         gen_records = list(manifest["generations"])

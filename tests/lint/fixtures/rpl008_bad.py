@@ -1,0 +1,17 @@
+"""RPL008 trigger (linted as repro/obs/profile.py): raw clocks in the
+obs analysis layer."""
+
+import time
+from time import perf_counter
+
+
+def timed_rollup(build, spans):
+    started = time.perf_counter()
+    profile = build(spans)
+    return profile, time.perf_counter() - started
+
+
+def quick_elapsed(ingest, manifest):
+    before = perf_counter()
+    ingest(manifest)
+    return perf_counter() - before

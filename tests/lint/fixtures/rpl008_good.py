@@ -1,0 +1,25 @@
+"""RPL008 pass (linted as repro/obs/profile.py): the analysis layer
+times through the recording APIs like every other module."""
+
+import time
+
+from repro.obs.context import get_tracer
+from repro.obs.metrics import stopwatch
+
+
+def timed_rollup(build, spans):
+    with stopwatch() as watch:
+        profile = build(spans)
+    return profile, watch.seconds
+
+
+def traced_ingest(ingest, manifest):
+    with get_tracer().span(
+        "history.ingest", metric="history.ingest.seconds"
+    ):
+        return ingest(manifest)
+
+
+def wall_clock_timestamp():
+    # Wall-clock reads (not monotonic measurement clocks) stay legal.
+    return time.time()

@@ -29,6 +29,7 @@ MODULE_KEYS = {
     "rpl005": "repro/generate/fixture.py",
     "rpl006": "repro/engine/fixture.py",
     "rpl007": "repro/apps/fixture.py",
+    "rpl008": "repro/obs/profile.py",
 }
 
 

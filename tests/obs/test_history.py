@@ -1,0 +1,261 @@
+"""Run-history warehouse: round-trip, degrade, dedup, rotation, queries.
+
+The warehouse's contract is library-grade: what :meth:`RunHistory.ingest`
+accepts, a fresh :meth:`RunHistory.open` reads back identically; corrupt
+segment lines and a trashed index degrade to counted misses
+(``history.read_errors``), never exceptions; re-ingesting the same
+manifest is a counted no-op.  Records on disk validate against
+``schemas/history.schema.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.obs.context import scope
+from repro.obs.history import (
+    HISTORY_VERSION,
+    RunHistory,
+    flatten,
+    manifest_metrics,
+    manifest_record,
+    params_fingerprint,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate
+
+REPO_ROOT = Path(__file__).parents[2]
+
+
+def load_schema(path: Path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def make_manifest(
+    name="bench_store",
+    revision="abc1234",
+    pack_seconds=1.0,
+    trees=500,
+):
+    return {
+        "name": name,
+        "git_revision": revision,
+        "python": "3.11.0",
+        "params": {
+            "trees": trees,
+            "smoke": False,
+            "pack": {"seconds": pack_seconds, "bytes_per_pair": 12.5},
+        },
+        "phases": [
+            {"name": "pack", "seconds": pack_seconds},
+            {"name": "store", "seconds": 0.25},
+        ],
+        "resources": {"max_rss_kb": 120000},
+    }
+
+
+class TestRecordShape:
+    def test_flatten_drops_non_scalars(self):
+        leaves = flatten({"a": {"b": 1}, "c": [1, 2], "d": "x"})
+        assert leaves == {"a.b": 1, "d": "x"}
+
+    def test_params_digest_ignores_measurements(self):
+        base = params_fingerprint(make_manifest()["params"])
+        slower = params_fingerprint(
+            make_manifest(pack_seconds=9.0)["params"]
+        )
+        other_knobs = params_fingerprint(
+            make_manifest(trees=900)["params"]
+        )
+        assert base == slower
+        assert base != other_knobs
+
+    def test_metrics_cover_phases_resources_and_numeric_params(self):
+        metrics = manifest_metrics(make_manifest())
+        assert metrics["phase.pack"] == 1.0
+        assert metrics["resource.max_rss_kb"] == 120000.0
+        assert metrics["trees"] == 500.0
+        assert metrics["pack.seconds"] == 1.0
+        # Booleans and strings are knobs, not measurements.
+        assert "smoke" not in metrics
+
+    def test_nameless_manifest_raises(self):
+        with pytest.raises(HistoryError, match="no bench name"):
+            manifest_record({"params": {}})
+
+    def test_record_validates_against_schema(self):
+        record = manifest_record(make_manifest(), source="m.json")
+        schema = load_schema(REPO_ROOT / "schemas" / "history.schema.json")
+        assert validate(record, schema) == []
+
+
+class TestRoundTrip:
+    def test_ingest_then_reopen_reads_back(self, tmp_path):
+        history = RunHistory.open(tmp_path / "wh")
+        assert history.ingest(make_manifest(), source="m.json") is True
+        reopened = RunHistory.open(tmp_path / "wh")
+        assert reopened.count == 1
+        (record,) = reopened.runs("bench_store")
+        assert record == history.runs("bench_store")[0]
+        assert record["version"] == HISTORY_VERSION
+        assert "_segment" not in record  # internal tags never leak
+
+    def test_duplicate_ingest_is_counted_noop(self, tmp_path):
+        registry = MetricsRegistry()
+        with scope(registry):
+            history = RunHistory.open(tmp_path / "wh")
+            assert history.ingest(make_manifest()) is True
+            assert history.ingest(make_manifest()) is False
+        assert registry.counter("history.dedup").value == 1
+        assert RunHistory.open(tmp_path / "wh").count == 1
+
+    def test_distinct_runs_both_kept(self, tmp_path):
+        history = RunHistory.open(tmp_path / "wh")
+        history.ingest(make_manifest(revision="aaa1111"))
+        history.ingest(make_manifest(revision="bbb2222"))
+        assert history.count == 2
+        assert [r["git_revision"] for r in history.runs("bench_store")] == [
+            "aaa1111",
+            "bbb2222",
+        ]
+
+    def test_segment_rotation(self, tmp_path):
+        history = RunHistory.open(tmp_path / "wh", segment_records=2)
+        for i in range(5):
+            history.ingest(make_manifest(revision=f"rev{i}"))
+        segments = sorted(
+            p.name for p in (tmp_path / "wh").glob("segment-*.jsonl")
+        )
+        assert segments == [
+            "segment-000001.jsonl",
+            "segment-000002.jsonl",
+            "segment-000003.jsonl",
+        ]
+        reopened = RunHistory.open(tmp_path / "wh", segment_records=2)
+        assert reopened.count == 5
+        # Order survives rotation.
+        assert [
+            r["git_revision"] for r in reopened.runs("bench_store")
+        ] == [f"rev{i}" for i in range(5)]
+
+    def test_on_disk_records_validate_against_schema(self, tmp_path):
+        history = RunHistory.open(tmp_path / "wh")
+        history.ingest(make_manifest(), source="m.json")
+        schema = load_schema(REPO_ROOT / "schemas" / "history.schema.json")
+        segment = tmp_path / "wh" / "segment-000001.jsonl"
+        for line in segment.read_text(encoding="utf-8").splitlines():
+            assert validate(json.loads(line), schema) == []
+
+
+class TestDegrade:
+    def seed(self, root: Path) -> None:
+        history = RunHistory.open(root)
+        history.ingest(make_manifest(revision="aaa1111"))
+        history.ingest(make_manifest(revision="bbb2222"))
+
+    def test_corrupt_segment_line_is_counted_miss(self, tmp_path):
+        root = tmp_path / "wh"
+        self.seed(root)
+        segment = root / "segment-000001.jsonl"
+        lines = segment.read_text(encoding="utf-8").splitlines()
+        lines.insert(1, "{torn json")
+        segment.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        registry = MetricsRegistry()
+        with scope(registry):
+            history = RunHistory.open(root)
+        assert history.count == 2  # good lines survive
+        assert registry.counter("history.read_errors").value == 1
+
+    def test_wrong_shape_line_is_counted_miss(self, tmp_path):
+        root = tmp_path / "wh"
+        self.seed(root)
+        segment = root / "segment-000001.jsonl"
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"bench": "x"}) + "\n")  # no digest
+        registry = MetricsRegistry()
+        with scope(registry):
+            history = RunHistory.open(root)
+        assert history.count == 2
+        assert registry.counter("history.read_errors").value == 1
+
+    def test_trashed_index_rebuilds_from_segments(self, tmp_path):
+        root = tmp_path / "wh"
+        self.seed(root)
+        (root / "index.json").write_text("not json", encoding="utf-8")
+        registry = MetricsRegistry()
+        with scope(registry):
+            history = RunHistory.open(root)
+        assert history.count == 2
+        assert registry.counter("history.read_errors").value == 1
+        # The next ingest heals the index.
+        history.ingest(make_manifest(revision="ccc3333"))
+        index = json.loads((root / "index.json").read_text(encoding="utf-8"))
+        assert index["count"] == 3
+
+    def test_unreadable_manifest_file_raises(self, tmp_path):
+        history = RunHistory.open(tmp_path / "wh")
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(HistoryError, match="cannot read"):
+            history.ingest_file(bad)
+        with pytest.raises(HistoryError, match="cannot read"):
+            history.ingest_file(tmp_path / "missing.json")
+
+    def test_non_object_manifest_raises(self, tmp_path):
+        history = RunHistory.open(tmp_path / "wh")
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(HistoryError, match="not a JSON object"):
+            history.ingest_file(bad)
+
+    def test_non_positive_segment_records_raises(self, tmp_path):
+        with pytest.raises(HistoryError, match="positive"):
+            RunHistory.open(tmp_path / "wh", segment_records=0)
+
+
+class TestQueries:
+    def build(self, tmp_path) -> RunHistory:
+        history = RunHistory.open(tmp_path / "wh")
+        history.ingest(make_manifest(revision="aaa1111", pack_seconds=1.0))
+        history.ingest(make_manifest(revision="bbb2222", pack_seconds=1.2))
+        history.ingest(
+            make_manifest(name="bench_lint", revision="bbb2222")
+        )
+        history.ingest(
+            make_manifest(revision="ccc3333", trees=900, pack_seconds=9.0)
+        )
+        return history
+
+    def test_benches_sorted(self, tmp_path):
+        assert self.build(tmp_path).benches() == [
+            "bench_lint",
+            "bench_store",
+        ]
+
+    def test_runs_filters_by_params_digest(self, tmp_path):
+        history = self.build(tmp_path)
+        digest = params_fingerprint(make_manifest()["params"])
+        runs = history.runs("bench_store", params_digest=digest)
+        # The trees=900 run has a different knob set.
+        assert [r["git_revision"] for r in runs] == ["aaa1111", "bbb2222"]
+
+    def test_latest_newest_last(self, tmp_path):
+        history = self.build(tmp_path)
+        latest = history.latest("bench_store", 2)
+        assert [r["git_revision"] for r in latest] == [
+            "bbb2222",
+            "ccc3333",
+        ]
+
+    def test_series_tracks_one_metric(self, tmp_path):
+        history = self.build(tmp_path)
+        digest = params_fingerprint(make_manifest()["params"])
+        series = history.series(
+            "bench_store", "phase.pack", params_digest=digest
+        )
+        assert series == [("aaa1111", 1.0), ("bbb2222", 1.2)]

@@ -1,0 +1,225 @@
+"""Regression verdicts: the acceptance triangle plus the edge policies.
+
+The three behaviours the issue names explicitly: an injected 2x
+slowdown is flagged, an identical re-run passes, and a warehouse with
+fewer samples than ``min_samples`` abstains instead of guessing.
+Around them: exclude-self semantics, the noise floor, per-metric
+threshold overrides, improvement detection, and schema-valid reports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.history import RunHistory
+from repro.obs.regress import (
+    RegressPolicy,
+    check_manifest,
+    is_gated_metric,
+    render_report,
+)
+from repro.obs.schema import validate
+
+REPO_ROOT = Path(__file__).parents[2]
+
+with open(
+    REPO_ROOT / "schemas" / "regress.schema.json", encoding="utf-8"
+) as _handle:
+    REGRESS_SCHEMA = json.load(_handle)
+
+
+def make_manifest(revision="abc1234", scale=1.0, maxdist=2):
+    return {
+        "name": "bench_store",
+        "git_revision": revision,
+        "python": "3.11.0",
+        "params": {
+            "maxdist": maxdist,
+            "pack": {"seconds": 0.8 * scale},
+        },
+        "phases": [
+            {"name": "pack", "seconds": 0.8 * scale},
+            {"name": "query", "seconds": 0.4 * scale},
+        ],
+        "resources": {"max_rss_kb": 100000},
+    }
+
+
+@pytest.fixture
+def history(tmp_path):
+    warehouse = RunHistory.open(tmp_path / "wh")
+    for i in range(3):
+        warehouse.ingest(make_manifest(revision=f"base{i}"))
+    return warehouse
+
+
+def verdict_by_metric(report):
+    return {v["metric"]: v for v in report["verdicts"]}
+
+
+class TestGating:
+    def test_gated_metrics(self):
+        assert is_gated_metric("phase.pack")
+        assert is_gated_metric("pack.seconds")
+        assert is_gated_metric("store.query_seconds")
+        assert not is_gated_metric("resource.max_rss_kb")
+        assert not is_gated_metric("trees")
+        assert not is_gated_metric("pack.bytes_per_pair")
+
+    def test_only_gated_metrics_in_verdicts(self, history):
+        report = check_manifest(history, make_manifest(revision="new0001"))
+        metrics = set(verdict_by_metric(report))
+        assert metrics == {"phase.pack", "phase.query", "pack.seconds"}
+
+
+class TestVerdicts:
+    def test_two_x_slowdown_is_flagged(self, history):
+        report = check_manifest(
+            history, make_manifest(revision="slow0001", scale=2.0)
+        )
+        assert report["status"] == "regressed"
+        verdicts = verdict_by_metric(report)
+        assert verdicts["phase.pack"]["status"] == "regressed"
+        assert verdicts["phase.pack"]["ratio"] == pytest.approx(2.0)
+        assert report["counts"]["regressed"] == 3
+
+    def test_identical_rerun_passes(self, history):
+        report = check_manifest(history, make_manifest(revision="same0001"))
+        assert report["status"] == "pass"
+        assert report["counts"] == {
+            "pass": 3,
+            "regressed": 0,
+            "improved": 0,
+            "abstain": 0,
+        }
+
+    def test_improvement_is_reported_not_failed(self, history):
+        report = check_manifest(
+            history, make_manifest(revision="fast0001", scale=0.5)
+        )
+        assert report["status"] == "pass"
+        assert report["counts"]["improved"] == 3
+
+    def test_under_min_samples_abstains(self, tmp_path):
+        warehouse = RunHistory.open(tmp_path / "wh")
+        warehouse.ingest(make_manifest(revision="only0001"))
+        report = check_manifest(
+            warehouse,
+            make_manifest(revision="new0001", scale=2.0),
+            policy=RegressPolicy(min_samples=3),
+        )
+        assert report["status"] == "pass"
+        assert report["counts"]["abstain"] == 3
+        assert all(
+            v["reason"] == "not enough baseline samples"
+            for v in report["verdicts"]
+        )
+
+    def test_fresh_warehouse_never_fails(self, tmp_path):
+        warehouse = RunHistory.open(tmp_path / "wh")
+        report = check_manifest(
+            warehouse, make_manifest(revision="first001", scale=5.0)
+        )
+        assert report["status"] == "pass"
+        assert report["baseline_runs"] == 0
+        assert any("no baseline yet" in line for line in render_report(report))
+
+
+class TestBaselineSelection:
+    def test_checked_run_excluded_from_its_own_baseline(self, history):
+        # Ingest the exact manifest we are about to check: a 2x
+        # slowdown must still be caught against the *prior* runs, not
+        # neutralised by comparing the run against itself.
+        slow = make_manifest(revision="slow0001", scale=2.0)
+        history.ingest(slow)
+        report = check_manifest(history, slow)
+        assert report["baseline_runs"] == 3
+        assert report["status"] == "regressed"
+
+    def test_different_knobs_start_a_fresh_baseline(self, history):
+        report = check_manifest(
+            history,
+            make_manifest(revision="knob0001", scale=2.0, maxdist=4),
+        )
+        assert report["baseline_runs"] == 0
+        assert report["status"] == "pass"
+
+    def test_window_keeps_newest_runs(self, tmp_path):
+        warehouse = RunHistory.open(tmp_path / "wh")
+        # Five old slow runs, then three recent fast ones; a window of
+        # three sees only the fast era, so a fast re-run passes and a
+        # slow one regresses.
+        for i in range(5):
+            warehouse.ingest(make_manifest(revision=f"old{i}", scale=2.0))
+        for i in range(3):
+            warehouse.ingest(make_manifest(revision=f"new{i}", scale=1.0))
+        policy = RegressPolicy(window=3)
+        fast = check_manifest(
+            warehouse, make_manifest(revision="f0000001"), policy=policy
+        )
+        assert fast["status"] == "pass"
+        slow = check_manifest(
+            warehouse,
+            make_manifest(revision="s0000001", scale=2.0),
+            policy=policy,
+        )
+        assert slow["status"] == "regressed"
+
+
+class TestPolicyKnobs:
+    def test_noise_floor_abstains_on_micro_phases(self, tmp_path):
+        warehouse = RunHistory.open(tmp_path / "wh")
+
+        def micro(revision, scale):
+            return {
+                "name": "bench_micro",
+                "git_revision": revision,
+                "params": {},
+                "phases": [{"name": "tick", "seconds": 0.001 * scale}],
+            }
+
+        warehouse.ingest(micro("base0001", 1.0))
+        report = check_manifest(warehouse, micro("new00001", 3.0))
+        # 3x on a 1ms phase is jitter, not a regression.
+        assert report["status"] == "pass"
+        (verdict,) = report["verdicts"]
+        assert verdict["status"] == "abstain"
+        assert verdict["reason"] == "under noise floor"
+
+    def test_per_metric_threshold_override(self, history):
+        policy = RegressPolicy(thresholds={"phase.query": 2.0})
+        report = check_manifest(
+            history,
+            make_manifest(revision="mix00001", scale=1.5),
+            policy=policy,
+        )
+        verdicts = verdict_by_metric(report)
+        assert verdicts["phase.pack"]["status"] == "regressed"
+        assert verdicts["phase.query"]["status"] == "pass"
+
+    def test_inside_band_passes(self, history):
+        report = check_manifest(
+            history, make_manifest(revision="ok000001", scale=1.2)
+        )
+        assert report["status"] == "pass"
+
+
+class TestReportShape:
+    @pytest.mark.parametrize("scale", [1.0, 2.0, 0.4])
+    def test_report_validates_against_schema(self, history, scale):
+        report = check_manifest(
+            history, make_manifest(revision="r0000001", scale=scale)
+        )
+        assert validate(report, REGRESS_SCHEMA) == []
+
+    def test_render_lists_regressions(self, history):
+        report = check_manifest(
+            history, make_manifest(revision="slow0001", scale=2.0)
+        )
+        lines = render_report(report)
+        assert "bench_store: regressed" in lines[0]
+        assert any("regressed: phase.pack" in line for line in lines)
+        assert any("x2.00" in line for line in lines)

@@ -76,6 +76,22 @@ PY
 
 run_step "repro-lint src/repro (whole-program, baseline-gated)" lint_gate
 
+# Perf gate: every checked-in benchmark manifest against the run
+# history warehouse.  Ingest first (a counted no-op for manifests that
+# are already recorded), then check — only *new* regressions fail:
+# a re-ingested manifest is excluded from its own baseline, and a
+# fresh warehouse abstains rather than failing.
+perf_gate() {
+    python -m repro.cli perf ingest BENCH_*.manifest.json >/dev/null \
+        && python -m repro.cli perf check BENCH_*.manifest.json
+}
+
+if ls BENCH_*.manifest.json >/dev/null 2>&1; then
+    run_step "perf check (run-history regression gate)" perf_gate
+else
+    skip_step "perf check" "no BENCH_*.manifest.json present"
+fi
+
 if command -v ruff >/dev/null 2>&1; then
     run_step "ruff check" ruff check src/repro tests
 else
